@@ -1,0 +1,74 @@
+//! Criterion benches of the ConMerge pipeline, including the sorted-vs-
+//! unsorted merging ablation (the design choice Fig. 12 motivates) and the
+//! merge-budget ablation (0/1/2 merges per output block).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exion_core::bitmask::Bitmask2D;
+use exion_core::conmerge::{CompactionConfig, TileCompactor};
+use std::hint::black_box;
+
+/// A reproducible sparse bitmask with bimodal column density.
+fn workload(rows: usize, cols: usize, sparsity_pct: u32) -> Bitmask2D {
+    Bitmask2D::from_fn(rows, cols, |r, c| {
+        let h = (r as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((c as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let dense_col = c % 17 == 0;
+        let threshold = if dense_col { 60 } else { sparsity_pct as u64 };
+        h % 100 >= threshold
+    })
+}
+
+fn bench_sorted_vs_unsorted(c: &mut Criterion) {
+    let mask = workload(64, 1024, 95);
+    let mut group = c.benchmark_group("conmerge_sorting");
+    for (name, sorted) in [("sorted", true), ("unsorted", false)] {
+        let compactor = TileCompactor::new(CompactionConfig {
+            sorted,
+            ..CompactionConfig::default()
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| compactor.compact_matrix(black_box(&mask)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_budget(c: &mut Criterion) {
+    let mask = workload(64, 1024, 95);
+    let mut group = c.benchmark_group("conmerge_merge_budget");
+    for max_merges in [0usize, 1, 2] {
+        let compactor = TileCompactor::new(CompactionConfig {
+            max_merges,
+            ..CompactionConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_merges),
+            &max_merges,
+            |b, _| b.iter(|| compactor.compact_matrix(black_box(&mask))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sparsity_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conmerge_sparsity_sweep");
+    let compactor = TileCompactor::new(CompactionConfig::default());
+    for sparsity in [70u32, 90, 97] {
+        let mask = workload(64, 512, sparsity);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sparsity),
+            &sparsity,
+            |b, _| b.iter(|| compactor.compact_matrix(black_box(&mask))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sorted_vs_unsorted,
+    bench_merge_budget,
+    bench_sparsity_sweep
+);
+criterion_main!(benches);

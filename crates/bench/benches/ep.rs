@@ -1,0 +1,54 @@
+//! Criterion benches of eager prediction: LOD depths, the one-hot OR-tree vs
+//! exact accumulation ablation, and full attention-plan prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exion_core::ep::{log_dot, AccumMode, AttentionPlan, EpConfig, LodMode};
+use exion_tensor::rng::seeded_uniform;
+use exion_tensor::{IntWidth, QuantMatrix};
+use std::hint::black_box;
+
+fn quantized(rows: usize, cols: usize, seed: u64) -> QuantMatrix {
+    QuantMatrix::quantize(&seeded_uniform(rows, cols, -1.0, 1.0, seed), IntWidth::Int12)
+}
+
+fn bench_log_dot_modes(c: &mut Criterion) {
+    let a = quantized(1, 256, 1);
+    let b = quantized(1, 256, 2);
+    let mut group = c.benchmark_group("log_dot_256");
+    for (name, lod, accum) in [
+        ("lod_exact", LodMode::Single, AccumMode::Exact),
+        ("tslod_exact", LodMode::TwoStep, AccumMode::Exact),
+        ("tslod_ortree", LodMode::TwoStep, AccumMode::OneHotOrTree),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| log_dot(black_box(a.row(0)), black_box(b.row(0)), lod, accum))
+        });
+    }
+    // Reference: exact integer dot product.
+    group.bench_function("exact_int", |bench| {
+        bench.iter(|| {
+            a.row(0)
+                .iter()
+                .zip(b.row(0))
+                .map(|(&x, &y)| x as i64 * y as i64)
+                .sum::<i64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_attention_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_plan_predict");
+    for &tokens in &[32usize, 64, 128] {
+        let q = quantized(tokens, 32, 3);
+        let k = quantized(tokens, 32, 4);
+        let config = EpConfig::new(0.3, 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(tokens), &tokens, |b, _| {
+            b.iter(|| AttentionPlan::predict(black_box(&q), black_box(&k), 1e-4, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_log_dot_modes, bench_attention_plan);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches of FFN-Reuse: dense vs sparse iteration cost at the
+//! paper's sparsity levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exion_core::ffn_reuse::{FfnReuseConfig, FfnReuseEngine, FfnWeights};
+use exion_tensor::rng::seeded_uniform;
+use exion_tensor::Activation;
+use std::hint::black_box;
+
+fn bench_dense_vs_sparse_iterations(c: &mut Criterion) {
+    let w = FfnWeights::random(64, 256, Activation::Gelu, 1);
+    let x = seeded_uniform(64, 64, -1.0, 1.0, 2);
+    let mut group = c.benchmark_group("ffn_reuse_iteration");
+
+    group.bench_function("dense_baseline", |b| {
+        b.iter(|| w.forward_dense(black_box(&x)))
+    });
+
+    for sparsity in [70u64, 95, 97] {
+        group.bench_with_input(
+            BenchmarkId::new("sparse_iteration", sparsity),
+            &sparsity,
+            |b, &s| {
+                let mut engine = FfnReuseEngine::new(FfnReuseConfig::with_target_sparsity(
+                    s as f64 / 100.0,
+                    4,
+                ));
+                let (_, _) = engine.forward(&x, &w); // dense iteration primes state
+                b.iter(|| {
+                    // Keep the engine in its sparse phase.
+                    if engine.next_is_dense() {
+                        let _ = engine.forward(&x, &w);
+                    }
+                    engine.forward(black_box(&x), &w)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threshold_calibration(c: &mut Criterion) {
+    let w = FfnWeights::random(64, 512, Activation::Gelu, 3);
+    let x = seeded_uniform(64, 64, -1.0, 1.0, 4);
+    let hidden = w.hidden_dense(&x);
+    c.bench_function("calibrate_threshold_32k", |b| {
+        b.iter(|| exion_core::ffn_reuse::calibrate_threshold(black_box(&hidden), 0.95))
+    });
+}
+
+criterion_group!(benches, bench_dense_vs_sparse_iterations, bench_threshold_calibration);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches of the cycle-level simulator and DRAM model throughput
+//! (how fast the *simulator itself* runs, so sweeps stay tractable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exion_dram::{Dram, DramTiming};
+use exion_model::config::{ModelConfig, ModelKind};
+use exion_sim::config::HwConfig;
+use exion_sim::perf::{simulate_model, SimAblation};
+use exion_sim::workload::SparsityProfile;
+use std::hint::black_box;
+
+fn bench_simulate_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_model");
+    group.sample_size(20);
+    for (name, kind) in [("MLD", ModelKind::Mld), ("DiT", ModelKind::Dit)] {
+        let model = ModelConfig::for_kind(kind);
+        let profile = SparsityProfile::analytic(
+            model.ffn_reuse.target_sparsity,
+            model.ep.paper_sparsity_pct / 100.0,
+            16,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                simulate_model(
+                    black_box(&HwConfig::exion24()),
+                    &model,
+                    &profile,
+                    SimAblation::All,
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dram_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.bench_function("burst_sim_1mib", |b| {
+        b.iter(|| {
+            let mut d = Dram::for_bandwidth(DramTiming::gddr6(), 819.0);
+            d.transfer(0, 1 << 20, false, 0.0)
+        })
+    });
+    group.bench_function("stream_1gib", |b| {
+        b.iter(|| {
+            let mut d = Dram::for_bandwidth(DramTiming::gddr6(), 819.0);
+            d.stream_transfer(1 << 30, false, 0.0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate_model, bench_dram_transfers);
+criterion_main!(benches);

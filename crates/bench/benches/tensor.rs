@@ -1,0 +1,58 @@
+//! Criterion benches of the dense math substrate: blocked MMUL vs the naive
+//! triple loop (the blocking ablation), and INT12 quantized MMUL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exion_tensor::quant::quant_matmul;
+use exion_tensor::rng::seeded_uniform;
+use exion_tensor::{ops, IntWidth, Matrix, QuantMatrix};
+use std::hint::black_box;
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    Matrix::from_fn(m, n, |i, j| (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum())
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &size in &[64usize, 128, 256] {
+        let a = seeded_uniform(size, size, -1.0, 1.0, 1);
+        let b = seeded_uniform(size, size, -1.0, 1.0, 2);
+        group.bench_with_input(BenchmarkId::new("blocked", size), &size, |bench, _| {
+            bench.iter(|| ops::matmul(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", size), &size, |bench, _| {
+            bench.iter(|| naive_matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quant_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant_matmul_int12");
+    for &size in &[64usize, 128] {
+        let a = seeded_uniform(size, size, -1.0, 1.0, 3);
+        let b = seeded_uniform(size, size, -1.0, 1.0, 4);
+        let qa = QuantMatrix::quantize(&a, IntWidth::Int12);
+        let qb = QuantMatrix::quantize(&b, IntWidth::Int12);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| quant_matmul(black_box(&qa), black_box(&qb)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_and_norm(c: &mut Criterion) {
+    let scores = seeded_uniform(256, 256, -4.0, 4.0, 5);
+    c.bench_function("softmax_rows_256", |b| {
+        b.iter(|| exion_tensor::softmax::softmax_rows(black_box(&scores)))
+    });
+    let gamma = vec![1.0f32; 256];
+    let beta = vec![0.0f32; 256];
+    c.bench_function("layer_norm_256", |b| {
+        b.iter(|| exion_tensor::norm::layer_norm(black_box(&scores), &gamma, &beta, 1e-5))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_quant_matmul, bench_softmax_and_norm);
+criterion_main!(benches);

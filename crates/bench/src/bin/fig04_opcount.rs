@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig04_opcount` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig04_opcount::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig06_ffn_reuse` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig06_ffn_reuse::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig07_similarity` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig07_similarity::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig08_condensing` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig08_condensing::run());
+}

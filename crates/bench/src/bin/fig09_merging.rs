@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig09_merging` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig09_merging::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig12_sorting` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig12_sorting::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig15_tslod` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig15_tslod::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig17_conmerge_eff` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig17_conmerge_eff::run());
+}

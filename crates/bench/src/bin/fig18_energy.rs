@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig18_energy` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig18_energy::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig19a_latency` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig19a_latency::run());
+}

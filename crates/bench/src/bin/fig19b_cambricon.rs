@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig19b_cambricon` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::fig19b_cambricon::run());
+}

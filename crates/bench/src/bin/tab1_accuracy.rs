@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `tab1_accuracy` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::tab1_accuracy::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `tab2_hwconfig` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::tab2_hwconfig::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `tab3_power_area` (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", exion_bench::experiments::tab3_power_area::run());
+}

@@ -1,0 +1,135 @@
+//! Fig. 4 — per-iteration operation-count breakdown of the seven benchmarks.
+//!
+//! Paper claims reproduced: the transformer block accounts for 38–100% of
+//! operations, and within it the FFN layers are the main bottleneck
+//! ("reaching up to 67%").
+
+use exion_model::config::ModelConfig;
+use exion_model::opcount::OpBreakdown;
+
+use crate::fmt::{pct, render_table};
+
+/// One benchmark's breakdown row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub model: &'static str,
+    /// Total operations per iteration.
+    pub total: u64,
+    /// Share of QKV projection.
+    pub qkv: f64,
+    /// Share of attention computation.
+    pub attention: f64,
+    /// Share of FFN layers.
+    pub ffn: f64,
+    /// Share of everything else.
+    pub etc: f64,
+    /// Transformer-block share of the total.
+    pub transformer_share: f64,
+    /// FFN share of the transformer block.
+    pub ffn_share_of_transformer: f64,
+}
+
+/// Computes the analytic breakdown for all seven benchmarks.
+pub fn compute() -> Vec<Row> {
+    ModelConfig::all()
+        .iter()
+        .map(|config| {
+            let b = OpBreakdown::for_model(config);
+            let total = b.total();
+            let f = |x: u64| x as f64 / total as f64;
+            Row {
+                model: config.kind.name(),
+                total,
+                qkv: f(b.qkv),
+                attention: f(b.attention),
+                ffn: f(b.ffn),
+                etc: f(b.etc),
+                transformer_share: b.transformer_share(),
+                ffn_share_of_transformer: b.ffn_share_of_transformer(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the Fig. 4 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Fig. 4 — Number of operations breakdown (per iteration, paper-scale dims)\n\
+         Paper: transformer block 38-100% of ops; FFN is the transformer's main bottleneck (<=67%)\n\n",
+    );
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.to_string(),
+                format!("{:.2e}", r.total as f64),
+                pct(r.qkv),
+                pct(r.attention),
+                pct(r.ffn),
+                pct(r.etc),
+                pct(r.transformer_share),
+                pct(r.ffn_share_of_transformer),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "Benchmark",
+            "Ops/iter",
+            "QKV",
+            "Attention",
+            "FFN",
+            "Etc.",
+            "Transformer share",
+            "FFN share of transformer",
+        ],
+        &table_rows,
+    ));
+    out
+}
+
+/// Runs the full experiment.
+pub fn run() -> String {
+    render(&compute())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for r in compute() {
+            let sum = r.qkv + r.attention + r.ffn + r.etc;
+            assert!((sum - 1.0).abs() < 1e-6, "{}: {sum}", r.model);
+        }
+    }
+
+    #[test]
+    fn paper_shape_holds() {
+        let rows = compute();
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(
+                (0.38..=1.0).contains(&r.transformer_share),
+                "{}: transformer share {}",
+                r.model,
+                r.transformer_share
+            );
+            assert!(
+                r.ffn > r.attention,
+                "{}: FFN should dominate attention",
+                r.model
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_models() {
+        let s = run();
+        for name in ["MLD", "Stable Diffusion", "DiT", "VideoCrafter2"] {
+            assert!(s.contains(name));
+        }
+    }
+}

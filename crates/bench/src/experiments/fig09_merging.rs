@@ -1,0 +1,49 @@
+//! Fig. 9 — merging efficiency on Stable Diffusion: remaining columns drop
+//! from 77.4% (condensing alone) to 8.4% after ConMerge merging.
+
+use exion_model::config::{ModelConfig, ModelKind};
+
+use crate::fmt::pct;
+use crate::profiles::{measure_conmerge, MeasuredProfile};
+
+/// Measures the Stable Diffusion FFN-1 compaction chain.
+pub fn compute(iteration_cap: Option<usize>) -> MeasuredProfile {
+    let config = ModelConfig::for_kind(ModelKind::StableDiffusion);
+    measure_conmerge(&config, iteration_cap.unwrap_or(12), 0xF09)
+}
+
+/// Renders the measured chain against the paper's values.
+pub fn render(m: &MeasuredProfile) -> String {
+    format!(
+        "Fig. 9 — Merging on Stable Diffusion's first FFN layer\n\n\
+         remaining columns after condensing : paper 77.4% | measured {}\n\
+         remaining blocks after merging     : paper  8.4% | measured {}\n\n\
+         Shape check: merging recovers what condensing cannot on tall, very\n\
+         sparse output matrices (per-tile condensing + up-to-3-way block\n\
+         overlay under the CV/WMEM constraints).\n",
+        pct(m.ffn_condense_frac),
+        pct(m.ffn_merge_frac),
+    )
+}
+
+/// Runs the full experiment.
+pub fn run() -> String {
+    render(&compute(None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merging_dramatically_beats_condensing_on_sd() {
+        let m = compute(Some(8));
+        assert!(
+            m.ffn_merge_frac < 0.5 * m.ffn_condense_frac,
+            "merge {} vs condense {}",
+            m.ffn_merge_frac,
+            m.ffn_condense_frac
+        );
+        assert!(m.ffn_merge_frac < 0.35, "merge {}", m.ffn_merge_frac);
+    }
+}

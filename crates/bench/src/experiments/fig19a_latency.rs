@@ -1,0 +1,165 @@
+//! Fig. 19(a) — end-to-end generation latency of EXION4_All / EXION24_All
+//! against the edge and server GPUs at batch sizes 1 and 8.
+//!
+//! Paper headline speedups (batch 1): EXION4_All 43.7–1060.6× over the edge
+//! GPU; EXION24_All 3.3–365.6× over the server GPU.
+
+use exion_gpu::diffusion_cost::estimate_generation;
+use exion_gpu::GpuSpec;
+use exion_model::config::{ModelConfig, ModelKind};
+use exion_sim::config::HwConfig;
+use exion_sim::perf::{simulate_model, SimAblation};
+
+use crate::experiments::fig18_energy::EDGE_MODELS;
+use crate::fmt::{ratio, render_table};
+use crate::profiles::measure_profile;
+
+/// One latency comparison point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Platform name (`EXION4_All` / `EXION24_All`).
+    pub config: String,
+    /// Benchmark name.
+    pub model: &'static str,
+    /// Batch size.
+    pub batch: u64,
+    /// EXION latency (ms).
+    pub exion_ms: f64,
+    /// GPU latency (ms).
+    pub gpu_ms: f64,
+}
+
+impl Point {
+    /// Speedup over the GPU.
+    pub fn speedup(&self) -> f64 {
+        if self.exion_ms == 0.0 {
+            0.0
+        } else {
+            self.gpu_ms / self.exion_ms
+        }
+    }
+}
+
+/// Computes latency points for one platform pairing.
+pub fn compute_platform(
+    hw: &HwConfig,
+    gpu: &GpuSpec,
+    models: &[ModelKind],
+    batches: &[u64],
+    iteration_cap: Option<usize>,
+) -> Vec<Point> {
+    let cap = iteration_cap.unwrap_or(10);
+    let mut points = Vec::new();
+    for &kind in models {
+        let config = ModelConfig::for_kind(kind);
+        let measured = measure_profile(&config, cap, 0xF19);
+        for &batch in batches {
+            let r = simulate_model(hw, &config, &measured.profile, SimAblation::All, batch);
+            let g = estimate_generation(gpu, &config, batch);
+            points.push(Point {
+                config: r.name.clone(),
+                model: config.kind.name(),
+                batch,
+                exion_ms: r.latency_ms,
+                gpu_ms: g.latency_ms,
+            });
+        }
+    }
+    points
+}
+
+/// Computes both pairings.
+pub fn compute(iteration_cap: Option<usize>) -> (Vec<Point>, Vec<Point>) {
+    let edge = compute_platform(
+        &HwConfig::exion4(),
+        &GpuSpec::jetson_orin_nano(),
+        &EDGE_MODELS,
+        &[1, 8],
+        iteration_cap,
+    );
+    let server = compute_platform(
+        &HwConfig::exion24(),
+        &GpuSpec::rtx6000_ada(),
+        &ModelKind::ALL,
+        &[1, 8],
+        iteration_cap,
+    );
+    (edge, server)
+}
+
+/// Renders one platform's points.
+pub fn render_platform(title: &str, points: &[Point]) -> String {
+    let mut out = format!("{title}\n\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.model.to_string(),
+                p.batch.to_string(),
+                format!("{:.2}", p.exion_ms),
+                format!("{:.2}", p.gpu_ms),
+                ratio(p.speedup()),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["Benchmark", "Batch", "EXION (ms)", "GPU (ms)", "Speedup"],
+        &rows,
+    ));
+    out
+}
+
+/// Runs the full experiment.
+pub fn run() -> String {
+    let (edge, server) = compute(None);
+    let mut out = render_platform(
+        "Fig. 19(a) — Latency: EXION4_All vs edge GPU (paper speedup 43.7-1060.6x @ batch 1)",
+        &edge,
+    );
+    out.push('\n');
+    out.push_str(&render_platform(
+        "Fig. 19(a) — Latency: EXION24_All vs server GPU (paper speedup 3.3-365.6x @ batch 1)",
+        &server,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exion_is_faster_than_gpu_everywhere() {
+        let points = compute_platform(
+            &HwConfig::exion4(),
+            &GpuSpec::jetson_orin_nano(),
+            &[ModelKind::Mld, ModelKind::MakeAnAudio],
+            &[1],
+            Some(6),
+        );
+        for p in &points {
+            assert!(p.speedup() > 1.0, "{} speedup {}", p.model, p.speedup());
+        }
+    }
+
+    #[test]
+    fn small_models_gain_more_than_large_on_server() {
+        // The paper's range 3.3–365.6×: tiny MLD can't utilize a GPU, giant
+        // Stable Diffusion can — EXION's advantage shrinks.
+        let points = compute_platform(
+            &HwConfig::exion24(),
+            &GpuSpec::rtx6000_ada(),
+            &[ModelKind::Mld, ModelKind::StableDiffusion],
+            &[1],
+            Some(6),
+        );
+        let mld = points.iter().find(|p| p.model == "MLD").unwrap();
+        let sd = points.iter().find(|p| p.model == "Stable Diffusion").unwrap();
+        assert!(
+            mld.speedup() > sd.speedup(),
+            "MLD {} vs SD {}",
+            mld.speedup(),
+            sd.speedup()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Table III — power and area breakdown of one DSC, plus the measured
+//! run-time energy shares from the simulator.
+
+use exion_model::config::{ModelConfig, ModelKind};
+use exion_sim::config::HwConfig;
+use exion_sim::energy::{self, Engine};
+use exion_sim::perf::{simulate_model, SimAblation};
+use exion_sim::workload::SparsityProfile;
+
+use crate::fmt::{pct, render_table};
+
+/// One component row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Component name.
+    pub component: &'static str,
+    /// Table III area (mm²).
+    pub area_mm2: f64,
+    /// Table III power (mW).
+    pub power_mw: f64,
+    /// Measured energy share in a representative DiT_All run.
+    pub measured_energy_share: f64,
+}
+
+/// Builds the breakdown with measured activity from a DiT `_All` run.
+pub fn compute(iteration_cap: Option<usize>) -> Vec<Row> {
+    let mut model = ModelConfig::for_kind(ModelKind::Dit);
+    if let Some(cap) = iteration_cap {
+        model.iterations = model.iterations.min(cap);
+    }
+    let profile = SparsityProfile::analytic(
+        model.ffn_reuse.target_sparsity,
+        model.ep.paper_sparsity_pct / 100.0,
+        16,
+    );
+    let report = simulate_model(
+        &HwConfig::single_dsc(),
+        &model,
+        &profile,
+        SimAblation::All,
+        1,
+    );
+    Engine::ALL
+        .iter()
+        .map(|&e| Row {
+            component: e.name(),
+            area_mm2: e.area_mm2(),
+            power_mw: e.nominal_power_mw(),
+            measured_energy_share: report.engine_share(e),
+        })
+        .collect()
+}
+
+/// Renders Table III.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Table III — Breakdown of power and area usage (one DSC, 800 MHz / 0.8 V)\n\n",
+    );
+    let mut table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.component.to_string(),
+                format!("{:.2}", r.area_mm2),
+                format!("{:.2}", r.power_mw),
+                pct(r.measured_energy_share),
+            ]
+        })
+        .collect();
+    table_rows.push(vec![
+        "Total".to_string(),
+        format!("{:.2}", energy::dsc_area_mm2()),
+        format!("{:.2}", energy::dsc_nominal_power_mw()),
+        pct(1.0),
+    ]);
+    out.push_str(&render_table(
+        &["Component", "Area [mm^2]", "Power [mW]", "Measured energy share (DiT_All)"],
+        &table_rows,
+    ));
+    out.push_str(&format!(
+        "\nEXION24 + 64 MiB GSC area: {:.2} mm^2 (paper: 152.28 mm^2; server GPU die: 609 mm^2)\n\
+         Sparsity-handling hardware (EPRE + CAU) nominal power share: {:.1}% (paper: up to 18.6%)\n",
+        energy::accelerator_area_mm2(24, 64.0),
+        100.0 * (Engine::Epre.nominal_power_mw() + Engine::Cau.nominal_power_mw())
+            / energy::dsc_nominal_power_mw(),
+    ));
+    out
+}
+
+/// Runs the full experiment.
+pub fn run() -> String {
+    render(&compute(None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_components_and_shares_sum_to_one() {
+        let rows = compute(Some(4));
+        assert_eq!(rows.len(), 6);
+        let total: f64 = rows.iter().map(|r| r.measured_energy_share).sum();
+        assert!((total - 1.0).abs() < 1e-6, "shares sum {total}");
+    }
+
+    #[test]
+    fn sdue_has_largest_area_among_logic() {
+        let rows = compute(Some(4));
+        let sdue = rows.iter().find(|r| r.component == "SDUE").unwrap();
+        let epre = rows.iter().find(|r| r.component == "EPRE").unwrap();
+        assert!(sdue.power_mw > epre.power_mw);
+    }
+}

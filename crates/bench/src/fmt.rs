@@ -1,0 +1,121 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders an aligned text table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use exion_bench::fmt::render_table;
+/// let t = render_table(
+///     &["model", "value"],
+///     &[vec!["MLD".into(), "1.0".into()]],
+/// );
+/// assert!(t.contains("MLD"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |widths: &[usize]| -> String {
+        let mut s = String::from("+");
+        for w in widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&line(&widths));
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    out.push_str(&line(&widths));
+    for row in rows {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&line(&widths));
+    out
+}
+
+/// Formats a ratio as `12.3x`.
+pub fn ratio(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else if x >= 10.0 {
+        format!("{x:.1}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Renders a low-resolution ASCII heatmap of a square matrix in `[0, 1]`.
+pub fn render_heatmap(values: &[Vec<f64>]) -> String {
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    for row in values {
+        for &v in row {
+            let idx = ((v.clamp(0.0, 1.0)) * 9.0).round() as usize;
+            out.push(SHADES[idx]);
+            out.push(SHADES[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "long header"],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // All border lines have the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(3.2459), "3.25x");
+        assert_eq!(ratio(32.459), "32.5x");
+        assert_eq!(ratio(324.59), "325x");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.974), "97.4%");
+    }
+
+    #[test]
+    fn heatmap_uses_shades() {
+        let h = render_heatmap(&[vec![0.0, 1.0]]);
+        assert!(h.contains(' '));
+        assert!(h.contains('@'));
+    }
+}

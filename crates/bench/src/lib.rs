@@ -1,0 +1,13 @@
+//! # exion-bench
+//!
+//! The experiment harness of the EXION reproduction: one module (and one
+//! binary) per table and figure of the paper's evaluation, plus Criterion
+//! benches of the core mechanisms.
+//!
+//! Run any experiment with `cargo run --release -p exion-bench --bin <id>`;
+//! the ids are listed in DESIGN.md §4 and EXPERIMENTS.md records paper-vs-
+//! measured values for each.
+
+pub mod experiments;
+pub mod fmt;
+pub mod profiles;

@@ -1,0 +1,32 @@
+//! The improved Eager Prediction (EP) algorithm (paper Sections II-B and
+//! IV-D).
+//!
+//! EP predicts the attention score with cheap log-domain arithmetic
+//! ([`logdomain`]), then uses the prediction to skip most of the real-domain
+//! attention computation ([`predict`]):
+//!
+//! * per predicted-score row, only the top-k entries are kept (the rest are
+//!   zeroed before the softmax — they would be negligible after it);
+//! * if the dominant entry exceeds the runner-up by more than a threshold
+//!   `q_th`, the whole row collapses to a one-hot and its computation is
+//!   skipped entirely;
+//! * score columns kept by no row allow the K and V projections of those
+//!   tokens to be skipped; one-hot rows allow the Q projection of those rows
+//!   to be skipped.
+//!
+//! The original EP of the FACT accelerator uses single-step leading-one
+//! detection (LOD); EXION's improvement is **two-step LOD** (TS-LOD), which
+//! keeps the top two bit positions of each operand and quadruples the
+//! addition operands, recovered cheaply by a one-hot OR-gate adder tree
+//! (Fig. 15).
+
+pub mod logdomain;
+pub mod predict;
+
+pub use logdomain::{
+    lod, log_dot, log_matmul, log_matmul_transpose_b, AccumMode, LodMode, LogOperand, LogScores,
+};
+pub use predict::{
+    execute_dense_attention, execute_sparse_attention, AttentionPlan, EpConfig, EpStats,
+    SparseAttentionOutput,
+};

@@ -1,0 +1,45 @@
+//! # exion-core
+//!
+//! The primary contribution of the EXION paper (HPCA 2025), reimplemented in
+//! Rust:
+//!
+//! * [`ffn_reuse`] — the **FFN-Reuse algorithm** (Section III-A): one *dense
+//!   iteration* computes the FFN layers fully and derives a threshold bitmask
+//!   from the non-linearity output; the following *N sparse iterations* reuse
+//!   the below-threshold activations, producing *inter-iteration output
+//!   sparsity* of 70–97% in the first FFN layer.
+//! * [`ep`] — the **improved Eager Prediction algorithm** (Sections II-B and
+//!   IV-D): log-domain arithmetic with two-step leading-one detection predicts
+//!   the attention score cheaply; top-k selection and a dominance threshold
+//!   then skip most of the real-domain attention computation, producing
+//!   *intra-iteration output sparsity*.
+//! * [`conmerge`] — the **ConMerge data-compaction mechanism** (Section
+//!   III-B): *condensing* removes all-zero output columns and *merging* packs
+//!   the surviving sparse columns into dense 16×16 blocks under the hardware's
+//!   conflict-vector and triple-buffered-weight constraints, so a plain
+//!   broadcast DPU array can exploit unstructured output sparsity.
+//! * [`bitmask`] and [`sparsity`] — the shared bit-matrix and statistics
+//!   substrate.
+//!
+//! # Examples
+//!
+//! ```
+//! use exion_core::bitmask::Bitmask2D;
+//! use exion_core::conmerge::{CompactionConfig, TileCompactor};
+//!
+//! // A 16x64 output bitmask with ~90% sparsity compacts to a few blocks.
+//! let mask = Bitmask2D::from_fn(16, 64, |r, c| (r * 31 + c * 7) % 10 == 0);
+//! let compactor = TileCompactor::new(CompactionConfig::default());
+//! let report = compactor.compact_matrix(&mask);
+//! assert!(report.remaining_column_fraction() < 1.0);
+//! ```
+
+pub mod bitmask;
+pub mod conmerge;
+pub mod ep;
+pub mod ffn_reuse;
+pub mod sparsity;
+
+pub use bitmask::Bitmask2D;
+pub use ffn_reuse::{FfnReuseConfig, FfnReuseEngine, FfnWeights};
+pub use sparsity::{OpCounts, SparsityStats};

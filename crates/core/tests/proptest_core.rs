@@ -1,0 +1,137 @@
+//! Property-based tests of the EXION algorithms' invariants.
+
+use exion_core::bitmask::Bitmask2D;
+use exion_core::ep::{log_dot, AccumMode, AttentionPlan, EpConfig, LodMode, LogOperand};
+use exion_core::ffn_reuse::{calibrate_threshold, FfnReuseConfig, FfnReuseEngine, FfnWeights};
+use exion_tensor::rng::seeded_uniform;
+use exion_tensor::{Activation, IntWidth, QuantMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bitmask threshold is exactly the |value| > threshold predicate.
+    #[test]
+    fn bitmask_threshold_semantics(seed in 0u64..1000, th in 0.0f32..1.0) {
+        let m = seeded_uniform(6, 40, -2.0, 2.0, seed);
+        let mask = Bitmask2D::from_threshold(&m, th);
+        for r in 0..6 {
+            for c in 0..40 {
+                prop_assert_eq!(mask.get(r, c), m[(r, c)].abs() > th);
+            }
+        }
+    }
+
+    /// Calibrated thresholds hit their sparsity target within quantile
+    /// granularity.
+    #[test]
+    fn calibration_hits_target(seed in 0u64..1000, target in 0.1f64..0.95) {
+        let w = FfnWeights::random(16, 64, Activation::Gelu, seed);
+        let x = seeded_uniform(8, 16, -1.0, 1.0, seed + 1);
+        let h = w.hidden_dense(&x);
+        let th = calibrate_threshold(&h, target);
+        let got = Bitmask2D::from_threshold(&h, th).sparsity();
+        prop_assert!((got - target).abs() < 0.05, "target {target} got {got}");
+    }
+
+    /// A sparse iteration on the *same* input with threshold 0 reproduces the
+    /// dense output (nothing below threshold changed).
+    #[test]
+    fn zero_threshold_sparse_iteration_is_exact(seed in 0u64..500) {
+        let w = FfnWeights::random(12, 48, Activation::Gelu, seed);
+        let x = seeded_uniform(6, 12, -1.0, 1.0, seed + 1);
+        let mut engine = FfnReuseEngine::new(FfnReuseConfig::new(0.0, 3));
+        let (dense, _) = engine.forward(&x, &w);
+        let (sparse, _) = engine.forward(&x, &w);
+        prop_assert!(exion_tensor::stats::relative_error(&dense, &sparse) < 1e-4);
+    }
+
+    /// Sparse-iteration MAC counts match the bitmask population exactly.
+    #[test]
+    fn sparse_ops_match_bitmask(seed in 0u64..500, target in 0.5f64..0.99) {
+        let w = FfnWeights::random(12, 48, Activation::Gelu, seed);
+        let x = seeded_uniform(6, 12, -1.0, 1.0, seed + 1);
+        let mut engine =
+            FfnReuseEngine::new(FfnReuseConfig::with_target_sparsity(target, 2));
+        let _ = engine.forward(&x, &w);
+        let ones = engine.bitmask().unwrap().count_ones() as u64;
+        let (_, report) = engine.forward(&x, &w);
+        // FFN-1 recompute + FFN-2 accumulate, both d_model wide per element.
+        prop_assert_eq!(report.ops.performed, ones * (12 + 12));
+    }
+
+    /// TS-LOD operand approximation error is at most single LOD's, for every
+    /// representable INT12 value.
+    #[test]
+    fn tslod_dominates_lod_per_operand(x in -2047i32..2048) {
+        let single = LogOperand::from_int(x, LodMode::Single).approx_value();
+        let two = LogOperand::from_int(x, LodMode::TwoStep).approx_value();
+        prop_assert!((x as i64 - two).abs() <= (x as i64 - single).abs());
+    }
+
+    /// Log-domain dot products always underestimate-or-match the sign
+    /// structure: exact accumulation of TS-LOD terms is within the bound
+    /// implied by per-operand truncation (each operand keeps ≥ 2/3 of its
+    /// magnitude, so products keep ≥ 4/9).
+    #[test]
+    fn log_dot_bounded_truncation(seed in 0u64..500) {
+        let a = QuantMatrix::quantize(
+            &seeded_uniform(1, 32, -1.0, 1.0, seed), IntWidth::Int12);
+        let b = QuantMatrix::quantize(
+            &seeded_uniform(1, 32, -1.0, 1.0, seed + 1), IntWidth::Int12);
+        let exact: i64 = a.row(0).iter().zip(b.row(0))
+            .map(|(&x, &y)| x as i64 * y as i64).sum();
+        let pred = log_dot(a.row(0), b.row(0), LodMode::TwoStep, AccumMode::Exact);
+        // Per-term bounds don't transfer to signed sums exactly, but the
+        // deviation is bounded by the total truncated magnitude (≤ 5/9 of
+        // the absolute mass).
+        let mass: i64 = a.row(0).iter().zip(b.row(0))
+            .map(|(&x, &y)| (x as i64 * y as i64).abs()).sum();
+        prop_assert!((pred - exact).abs() <= mass * 5 / 9 + 1);
+    }
+
+    /// Attention plans always cover their one-hot targets in col_used, and
+    /// keep counts never exceed the top-k budget.
+    #[test]
+    fn attention_plan_invariants(
+        seed in 0u64..500, tokens in 2usize..20, k in 0.05f32..1.0
+    ) {
+        let q = QuantMatrix::quantize(
+            &seeded_uniform(tokens, 8, -1.0, 1.0, seed), IntWidth::Int12);
+        let kk = QuantMatrix::quantize(
+            &seeded_uniform(tokens, 8, -1.0, 1.0, seed + 1), IntWidth::Int12);
+        let plan = AttentionPlan::predict(&q, &kk, 1e-4, &EpConfig::new(0.5, k));
+        let budget = ((tokens as f64 * k as f64) - 1e-6).ceil().max(1.0) as usize;
+        for r in 0..tokens {
+            let kept = plan.keep().row_count_ones(r);
+            if let Some(c) = plan.one_hot()[r] {
+                prop_assert_eq!(kept, 0, "one-hot rows keep nothing");
+                prop_assert!(plan.col_used()[c]);
+            } else {
+                prop_assert!(kept <= budget, "kept {kept} budget {budget}");
+            }
+        }
+        for (_, c) in plan.keep().iter_ones() {
+            prop_assert!(plan.col_used()[c]);
+        }
+    }
+
+    /// Bitmask OR/AND obey containment: AND ⊆ each ⊆ OR.
+    #[test]
+    fn bitmask_lattice(seed in 0u64..500) {
+        let a = Bitmask2D::from_fn(8, 20, |r, c| (r * 7 + c).wrapping_mul(seed as usize + 1) % 3 == 0);
+        let b = Bitmask2D::from_fn(8, 20, |r, c| (r * 5 + c).wrapping_mul(seed as usize + 2) % 4 == 0);
+        let and = a.and(&b);
+        let or = a.or(&b);
+        for r in 0..8 {
+            for c in 0..20 {
+                prop_assert!(!and.get(r, c) || a.get(r, c));
+                prop_assert!(!a.get(r, c) || or.get(r, c));
+            }
+        }
+        prop_assert_eq!(
+            and.count_ones() + or.count_ones(),
+            a.count_ones() + b.count_ones()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # exion-dram
+//!
+//! DRAM timing and energy model — the reproduction's stand-in for Ramulator
+//! (Kim et al., IEEE CAL 2015), which the paper integrates "to model DRAM
+//! latency".
+//!
+//! The model is request-level: transfers split into bursts, bursts map to
+//! channels/banks/rows, banks keep row-buffer state (hits cost CAS only,
+//! misses pay precharge + activate), and each channel's data bus serializes
+//! burst payloads, so sequential streams approach the configured peak
+//! bandwidth while scattered accesses degrade realistically.
+//!
+//! * [`timing`] — LPDDR5 (edge, Table II: 51–68 GB/s class) and GDDR6
+//!   (server, 819–960 GB/s class) parameter sets,
+//! * [`bank`] — per-bank row-buffer state machines,
+//! * [`controller`] — the multi-channel controller with statistics and a
+//!   per-access energy model (activation energy + pJ/bit + background power).
+//!
+//! # Examples
+//!
+//! ```
+//! use exion_dram::{controller::Dram, timing::DramTiming};
+//!
+//! let mut dram = Dram::for_bandwidth(DramTiming::lpddr5(), 51.0);
+//! let done_ns = dram.transfer(0, 4096, false, 0.0);
+//! assert!(done_ns > 0.0);
+//! assert!(dram.stats().bytes_read == 4096);
+//! ```
+
+pub mod bank;
+pub mod controller;
+pub mod timing;
+
+pub use controller::{Dram, DramStats};
+pub use timing::DramTiming;

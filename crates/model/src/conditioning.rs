@@ -1,0 +1,88 @@
+//! Conditioning-network stand-in.
+//!
+//! The paper uses CLIP/CLAP to turn text, class labels, or music into
+//! embedding tokens which are "executed once" and then injected into every
+//! denoising step. The pre-trained encoders are unavailable, so this module
+//! provides a deterministic surrogate: the prompt is hashed to a seed, the
+//! seed generates a stable embedding matrix. This preserves exactly what the
+//! accelerator experiments need — a fixed conditioning tensor of the right
+//! shape whose content varies with the prompt.
+
+use exion_tensor::rng::seeded_normal;
+use exion_tensor::Matrix;
+
+/// FNV-1a hash of a prompt, used as the embedding seed.
+fn prompt_seed(prompt: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in prompt.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic CLIP/CLAP-like conditioning encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConditioningEncoder {
+    tokens: usize,
+    d_model: usize,
+}
+
+impl ConditioningEncoder {
+    /// Creates an encoder producing `tokens × d_model` embeddings.
+    pub fn new(tokens: usize, d_model: usize) -> Self {
+        Self { tokens, d_model }
+    }
+
+    /// Encodes a prompt into a stable embedding matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use exion_model::conditioning::ConditioningEncoder;
+    /// let enc = ConditioningEncoder::new(4, 8);
+    /// let a = enc.encode("a corgi surfing");
+    /// assert_eq!(a.shape(), (4, 8));
+    /// assert_eq!(a, enc.encode("a corgi surfing"));
+    /// ```
+    pub fn encode(&self, prompt: &str) -> Matrix {
+        seeded_normal(self.tokens, self.d_model, 1.0, prompt_seed(prompt))
+    }
+
+    /// Mean-pooled single-vector embedding (for additive conditioning).
+    pub fn encode_pooled(&self, prompt: &str) -> Vec<f32> {
+        let e = self.encode(prompt);
+        (0..self.d_model)
+            .map(|c| (0..self.tokens).map(|r| e[(r, c)]).sum::<f32>() / self.tokens as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_prompt_same_embedding() {
+        let enc = ConditioningEncoder::new(8, 16);
+        assert_eq!(enc.encode("hello"), enc.encode("hello"));
+    }
+
+    #[test]
+    fn different_prompts_differ() {
+        let enc = ConditioningEncoder::new(8, 16);
+        assert_ne!(enc.encode("hello"), enc.encode("world"));
+    }
+
+    #[test]
+    fn pooled_embedding_has_model_width() {
+        let enc = ConditioningEncoder::new(8, 16);
+        assert_eq!(enc.encode_pooled("x").len(), 16);
+    }
+
+    #[test]
+    fn empty_prompt_is_valid() {
+        let enc = ConditioningEncoder::new(2, 4);
+        assert_eq!(enc.encode("").shape(), (2, 4));
+    }
+}

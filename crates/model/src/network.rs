@@ -1,0 +1,410 @@
+//! The three diffusion-network topologies of paper Fig. 3(a).
+//!
+//! * **Type 1** (UNet without ResBlocks): token downsampling, transformer
+//!   blocks at the bottleneck, upsampling with a skip connection.
+//! * **Type 2** (UNet with ResBlocks): adds convolutional residual stages
+//!   before and after — the portion EXION leaves unoptimized ("we have not
+//!   utilized any sparsity optimizations [in ResBlocks]").
+//! * **Type 3** (transformer only): a DiT-style stack.
+//!
+//! All three share [`TransformerBlock`]s and implement [`NoisePredictor`], so
+//! the same DDIM loop drives them.
+
+use exion_core::OpCounts;
+use exion_tensor::activation::silu;
+use exion_tensor::{ops, Matrix};
+
+use crate::config::{ModelConfig, NetworkType};
+use crate::sampler::NoisePredictor;
+use crate::transformer::{BlockReport, BlockWeights, ExecPolicy, TransformerBlock};
+
+/// A convolutional residual stage: kernel-3 token convolution → SiLU →
+/// kernel-3 token convolution → residual add. Stands in for the UNet's 2-D
+/// conv ResBlocks at matched MAC cost per token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResBlock {
+    taps1: [Matrix; 3],
+    taps2: [Matrix; 3],
+}
+
+impl ResBlock {
+    /// Xavier-initialized ResBlock of width `d`.
+    pub fn random(d: usize, seed: u64) -> Self {
+        let t = |i: u64| exion_tensor::rng::xavier_uniform(d, d, seed.wrapping_add(i));
+        Self {
+            taps1: [t(0), t(1), t(2)],
+            taps2: [t(3), t(4), t(5)],
+        }
+    }
+
+    /// Kernel-3 convolution over the token axis with same-padding.
+    fn conv(x: &Matrix, taps: &[Matrix; 3]) -> Matrix {
+        let n = x.rows() as isize;
+        let mut out = ops::matmul(x, &taps[1]);
+        for (offset, tap) in [(-1isize, &taps[0]), (1, &taps[2])] {
+            for r in 0..n {
+                let src = r + offset;
+                if src < 0 || src >= n {
+                    continue;
+                }
+                let contrib = ops::matmul(
+                    &Matrix::from_vec(1, x.cols(), x.row(src as usize).to_vec()),
+                    tap,
+                );
+                let out_row = out.row_mut(r as usize);
+                for (o, &c) in out_row.iter_mut().zip(contrib.row(0)) {
+                    *o += c;
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward pass with residual.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let h = Self::conv(x, &self.taps1).map(silu);
+        ops::add(x, &Self::conv(&h, &self.taps2))
+    }
+
+    /// MACs of one forward pass on `n` tokens of width `d`.
+    pub fn macs(n: usize, d: usize) -> u64 {
+        2 * 3 * (n * d * d) as u64
+    }
+}
+
+/// Halves the token count by averaging adjacent pairs (odd tails pass
+/// through).
+pub fn downsample(x: &Matrix) -> Matrix {
+    let n = x.rows() / 2;
+    let mut out = Matrix::zeros(n + x.rows() % 2, x.cols());
+    for r in 0..n {
+        let a = x.row(2 * r);
+        let b = x.row(2 * r + 1);
+        let o = out.row_mut(r);
+        for c in 0..a.len() {
+            o[c] = 0.5 * (a[c] + b[c]);
+        }
+    }
+    if x.rows() % 2 == 1 {
+        let last = x.rows() - 1;
+        out.row_mut(n).copy_from_slice(x.row(last));
+    }
+    out
+}
+
+/// Doubles the token count by repeating each token, truncated to `target`
+/// rows.
+pub fn upsample(x: &Matrix, target: usize) -> Matrix {
+    Matrix::from_fn(target, x.cols(), |r, c| x[((r / 2).min(x.rows() - 1), c)])
+}
+
+/// Per-iteration instrumentation of the whole network.
+#[derive(Debug, Clone, Default)]
+pub struct IterationRecord {
+    /// Per-transformer-block reports, in execution order.
+    pub blocks: Vec<BlockReport>,
+    /// ResBlock MACs (never optimized: performed == dense).
+    pub resblock_ops: OpCounts,
+}
+
+impl IterationRecord {
+    /// Total MACs performed vs dense for the whole iteration.
+    pub fn total_ops(&self) -> OpCounts {
+        self.blocks
+            .iter()
+            .fold(self.resblock_ops, |acc, b| acc.merge(&b.total_ops()))
+    }
+}
+
+/// A complete denoising network of one of the three topologies.
+#[derive(Debug, Clone)]
+pub struct DiffusionNetwork {
+    network_type: NetworkType,
+    d_model: usize,
+    blocks: Vec<TransformerBlock>,
+    res_pre: Option<ResBlock>,
+    res_post: Option<ResBlock>,
+    final_proj: Matrix,
+    pos_embed: Matrix,
+    content: Matrix,
+    policy: ExecPolicy,
+    cond_pooled: Option<Vec<f32>>,
+    records: Vec<IterationRecord>,
+}
+
+impl DiffusionNetwork {
+    /// Builds a network from a benchmark config's sim-scale parameters.
+    pub fn new(config: &ModelConfig, policy: ExecPolicy, seed: u64) -> Self {
+        let p = &config.sim;
+        let blocks = (0..p.blocks)
+            .map(|i| {
+                TransformerBlock::new(BlockWeights::random(
+                    p,
+                    config.geglu,
+                    seed.wrapping_add(1000 * i as u64),
+                ))
+            })
+            .collect();
+        let (res_pre, res_post) = match config.network {
+            NetworkType::UNetRes => (
+                Some(ResBlock::random(p.d_model, seed.wrapping_add(77))),
+                Some(ResBlock::random(p.d_model, seed.wrapping_add(88))),
+            ),
+            _ => (None, None),
+        };
+        Self {
+            network_type: config.network,
+            d_model: p.d_model,
+            blocks,
+            res_pre,
+            res_post,
+            final_proj: exion_tensor::rng::xavier_uniform(
+                p.d_model,
+                p.d_model,
+                seed.wrapping_add(99),
+            ),
+            // Fixed positional embedding: keeps token rows differentiated
+            // through the denoising trajectory, as real models' positional
+            // encodings do. Without it the rows of a random-weight network
+            // collapse toward each other and the output bitmasks acquire
+            // whole-column structure the paper's models do not show.
+            pos_embed: exion_tensor::rng::seeded_normal(
+                p.tokens,
+                p.d_model,
+                1.0,
+                seed.wrapping_add(111),
+            ),
+            // The implicit generation target: a trained denoiser pulls x0
+            // toward a data sample whose tokens are *diverse* (distinct image
+            // patches / motion frames). A fixed random network instead has a
+            // low-rank attractor; subtracting a seeded per-token content
+            // matrix from the predicted noise restores a token-diverse
+            // attractor (x0 converges toward `content`).
+            content: exion_tensor::rng::seeded_normal(
+                p.tokens,
+                p.d_model,
+                1.0,
+                seed.wrapping_add(222),
+            ),
+            policy,
+            cond_pooled: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Sets the pooled conditioning vector added to every token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector width differs from `d_model`.
+    pub fn set_condition(&mut self, pooled: Vec<f32>) {
+        assert_eq!(pooled.len(), self.d_model, "conditioning width mismatch");
+        self.cond_pooled = Some(pooled);
+    }
+
+    /// The execution policy.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// Drains the per-iteration instrumentation records.
+    pub fn take_records(&mut self) -> Vec<IterationRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Resets all FFN-Reuse state (e.g. between generations).
+    pub fn reset(&mut self) {
+        for b in &mut self.blocks {
+            b.reset();
+        }
+        self.records.clear();
+    }
+
+    /// Sinusoidal timestep embedding of width `d`.
+    pub fn time_embedding(t: usize, d: usize) -> Vec<f32> {
+        (0..d)
+            .map(|j| {
+                let pair = (j / 2) as f32;
+                let freq = (10_000.0f32).powf(-2.0 * pair / d as f32);
+                let angle = t as f32 * freq;
+                if j % 2 == 0 {
+                    angle.sin()
+                } else {
+                    angle.cos()
+                }
+            })
+            .collect()
+    }
+}
+
+impl NoisePredictor for DiffusionNetwork {
+    fn predict_noise(&mut self, x: &Matrix, t: usize) -> Matrix {
+        assert_eq!(x.cols(), self.d_model, "input width mismatch");
+        let mut record = IterationRecord::default();
+
+        // Timestep, positional and conditioning injection.
+        let t_emb = Self::time_embedding(t, self.d_model);
+        let mut h = Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+            let cond = self.cond_pooled.as_ref().map_or(0.0, |p| 0.1 * p[c]);
+            let pos = self.pos_embed[(r % self.pos_embed.rows(), c)];
+            x[(r, c)] + 0.1 * t_emb[c] + pos + cond
+        });
+
+        if let Some(res) = &self.res_pre {
+            h = res.forward(&h);
+            let macs = ResBlock::macs(h.rows(), self.d_model);
+            record.resblock_ops = record.resblock_ops.merge(&OpCounts::new(macs, macs));
+        }
+
+        let use_unet = matches!(
+            self.network_type,
+            NetworkType::UNetPlain | NetworkType::UNetRes
+        );
+        let skip = h.clone();
+        if use_unet {
+            h = downsample(&h);
+        }
+        for block in &mut self.blocks {
+            let (out, report) = block.forward(&h, &self.policy);
+            record.blocks.push(report);
+            h = out;
+        }
+        if use_unet {
+            h = ops::add(&upsample(&h, skip.rows()), &skip);
+        }
+
+        if let Some(res) = &self.res_post {
+            h = res.forward(&h);
+            let macs = ResBlock::macs(h.rows(), self.d_model);
+            record.resblock_ops = record.resblock_ops.merge(&OpCounts::new(macs, macs));
+        }
+
+        self.records.push(record);
+        // Noise prediction head: a trained ε-predictor's output is dominated
+        // by the actual noise content of x_t (which *is* most of x_t at high
+        // t), modulated by learned structure. The identity-dominated mix
+        // models that; a pure random projection would instead act as a power
+        // iteration and collapse the token rows onto the network's low-rank
+        // attractor over the DDIM trajectory, destroying the row-diversity
+        // the paper's sparsity-structure measurements rely on.
+        let net = ops::matmul(&h, &self.final_proj);
+        // Center the learned term across tokens: an untrained network emits a
+        // large all-token-shared vector (near-uniform attention makes every
+        // row see the same context); accumulated over the trajectory it would
+        // correlate all token rows. Trained predictors carry no such shared
+        // bias beyond what is already in x.
+        let col_mean: Vec<f32> = (0..net.cols())
+            .map(|c| (0..net.rows()).map(|r| net[(r, c)]).sum::<f32>() / net.rows() as f32)
+            .collect();
+        Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+            let content = self.content[(r % self.content.rows(), c)];
+            0.85 * x[(r, c)] + 0.25 * (net[(r, c)] - col_mean[c]) - 0.35 * content
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelKind};
+    use exion_tensor::rng::seeded_uniform;
+    use exion_tensor::stats;
+
+    fn tiny(kind: ModelKind) -> ModelConfig {
+        ModelConfig::for_kind(kind).shrunk(2, 4)
+    }
+
+    #[test]
+    fn resblock_is_residual() {
+        let rb = ResBlock::random(8, 1);
+        let x = seeded_uniform(6, 8, -1.0, 1.0, 2);
+        let y = rb.forward(&x);
+        assert_eq!(y.shape(), x.shape());
+        assert!(stats::cosine_similarity(x.as_slice(), y.as_slice()) > 0.3);
+    }
+
+    #[test]
+    fn down_up_round_trip_shapes() {
+        let x = seeded_uniform(8, 4, -1.0, 1.0, 3);
+        let d = downsample(&x);
+        assert_eq!(d.shape(), (4, 4));
+        let u = upsample(&d, 8);
+        assert_eq!(u.shape(), (8, 4));
+        // Odd token count passes the tail through.
+        let odd = seeded_uniform(5, 4, -1.0, 1.0, 4);
+        assert_eq!(downsample(&odd).shape(), (3, 4));
+    }
+
+    #[test]
+    fn downsample_averages_pairs() {
+        let x = Matrix::from_vec(2, 1, vec![1.0, 3.0]);
+        assert_eq!(downsample(&x).as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn all_topologies_predict_noise_of_input_shape() {
+        for kind in [ModelKind::Mld, ModelKind::StableDiffusion, ModelKind::Dit] {
+            let config = tiny(kind);
+            let mut net = DiffusionNetwork::new(&config, ExecPolicy::vanilla(), 5);
+            let x = seeded_uniform(config.sim.tokens, config.sim.d_model, -1.0, 1.0, 6);
+            let y = net.predict_noise(&x, 10);
+            assert_eq!(y.shape(), x.shape(), "{}", config.kind.name());
+            let records = net.take_records();
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].blocks.len(), config.sim.blocks);
+        }
+    }
+
+    #[test]
+    fn unet_res_records_resblock_ops() {
+        let config = tiny(ModelKind::StableDiffusion);
+        let mut net = DiffusionNetwork::new(&config, ExecPolicy::vanilla(), 7);
+        let x = seeded_uniform(config.sim.tokens, config.sim.d_model, -1.0, 1.0, 8);
+        let _ = net.predict_noise(&x, 5);
+        let records = net.take_records();
+        assert!(records[0].resblock_ops.dense > 0);
+        assert_eq!(
+            records[0].resblock_ops.performed,
+            records[0].resblock_ops.dense,
+            "ResBlocks are never optimized"
+        );
+    }
+
+    #[test]
+    fn dit_records_no_resblock_ops() {
+        let config = tiny(ModelKind::Dit);
+        let mut net = DiffusionNetwork::new(&config, ExecPolicy::vanilla(), 9);
+        let x = seeded_uniform(config.sim.tokens, config.sim.d_model, -1.0, 1.0, 10);
+        let _ = net.predict_noise(&x, 5);
+        assert_eq!(net.take_records()[0].resblock_ops.dense, 0);
+    }
+
+    #[test]
+    fn timestep_changes_prediction() {
+        let config = tiny(ModelKind::Dit);
+        let mut net = DiffusionNetwork::new(&config, ExecPolicy::vanilla(), 11);
+        let x = seeded_uniform(config.sim.tokens, config.sim.d_model, -1.0, 1.0, 12);
+        let y1 = net.predict_noise(&x, 10);
+        let y2 = net.predict_noise(&x, 900);
+        assert_ne!(y1, y2);
+    }
+
+    #[test]
+    fn conditioning_changes_prediction() {
+        let config = tiny(ModelKind::Mld);
+        let mut net = DiffusionNetwork::new(&config, ExecPolicy::vanilla(), 13);
+        let x = seeded_uniform(config.sim.tokens, config.sim.d_model, -1.0, 1.0, 14);
+        let y1 = net.predict_noise(&x, 10);
+        net.set_condition(vec![1.0; config.sim.d_model]);
+        let y2 = net.predict_noise(&x, 10);
+        assert_ne!(y1, y2);
+    }
+
+    #[test]
+    fn time_embedding_is_bounded_and_varies() {
+        let e1 = DiffusionNetwork::time_embedding(5, 16);
+        let e2 = DiffusionNetwork::time_embedding(500, 16);
+        assert_ne!(e1, e2);
+        assert!(e1.iter().all(|v| v.abs() <= 1.0));
+    }
+}

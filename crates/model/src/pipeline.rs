@@ -1,0 +1,408 @@
+//! End-to-end generation pipeline with instrumentation.
+//!
+//! [`GenerationPipeline`] wires a benchmark config's network into the DDIM
+//! reverse process and collects a [`RunReport`] — the raw material of every
+//! accuracy and sparsity experiment (Table I, Figs. 6, 7, 8, 9, 15, 17).
+
+use exion_core::ep::EpConfig;
+use exion_core::ffn_reuse::{FfnReuseConfig, IterationKind};
+use exion_core::{Bitmask2D, OpCounts};
+use exion_tensor::Matrix;
+
+use crate::conditioning::ConditioningEncoder;
+use crate::config::ModelConfig;
+use crate::network::{DiffusionNetwork, IterationRecord};
+use crate::sampler::DdimSampler;
+use crate::schedule::DiffusionSchedule;
+use crate::transformer::ExecPolicy;
+
+/// The paper's ablation rows (Table I, Fig. 18's `_Base/_EP/_FFNR/_All`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ablation {
+    /// Dense baseline.
+    Vanilla,
+    /// FFN-Reuse only.
+    FfnReuse,
+    /// Eager prediction only.
+    Ep,
+    /// FFN-Reuse + eager prediction.
+    FfnReuseEp,
+    /// FFN-Reuse + EP + INT12 PTQ.
+    FfnReuseEpQuant,
+}
+
+impl Ablation {
+    /// Builds the execution policy for a benchmark using its Table-I/Fig.-6
+    /// per-model settings.
+    pub fn policy(&self, config: &ModelConfig) -> ExecPolicy {
+        let reuse = FfnReuseConfig::with_target_sparsity(
+            config.ffn_reuse.target_sparsity,
+            config.ffn_reuse.sparse_iters,
+        );
+        let ep = EpConfig::new(config.ep.q_th, config.ep.top_k_ratio);
+        match self {
+            Ablation::Vanilla => ExecPolicy::vanilla(),
+            Ablation::FfnReuse => ExecPolicy::vanilla().with_ffn_reuse(reuse),
+            Ablation::Ep => ExecPolicy::vanilla().with_ep(ep),
+            Ablation::FfnReuseEp => ExecPolicy::vanilla().with_ffn_reuse(reuse).with_ep(ep),
+            Ablation::FfnReuseEpQuant => ExecPolicy::vanilla()
+                .with_ffn_reuse(reuse)
+                .with_ep(ep)
+                .with_quant(),
+        }
+    }
+
+    /// Display name matching the paper's table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ablation::Vanilla => "Vanilla",
+            Ablation::FfnReuse => "FFN-Reuse",
+            Ablation::Ep => "EP",
+            Ablation::FfnReuseEp => "FFN-Reuse+EP",
+            Ablation::FfnReuseEpQuant => "FFN-Reuse+EP+Quant",
+        }
+    }
+}
+
+/// Everything measured during one generation.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-iteration, per-block instrumentation.
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl RunReport {
+    /// Total MACs performed vs dense across the whole run.
+    pub fn total_ops(&self) -> OpCounts {
+        self.iterations
+            .iter()
+            .fold(OpCounts::default(), |acc, it| acc.merge(&it.total_ops()))
+    }
+
+    /// FFN MACs performed vs dense across the whole run (Fig. 6's
+    /// "# of Ops" reduction).
+    pub fn ffn_ops(&self) -> OpCounts {
+        self.iterations
+            .iter()
+            .flat_map(|it| &it.blocks)
+            .fold(OpCounts::default(), |acc, b| acc.merge(&b.ffn_ops))
+    }
+
+    /// Mean first-FFN-layer output sparsity over sparse iterations
+    /// (Fig. 6's "Sparsity" column).
+    pub fn mean_inter_iteration_sparsity(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for b in self.iterations.iter().flat_map(|it| &it.blocks) {
+            if let Some(f) = &b.ffn {
+                if f.kind == IterationKind::Sparse {
+                    sum += f.output_sparsity;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Mean intra-iteration (attention score) sparsity (Table I's EP row).
+    pub fn mean_intra_iteration_sparsity(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for b in self.iterations.iter().flat_map(|it| &it.blocks) {
+            if let Some(s) = &b.ep_stats {
+                sum += s.score_sparsity;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Mean Q-projection / KV-projection skip fractions (paper: 26% / 22%).
+    pub fn mean_projection_skips(&self) -> (f64, f64) {
+        let mut q = 0.0;
+        let mut kv = 0.0;
+        let mut count = 0usize;
+        for b in self.iterations.iter().flat_map(|it| &it.blocks) {
+            if let Some(s) = &b.ep_stats {
+                q += s.q_skip_fraction;
+                kv += s.kv_skip_fraction;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (q / count as f64, kv / count as f64)
+        }
+    }
+
+    /// All captured first-FFN-layer bitmasks (sparse iterations).
+    pub fn ffn_masks(&self) -> Vec<&Bitmask2D> {
+        self.iterations
+            .iter()
+            .flat_map(|it| &it.blocks)
+            .filter_map(|b| b.ffn_mask.as_ref())
+            .collect()
+    }
+
+    /// All captured attention keep-bitmasks.
+    pub fn attention_masks(&self) -> Vec<&Bitmask2D> {
+        self.iterations
+            .iter()
+            .flat_map(|it| &it.blocks)
+            .flat_map(|b| &b.attention_masks)
+            .collect()
+    }
+
+    /// Activation snapshots of transformer block `block_idx`, one per
+    /// iteration (vanilla runs with hidden capture).
+    pub fn hidden_snapshots(&self, block_idx: usize) -> Vec<&Matrix> {
+        self.iterations
+            .iter()
+            .filter_map(|it| it.blocks.get(block_idx).and_then(|b| b.hidden.as_ref()))
+            .collect()
+    }
+}
+
+/// A benchmark generation pipeline: conditioning → DDIM loop → output.
+#[derive(Debug, Clone)]
+pub struct GenerationPipeline {
+    config: ModelConfig,
+    network: DiffusionNetwork,
+    sampler: DdimSampler,
+    encoder: ConditioningEncoder,
+}
+
+impl GenerationPipeline {
+    /// Training-process length the DDIM trajectory is subsampled from.
+    const TRAIN_STEPS: usize = 1000;
+
+    /// Builds a pipeline for a benchmark under an execution policy. `seed`
+    /// fixes the network weights.
+    pub fn new(config: &ModelConfig, policy: ExecPolicy, seed: u64) -> Self {
+        let network = DiffusionNetwork::new(config, policy, seed);
+        let sampler = DdimSampler::new(
+            DiffusionSchedule::linear(Self::TRAIN_STEPS),
+            config.iterations,
+        );
+        let encoder = ConditioningEncoder::new(
+            config.sim.cond_tokens.max(1),
+            config.sim.d_model,
+        );
+        Self {
+            config: *config,
+            network,
+            sampler,
+            encoder,
+        }
+    }
+
+    /// The benchmark configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Runs one full generation for `prompt`, returning the output and the
+    /// instrumentation report.
+    pub fn generate(&mut self, prompt: &str, noise_seed: u64) -> (Matrix, RunReport) {
+        self.network.reset();
+        if self.config.sim.cond_tokens > 0 {
+            self.network
+                .set_condition(self.encoder.encode_pooled(prompt));
+        }
+        let shape = (self.config.sim.tokens, self.config.sim.d_model);
+        let out = self
+            .sampler
+            .sample(&mut self.network, shape, noise_seed);
+        let report = RunReport {
+            iterations: self.network.take_records(),
+        };
+        (out, report)
+    }
+
+    /// Runs one generation with classifier-free guidance: each denoising
+    /// step evaluates the network twice (unconditional and conditional) and
+    /// extrapolates `ε = ε_u + w·(ε_c − ε_u)` — the standard inference recipe
+    /// of the text-conditioned benchmarks, doubling per-iteration compute.
+    ///
+    /// `guidance_scale = 1.0` reduces exactly to conditional sampling.
+    pub fn generate_guided(
+        &mut self,
+        prompt: &str,
+        guidance_scale: f32,
+        noise_seed: u64,
+    ) -> (Matrix, RunReport) {
+        use crate::sampler::NoisePredictor as _;
+        use exion_tensor::ops;
+
+        self.network.reset();
+        let cond = self.encoder.encode_pooled(prompt);
+        let uncond = vec![0.0; self.config.sim.d_model];
+        let shape = (self.config.sim.tokens, self.config.sim.d_model);
+        let network = &mut self.network;
+        let mut predictor = |x: &Matrix, t: usize| -> Matrix {
+            network.set_condition(uncond.clone());
+            let e_u = network.predict_noise(x, t);
+            network.set_condition(cond.clone());
+            let e_c = network.predict_noise(x, t);
+            ops::add(&e_u, &ops::scale(&ops::sub(&e_c, &e_u), guidance_scale))
+        };
+        let out = self.sampler.sample(&mut predictor, shape, noise_seed);
+        let report = RunReport {
+            iterations: self.network.take_records(),
+        };
+        (out, report)
+    }
+
+    /// Runs `count` generations with different noise seeds, returning the
+    /// flattened outputs as rows (for distribution metrics like proxy-FID).
+    pub fn generate_batch(&mut self, prompt: &str, count: usize, seed0: u64) -> Matrix {
+        let width = self.config.sim.tokens * self.config.sim.d_model;
+        let mut batch = Matrix::zeros(count, width);
+        for i in 0..count {
+            let (out, _) = self.generate(prompt, seed0.wrapping_add(i as u64));
+            batch.row_mut(i).copy_from_slice(out.as_slice());
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelKind;
+    use exion_tensor::stats;
+
+    fn tiny(kind: ModelKind) -> ModelConfig {
+        ModelConfig::for_kind(kind).shrunk(2, 5)
+    }
+
+    #[test]
+    fn vanilla_generation_is_deterministic() {
+        let config = tiny(ModelKind::Mld);
+        let mut p1 = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 1);
+        let mut p2 = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 1);
+        let (a, ra) = p1.generate("walk forward", 7);
+        let (b, _) = p2.generate("walk forward", 7);
+        assert_eq!(a, b);
+        assert_eq!(ra.iterations.len(), config.iterations);
+    }
+
+    #[test]
+    fn ffn_reuse_schedule_appears_in_report() {
+        let config = tiny(ModelKind::Mld);
+        let policy = Ablation::FfnReuse.policy(&config);
+        let mut p = GenerationPipeline::new(&config, policy, 2);
+        let (_, report) = p.generate("jump", 3);
+        let n = config.ffn_reuse.sparse_iters;
+        let dense_count = report
+            .iterations
+            .iter()
+            .flat_map(|it| &it.blocks)
+            .filter(|b| matches!(b.ffn.map(|f| f.kind), Some(IterationKind::Dense)))
+            .count();
+        let expected_dense = config.iterations.div_ceil(n + 1) * config.sim.blocks;
+        assert_eq!(dense_count, expected_dense);
+        assert!(report.ffn_ops().reduction() > 0.3);
+        assert!(report.mean_inter_iteration_sparsity() > 0.8);
+    }
+
+    #[test]
+    fn ffn_reuse_output_close_to_vanilla() {
+        let config = tiny(ModelKind::Mld);
+        let mut vanilla = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 4);
+        let mut reuse = GenerationPipeline::new(&config, Ablation::FfnReuse.policy(&config), 4);
+        let (a, _) = vanilla.generate("spin", 5);
+        let (b, _) = reuse.generate("spin", 5);
+        let psnr = stats::psnr(&a, &b);
+        assert!(psnr > 15.0, "PSNR vs vanilla {psnr:.1} dB");
+    }
+
+    #[test]
+    fn ep_stats_collected() {
+        let config = tiny(ModelKind::Mld);
+        let mut p = GenerationPipeline::new(&config, Ablation::Ep.policy(&config), 6);
+        let (_, report) = p.generate("wave", 7);
+        let intra = report.mean_intra_iteration_sparsity();
+        // MLD's top-k keeps 70% ⇒ ~30% sparsity (plus one-hot rows).
+        assert!(intra >= 0.25, "intra sparsity {intra}");
+        let (q_skip, kv_skip) = report.mean_projection_skips();
+        assert!((0.0..=1.0).contains(&q_skip));
+        assert!((0.0..=1.0).contains(&kv_skip));
+    }
+
+    #[test]
+    fn mask_capture_produces_masks() {
+        let config = tiny(ModelKind::Mld);
+        let policy = Ablation::FfnReuseEp.policy(&config).with_mask_capture();
+        let mut p = GenerationPipeline::new(&config, policy, 8);
+        let (_, report) = p.generate("run", 9);
+        assert!(!report.ffn_masks().is_empty());
+        assert!(!report.attention_masks().is_empty());
+    }
+
+    #[test]
+    fn hidden_capture_gives_one_snapshot_per_iteration() {
+        let config = tiny(ModelKind::Dit);
+        let policy = ExecPolicy::vanilla().with_hidden_capture();
+        let mut p = GenerationPipeline::new(&config, policy, 10);
+        let (_, report) = p.generate("class 207", 11);
+        assert_eq!(report.hidden_snapshots(0).len(), config.iterations);
+    }
+
+    #[test]
+    fn batch_generation_shapes() {
+        let config = tiny(ModelKind::Mld);
+        let mut p = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 12);
+        let batch = p.generate_batch("hop", 3, 100);
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.cols(), config.sim.tokens * config.sim.d_model);
+        assert_ne!(batch.row(0), batch.row(1));
+    }
+
+    #[test]
+    fn guidance_scale_one_equals_conditional_sampling() {
+        let config = tiny(ModelKind::Mld);
+        let mut a = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 20);
+        let mut b = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 20);
+        let (plain, _) = a.generate("leap", 21);
+        let (guided, report) = b.generate_guided("leap", 1.0, 21);
+        // ε_u + 1·(ε_c − ε_u) = ε_c exactly.
+        assert!(stats::relative_error(&plain, &guided) < 1e-5);
+        // CFG evaluates the network twice per iteration.
+        assert_eq!(report.iterations.len(), 2 * config.iterations);
+    }
+
+    #[test]
+    fn guidance_strengthens_conditioning() {
+        let config = tiny(ModelKind::Mld);
+        let mut p = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 22);
+        let (g1, _) = p.generate_guided("leap", 1.0, 23);
+        let (g5, _) = p.generate_guided("leap", 5.0, 23);
+        assert_ne!(g1, g5, "guidance scale changes the output");
+    }
+
+    #[test]
+    fn quant_ablation_stays_close_to_vanilla() {
+        let config = tiny(ModelKind::Mld);
+        let mut vanilla = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 13);
+        let mut quant = GenerationPipeline::new(
+            &config,
+            Ablation::FfnReuseEpQuant.policy(&config),
+            13,
+        );
+        let (a, _) = vanilla.generate("turn", 14);
+        let (b, _) = quant.generate("turn", 14);
+        // All three approximations stacked still track the vanilla output.
+        let psnr = stats::psnr(&a, &b);
+        assert!(psnr > 8.0, "PSNR {psnr:.1} dB");
+    }
+}

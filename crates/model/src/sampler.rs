@@ -1,0 +1,269 @@
+//! Reverse-denoising samplers (the inference loop of paper Fig. 2).
+//!
+//! The samplers drive a [`NoisePredictor`] (the diffusion network) from pure
+//! noise back to data. The slowly-changing input across adjacent timesteps is
+//! what creates the inter-iteration redundancy FFN-Reuse exploits, so the
+//! loop here is a real DDIM/DDPM process, not a stub.
+
+use exion_tensor::rng::seeded_normal;
+use exion_tensor::{ops, Matrix};
+
+use crate::schedule::DiffusionSchedule;
+
+/// A denoising network: predicts the noise content of `x_t` at timestep `t`.
+pub trait NoisePredictor {
+    /// Predicts ε for the given noisy input (`tokens × d_model`).
+    fn predict_noise(&mut self, x: &Matrix, t: usize) -> Matrix;
+}
+
+impl<F> NoisePredictor for F
+where
+    F: FnMut(&Matrix, usize) -> Matrix,
+{
+    fn predict_noise(&mut self, x: &Matrix, t: usize) -> Matrix {
+        self(x, t)
+    }
+}
+
+/// Deterministic DDIM sampler over a sub-sampled timestep trajectory.
+#[derive(Debug, Clone)]
+pub struct DdimSampler {
+    schedule: DiffusionSchedule,
+    timesteps: Vec<usize>,
+}
+
+impl DdimSampler {
+    /// Creates a sampler taking `inference_steps` evenly spaced steps through
+    /// `schedule` (descending timestep order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inference_steps` is 0 or exceeds the schedule length.
+    pub fn new(schedule: DiffusionSchedule, inference_steps: usize) -> Self {
+        assert!(
+            inference_steps > 0 && inference_steps <= schedule.steps(),
+            "inference steps {inference_steps} invalid for schedule of {}",
+            schedule.steps()
+        );
+        let total = schedule.steps();
+        let stride = total as f64 / inference_steps as f64;
+        let mut timesteps: Vec<usize> = (0..inference_steps)
+            .map(|i| ((i as f64 + 0.5) * stride) as usize)
+            .map(|t| t.min(total - 1))
+            .collect();
+        timesteps.sort_unstable();
+        timesteps.dedup();
+        timesteps.reverse();
+        Self {
+            schedule,
+            timesteps,
+        }
+    }
+
+    /// The descending timestep trajectory.
+    pub fn timesteps(&self) -> &[usize] {
+        &self.timesteps
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &DiffusionSchedule {
+        &self.schedule
+    }
+
+    /// Runs the full reverse process from seeded Gaussian noise, invoking
+    /// `observer` after every denoising iteration with
+    /// `(iteration index, timestep, current x)`.
+    pub fn sample_with_observer(
+        &self,
+        predictor: &mut dyn NoisePredictor,
+        shape: (usize, usize),
+        seed: u64,
+        mut observer: impl FnMut(usize, usize, &Matrix),
+    ) -> Matrix {
+        let mut x = seeded_normal(shape.0, shape.1, 1.0, seed);
+        for (i, &t) in self.timesteps.iter().enumerate() {
+            let eps = predictor.predict_noise(&x, t);
+            x = self.step(&x, &eps, i);
+            observer(i, t, &x);
+        }
+        x
+    }
+
+    /// Runs the full reverse process from seeded Gaussian noise.
+    pub fn sample(
+        &self,
+        predictor: &mut dyn NoisePredictor,
+        shape: (usize, usize),
+        seed: u64,
+    ) -> Matrix {
+        self.sample_with_observer(predictor, shape, seed, |_, _, _| {})
+    }
+
+    /// One deterministic DDIM update from trajectory position `i`
+    /// (timestep `timesteps[i]`) to position `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or shapes mismatch.
+    pub fn step(&self, x: &Matrix, eps: &Matrix, i: usize) -> Matrix {
+        assert!(i < self.timesteps.len(), "trajectory index out of range");
+        assert_eq!(x.shape(), eps.shape(), "noise shape mismatch");
+        let t = self.timesteps[i];
+        let abar_t = self.schedule.alpha_bar(t);
+        let abar_prev = if i + 1 < self.timesteps.len() {
+            self.schedule.alpha_bar(self.timesteps[i + 1])
+        } else {
+            1.0
+        };
+        // x0 = (x_t − √(1−ᾱ_t)·ε) / √ᾱ_t, clamped against the √ᾱ→0 blowup.
+        let sqrt_abar = abar_t.sqrt().max(1e-4);
+        let x0 = x.zip_map(eps, |xv, ev| (xv - (1.0 - abar_t).sqrt() * ev) / sqrt_abar);
+        // x_{t-1} = √ᾱ_prev · x0 + √(1−ᾱ_prev) · ε
+        ops::add(
+            &ops::scale(&x0, abar_prev.sqrt()),
+            &ops::scale(eps, (1.0 - abar_prev).sqrt()),
+        )
+    }
+}
+
+/// Stochastic ancestral DDPM sampler (used by the MDM-style benchmarks).
+#[derive(Debug, Clone)]
+pub struct DdpmSampler {
+    schedule: DiffusionSchedule,
+}
+
+impl DdpmSampler {
+    /// Creates a sampler over every timestep of `schedule`.
+    pub fn new(schedule: DiffusionSchedule) -> Self {
+        Self { schedule }
+    }
+
+    /// Runs the full reverse process from seeded Gaussian noise.
+    pub fn sample(
+        &self,
+        predictor: &mut dyn NoisePredictor,
+        shape: (usize, usize),
+        seed: u64,
+    ) -> Matrix {
+        let mut x = seeded_normal(shape.0, shape.1, 1.0, seed);
+        for t in (0..self.schedule.steps()).rev() {
+            let eps = predictor.predict_noise(&x, t);
+            x = self.step(&x, &eps, t, seed.wrapping_add(t as u64 + 1));
+        }
+        x
+    }
+
+    /// One ancestral update at timestep `t` with seeded noise injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or `t` is out of range.
+    pub fn step(&self, x: &Matrix, eps: &Matrix, t: usize, noise_seed: u64) -> Matrix {
+        assert_eq!(x.shape(), eps.shape(), "noise shape mismatch");
+        let beta = self.schedule.beta(t);
+        let alpha = self.schedule.alpha(t);
+        let abar = self.schedule.alpha_bar(t);
+        let coeff = beta / (1.0 - abar).sqrt().max(1e-6);
+        let mean = x.zip_map(eps, |xv, ev| (xv - coeff * ev) / alpha.sqrt());
+        if t == 0 {
+            return mean;
+        }
+        let noise = seeded_normal(x.rows(), x.cols(), 1.0, noise_seed);
+        ops::add(&mean, &ops::scale(&noise, beta.sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A predictor that always answers "the input is pure noise".
+    fn identity_predictor() -> impl FnMut(&Matrix, usize) -> Matrix {
+        |x: &Matrix, _t: usize| x.clone()
+    }
+
+    #[test]
+    fn ddim_trajectory_is_descending_and_correct_length() {
+        let s = DdimSampler::new(DiffusionSchedule::linear(1000), 50);
+        assert_eq!(s.timesteps().len(), 50);
+        for w in s.timesteps().windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn ddim_sampling_is_deterministic() {
+        let sampler = DdimSampler::new(DiffusionSchedule::linear(100), 10);
+        let mut p1 = identity_predictor();
+        let mut p2 = identity_predictor();
+        let a = sampler.sample(&mut p1, (4, 8), 7);
+        let b = sampler.sample(&mut p2, (4, 8), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_predictor_recovers_x0_exactly() {
+        // The defining DDIM property: a predictor that reports the true noise
+        // content relative to a target x0 makes the sampler converge to x0.
+        let schedule = DiffusionSchedule::linear(1000);
+        let sampler = DdimSampler::new(schedule.clone(), 50);
+        let x0 = exion_tensor::rng::seeded_uniform(4, 8, -1.0, 1.0, 11);
+        let mut oracle = |x: &Matrix, t: usize| -> Matrix {
+            let abar = schedule.alpha_bar(t);
+            x.zip_map(&x0, |xt, x0v| (xt - abar.sqrt() * x0v) / (1.0 - abar).sqrt())
+        };
+        let out = sampler.sample(&mut oracle, (4, 8), 5);
+        let err = exion_tensor::stats::relative_error(&x0, &out);
+        assert!(err < 0.01, "relative error {err}");
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let sampler = DdimSampler::new(DiffusionSchedule::linear(100), 10);
+        let mut seen = Vec::new();
+        let mut p = identity_predictor();
+        let _ = sampler.sample_with_observer(&mut p, (2, 4), 1, |i, t, _| seen.push((i, t)));
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[0].0, 0);
+        assert!(seen[0].1 > seen[9].1);
+    }
+
+    #[test]
+    fn adjacent_iterations_change_slowly() {
+        // The foundational FFN-Reuse property: successive x_t are similar.
+        let sampler = DdimSampler::new(DiffusionSchedule::linear(1000), 50);
+        let mut prev: Option<Matrix> = None;
+        let mut min_cos = 1.0f64;
+        let mut p = identity_predictor();
+        let _ = sampler.sample_with_observer(&mut p, (8, 16), 5, |i, _, x| {
+            if let Some(ref pv) = prev {
+                if i > 2 {
+                    let cos = exion_tensor::stats::cosine_similarity(
+                        pv.as_slice(),
+                        x.as_slice(),
+                    );
+                    min_cos = min_cos.min(cos);
+                }
+            }
+            prev = Some(x.clone());
+        });
+        assert!(min_cos > 0.95, "min adjacent cosine {min_cos}");
+    }
+
+    #[test]
+    fn ddpm_is_deterministic_given_seed() {
+        let sampler = DdpmSampler::new(DiffusionSchedule::linear(50));
+        let mut p1 = identity_predictor();
+        let mut p2 = identity_predictor();
+        assert_eq!(
+            sampler.sample(&mut p1, (2, 4), 9),
+            sampler.sample(&mut p2, (2, 4), 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inference steps")]
+    fn ddim_rejects_oversampled_trajectory() {
+        let _ = DdimSampler::new(DiffusionSchedule::linear(10), 20);
+    }
+}

@@ -1,0 +1,83 @@
+//! The ConMerge assistant unit's cycle model (paper Section IV-C,
+//! Figs. 12–14).
+//!
+//! The CAU classifies column bitmasks, sorts them coarsely in the SortBuffer,
+//! and generates ConMerge vectors in the CVG. Its exact cycle behaviour is
+//! implemented in `exion_core::conmerge::cvg` (shared with the algorithmic
+//! experiments); this module wraps it for the DSC timeline and adds the
+//! analytic estimate used when only sparsity summaries are available.
+
+use exion_core::conmerge::cvg::CvgResult;
+
+/// CAU cycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CauModel {
+    /// Array width (block width in columns).
+    pub width: usize,
+}
+
+impl CauModel {
+    /// Creates a model for `width`-column blocks.
+    pub fn new(width: usize) -> Self {
+        Self { width }
+    }
+
+    /// Exact cycles of a measured CVG run.
+    pub fn measured_cycles(result: &CvgResult) -> u64 {
+        result.cycles
+    }
+
+    /// Analytic estimate of CVG cycles for one row-tile with `cols` columns
+    /// of which `surviving_frac` survive condensing: classification (1/col) +
+    /// block reads + ~2 successful merge attempts per output block with a
+    /// handful of conflict resolutions each (sorted merging keeps failures
+    /// rare, Fig. 12).
+    pub fn estimate_cycles(&self, cols: u64, surviving_frac: f64) -> u64 {
+        let surviving = (cols as f64 * surviving_frac.clamp(0.0, 1.0)).ceil();
+        let blocks = (surviving / self.width as f64).ceil();
+        let merges = blocks; // ~2 merges per emitted block ≈ 1 per input block
+        let resolution = 6.0; // map + DOF + ~4 relocations per attempt
+        cols + blocks as u64 + (merges * resolution) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exion_core::conmerge::{ColumnEntry, VectorGenerator};
+
+    #[test]
+    fn estimate_scales_with_columns() {
+        let m = CauModel::new(16);
+        assert!(m.estimate_cycles(4096, 0.4) > m.estimate_cycles(1024, 0.4));
+        assert!(m.estimate_cycles(1024, 0.8) > m.estimate_cycles(1024, 0.2));
+    }
+
+    #[test]
+    fn estimate_tracks_measured_within_factor() {
+        // The analytic estimate should be the same order of magnitude as a
+        // real CVG run on a random sparse tile.
+        let cols = 512usize;
+        let entries: Vec<ColumnEntry> = (0..cols)
+            .map(|origin| ColumnEntry {
+                origin,
+                mask: if origin % 3 == 0 {
+                    1u64 << (origin % 16)
+                } else {
+                    0
+                },
+            })
+            .collect();
+        let result = VectorGenerator::new(16, 16, true).generate(entries);
+        let measured = CauModel::measured_cycles(&result);
+        let estimate = CauModel::new(16).estimate_cycles(cols as u64, 1.0 / 3.0);
+        let ratio = measured as f64 / estimate as f64;
+        assert!((0.2..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_survivors_cost_classification_only() {
+        let m = CauModel::new(16);
+        assert_eq!(m.estimate_cycles(100, 0.0), 100);
+    }
+}

@@ -1,0 +1,99 @@
+//! The eager-prediction engine's cycle model (paper Section IV-D, Fig. 15).
+//!
+//! The EPRE is an LD_DPU array of the same geometry as the SDUE, running
+//! log-domain MACs (TS-LOD shift/OR/add pipelines). Its job per transformer
+//! block: predict the Q and K projections in the log domain, then predict the
+//! per-head attention scores. "During the process, EPRE's latency is mostly
+//! hidden by SDUE and CFSE execution due to pipelining schemes" — the DSC
+//! timeline overlaps it accordingly.
+
+use crate::config::DscGeometry;
+
+/// EPRE cycle model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpreModel {
+    geometry: DscGeometry,
+}
+
+impl EpreModel {
+    /// Creates a model with the given LD_DPU array geometry.
+    pub fn new(geometry: DscGeometry) -> Self {
+        Self { geometry }
+    }
+
+    /// Cycles of a log-domain MMUL `m × k × n` on the LD_DPU array.
+    pub fn mmul_cycles(&self, m: u64, k: u64, n: u64) -> u64 {
+        let row_tiles = m.div_ceil(self.geometry.array_rows as u64);
+        let col_blocks = n.div_ceil(self.geometry.array_cols as u64);
+        let k_steps = k.div_ceil(self.geometry.lane_length as u64).max(1);
+        row_tiles * col_blocks * (k_steps + 1)
+    }
+
+    /// Cycles to predict one transformer block's attention: log-domain Q and
+    /// K projections plus per-head predicted scores, plus the top-k /
+    /// dominance scan of each score row (1 cycle per row-tile pass).
+    pub fn attention_predict_cycles(&self, tokens: u64, d_model: u64, heads: u64) -> u64 {
+        let proj = 2 * self.mmul_cycles(tokens, d_model, d_model);
+        let d_head = (d_model / heads).max(1);
+        let scores = heads * self.mmul_cycles(tokens, d_head, tokens);
+        let scan = heads * tokens.div_ceil(self.geometry.array_rows as u64);
+        proj + scores + scan
+    }
+
+    /// Log-domain MAC count of one block prediction (for energy activity).
+    pub fn attention_predict_macs(&self, tokens: u64, d_model: u64, heads: u64) -> u64 {
+        let d_head = (d_model / heads).max(1);
+        2 * tokens * d_model * d_model + heads * tokens * tokens * d_head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EpreModel {
+        EpreModel::new(DscGeometry::exion())
+    }
+
+    #[test]
+    fn mmul_cycles_match_array_shape() {
+        let m = model();
+        // 16×16×16 is one tile, one block, one k-step (+1 pipeline).
+        assert_eq!(m.mmul_cycles(16, 16, 16), 2);
+        // Four times the rows → four times the cycles.
+        assert_eq!(m.mmul_cycles(64, 16, 16), 8);
+    }
+
+    #[test]
+    fn prediction_cycles_scale_with_tokens() {
+        let m = model();
+        let small = m.attention_predict_cycles(64, 64, 4);
+        let large = m.attention_predict_cycles(256, 64, 4);
+        assert!(large > 3 * small);
+    }
+
+    #[test]
+    fn prediction_is_cheaper_than_block_compute() {
+        // EPRE (12-bit log-domain) work per block should be a fraction of the
+        // SDUE's real-domain work, or hiding it would be impossible.
+        let m = model();
+        let sdue = crate::sdue::SdueModel::new(DscGeometry::exion());
+        let tokens = 256u64;
+        let d = 1024u64;
+        let epre_cycles = m.attention_predict_cycles(tokens, d, 16);
+        // SDUE per block: QKV+O projections and FFN at d_ff = 4d.
+        let proj = sdue.mmul_cycles(tokens, d, 4.0 * (d as f64 / 16.0));
+        let ffn = sdue.mmul_cycles(tokens, d, 4.0 * d as f64 / 16.0)
+            + sdue.mmul_cycles(tokens, 4 * d, d as f64 / 16.0);
+        assert!(
+            epre_cycles < proj + ffn,
+            "EPRE {epre_cycles} vs SDUE {}",
+            proj + ffn
+        );
+    }
+
+    #[test]
+    fn mac_count_positive() {
+        assert!(model().attention_predict_macs(64, 64, 4) > 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # exion-sim
+//!
+//! Cycle-level simulator of the EXION hardware architecture (paper Section
+//! IV, Figs. 10–11, Table III).
+//!
+//! The simulator follows the paper's own methodology: a custom cycle-level
+//! model integrated with a DRAM simulator ([`exion_dram`]), with power and
+//! area taken from the synthesized design's Table III breakdown. It consumes
+//! *workload descriptors* — layer shapes plus the sparsity/compaction
+//! summaries produced by `exion-core`/`exion-model` — and produces latency,
+//! energy, and utilization reports. Functional correctness of the datapaths
+//! is established separately: [`sdue`] executes ConMerge merged blocks
+//! bit-faithfully through the cv_sw/i_sw/w_sw switch semantics and is tested
+//! against dense MMUL.
+//!
+//! Components:
+//!
+//! * [`config`] — hardware configurations (EXION4 / EXION24 / EXION42 of
+//!   Table II, plus a single-DSC instance and the paper's toy model),
+//! * [`sdue`] — the sparse-dense unified engine: 16×16 dot-product units with
+//!   conflict-vector, input, and weight switches,
+//! * [`epre`] — the eager-prediction engine's cycle/energy model,
+//! * [`cfse`] — the configurable SIMD engine for softmax/LayerNorm/GELU,
+//! * [`cau`] — the ConMerge assistant unit (classifier + SortBuffer + CVG),
+//! * [`sram`] — banked on-chip memories with double/triple buffering,
+//! * [`energy`] — the Table-III power/area model with clock gating,
+//! * [`workload`] — descriptor builder from benchmark configs and sparsity
+//!   profiles,
+//! * [`dsc`] — the diffusion-sparsity-aware core timeline (engine overlap,
+//!   DMA double-buffering),
+//! * [`perf`] — end-to-end model simulation entry points.
+
+pub mod cau;
+pub mod cfse;
+pub mod config;
+pub mod dsc;
+pub mod energy;
+pub mod epre;
+pub mod isa;
+pub mod perf;
+pub mod sdue;
+pub mod sram;
+pub mod workload;
+
+pub use config::HwConfig;
+pub use perf::{simulate_model, PerfReport};
+pub use workload::SparsityProfile;

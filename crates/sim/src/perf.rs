@@ -1,0 +1,257 @@
+//! End-to-end model simulation (the entry point of Figs. 18–19).
+
+use exion_model::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::config::HwConfig;
+use crate::dsc::{DscReport, DscSimulator};
+use crate::energy::Engine;
+use crate::workload::{build_iteration, IterationKindFlags, SparsityProfile};
+
+/// The ablation axes of Fig. 18 (`EXIONx_Base` / `_EP` / `_FFNR` / `_All`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimAblation {
+    /// No sparsity optimizations.
+    Base,
+    /// Eager prediction only.
+    Ep,
+    /// FFN-Reuse only.
+    Ffnr,
+    /// Both.
+    All,
+}
+
+impl SimAblation {
+    /// All ablations in the paper's plotting order.
+    pub const ALL: [SimAblation; 4] =
+        [SimAblation::Base, SimAblation::Ep, SimAblation::Ffnr, SimAblation::All];
+
+    /// Suffix used in the paper's config names.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            SimAblation::Base => "Base",
+            SimAblation::Ep => "EP",
+            SimAblation::Ffnr => "FFNR",
+            SimAblation::All => "All",
+        }
+    }
+
+    /// Whether FFN-Reuse is active.
+    pub fn ffn_reuse(&self) -> bool {
+        matches!(self, SimAblation::Ffnr | SimAblation::All)
+    }
+
+    /// Whether eager prediction is active.
+    pub fn ep(&self) -> bool {
+        matches!(self, SimAblation::Ep | SimAblation::All)
+    }
+}
+
+/// End-to-end performance report of one (hardware, model, ablation, batch)
+/// point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Configuration name, e.g. `EXION24_All`.
+    pub name: String,
+    /// End-to-end generation latency (ms).
+    pub latency_ms: f64,
+    /// Total energy: DSCs + DRAM (mJ).
+    pub energy_mj: f64,
+    /// Dense-equivalent operations of the workload (2 ops per MAC).
+    pub dense_ops: f64,
+    /// Effective throughput (dense-equivalent TOPS).
+    pub effective_tops: f64,
+    /// Energy efficiency (dense-equivalent TOPS/W) — Fig. 18's y-axis.
+    pub tops_per_watt: f64,
+    /// Underlying simulator report.
+    pub detail: DscReport,
+}
+
+impl PerfReport {
+    /// Mean power during the run (W).
+    pub fn mean_power_w(&self) -> f64 {
+        if self.latency_ms == 0.0 {
+            0.0
+        } else {
+            self.energy_mj / self.latency_ms
+        }
+    }
+
+    /// Energy share of one engine across DSCs.
+    pub fn engine_share(&self, engine: Engine) -> f64 {
+        let total: f64 = self.detail.engine_energy_mj.iter().map(|(_, e)| e).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.detail
+            .engine_energy_mj
+            .iter()
+            .find(|(e, _)| *e == engine)
+            .map(|(_, v)| v / total)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Simulates one benchmark end to end on an accelerator instance.
+///
+/// `profile` carries the measured (or analytic) sparsity/compaction summary
+/// for this model; the `Base` ablation ignores it. `batch` multiplies the
+/// token rows (Fig. 18/19 use batch 1 and 8).
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+pub fn simulate_model(
+    hw: &HwConfig,
+    model: &ModelConfig,
+    profile: &SparsityProfile,
+    ablation: SimAblation,
+    batch: u64,
+) -> PerfReport {
+    assert!(batch > 0, "batch must be positive");
+    let mut sim = DscSimulator::new(hw);
+    let n = model.ffn_reuse.sparse_iters;
+    let dense_profile = SparsityProfile::dense();
+    let mut dense_macs = 0u64;
+
+    for i in 0..model.iterations {
+        let ffnr = ablation.ffn_reuse();
+        let is_sparse = ffnr && i % (n + 1) != 0;
+        let flags = IterationKindFlags {
+            ffn_sparse: is_sparse,
+            ffn_dense_with_cau: ffnr && !is_sparse,
+            ep: ablation.ep(),
+        };
+        let active_profile = if ablation == SimAblation::Base {
+            &dense_profile
+        } else {
+            profile
+        };
+        let plan = build_iteration(
+            &model.paper,
+            model.network,
+            model.geglu,
+            flags,
+            active_profile,
+            batch,
+        );
+        dense_macs += plan.dense_equivalent_macs;
+        sim.execute_iteration(&plan);
+    }
+
+    let detail = sim.finish();
+    let dense_ops = 2.0 * dense_macs as f64;
+    let latency_ms = detail.seconds * 1e3;
+    let energy_mj = detail.total_energy_mj();
+    let effective_tops = if detail.seconds > 0.0 {
+        dense_ops / detail.seconds / 1e12
+    } else {
+        0.0
+    };
+    let tops_per_watt = if energy_mj > 0.0 {
+        dense_ops / (energy_mj * 1e-3) / 1e12
+    } else {
+        0.0
+    };
+    PerfReport {
+        name: format!("{}_{}", hw.name, ablation.suffix()),
+        latency_ms,
+        energy_mj,
+        dense_ops,
+        effective_tops,
+        tops_per_watt,
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exion_model::config::ModelKind;
+
+    fn profile_for(model: &ModelConfig) -> SparsityProfile {
+        SparsityProfile::analytic(
+            model.ffn_reuse.target_sparsity,
+            model.ep.paper_sparsity_pct / 100.0,
+            16,
+        )
+    }
+
+    #[test]
+    fn ablations_strictly_improve_efficiency() {
+        let model = ModelConfig::for_kind(ModelKind::Dit);
+        let profile = profile_for(&model);
+        let hw = HwConfig::exion24();
+        let base = simulate_model(&hw, &model, &profile, SimAblation::Base, 1);
+        let ep = simulate_model(&hw, &model, &profile, SimAblation::Ep, 1);
+        let ffnr = simulate_model(&hw, &model, &profile, SimAblation::Ffnr, 1);
+        let all = simulate_model(&hw, &model, &profile, SimAblation::All, 1);
+        // Fig. 18's ordering: Base < EP < FFNR < All for DiT-like models.
+        assert!(ep.tops_per_watt > base.tops_per_watt);
+        assert!(ffnr.tops_per_watt > ep.tops_per_watt);
+        assert!(all.tops_per_watt > ffnr.tops_per_watt);
+        assert!(all.latency_ms < base.latency_ms);
+    }
+
+    #[test]
+    fn base_effective_tops_bounded_by_peak() {
+        let model = ModelConfig::for_kind(ModelKind::Dit);
+        let hw = HwConfig::exion24();
+        let base = simulate_model(
+            &hw,
+            &model,
+            &SparsityProfile::dense(),
+            SimAblation::Base,
+            8,
+        );
+        assert!(base.effective_tops <= hw.peak_tops());
+        assert!(base.effective_tops > 0.05 * hw.peak_tops());
+    }
+
+    #[test]
+    fn sparsity_can_exceed_peak_effective_throughput() {
+        // Skipped work counts in the numerator, so _All can beat peak TOPS —
+        // this is how the paper reports up to 67.8 TOPS/W on a 39-TOPS part.
+        let model = ModelConfig::for_kind(ModelKind::Mdm);
+        let profile = profile_for(&model);
+        let hw = HwConfig::exion24();
+        let all = simulate_model(&hw, &model, &profile, SimAblation::All, 8);
+        let base = simulate_model(&hw, &model, &profile, SimAblation::Base, 8);
+        assert!(all.effective_tops > 2.0 * base.effective_tops);
+    }
+
+    #[test]
+    fn batch_8_amortizes_weight_traffic() {
+        let model = ModelConfig::for_kind(ModelKind::StableDiffusion);
+        let profile = profile_for(&model);
+        let hw = HwConfig::exion4();
+        let b1 = simulate_model(&hw, &model, &profile, SimAblation::All, 1);
+        let b8 = simulate_model(&hw, &model, &profile, SimAblation::All, 8);
+        // 8× work in less than 8× latency.
+        assert!(b8.latency_ms < 8.0 * b1.latency_ms);
+        assert!(b8.latency_ms > b1.latency_ms);
+    }
+
+    #[test]
+    fn report_shares_sum_to_one() {
+        let model = ModelConfig::for_kind(ModelKind::Mld);
+        let profile = profile_for(&model);
+        let r = simulate_model(&HwConfig::exion4(), &model, &profile, SimAblation::All, 1);
+        let total: f64 = Engine::ALL.iter().map(|&e| r.engine_share(e)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(r.mean_power_w() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_rejected() {
+        let model = ModelConfig::for_kind(ModelKind::Mld);
+        let _ = simulate_model(
+            &HwConfig::exion4(),
+            &model,
+            &SparsityProfile::dense(),
+            SimAblation::Base,
+            0,
+        );
+    }
+}

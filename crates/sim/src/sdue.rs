@@ -1,0 +1,223 @@
+//! The sparse-dense unified engine (paper Section IV-B, Fig. 11).
+//!
+//! The SDUE is a 16×16 array of dot-product units. Dense MMULs broadcast
+//! IMEM bank *i* to DPU lane *i* and WMEM bank *j* to array column *j*.
+//! Merged blocks from ConMerge additionally use three switches per DPU:
+//!
+//! * `cv_sw` (per lane) selects which IMEM bank feeds the lane's *conflict
+//!   line* — the conflict vector,
+//! * `i_sw` (per DPU) picks the original or conflict input line,
+//! * `w_sw` (per DPU) picks one of the three broadcast WMEM buffers.
+//!
+//! [`SdueModel::execute_merged_block`] implements those switch semantics
+//! *functionally* — it is the proof that a ConMerge schedule computes exactly
+//! the dense results — and the `*_cycles` methods give the performance model
+//! used by the DSC timeline.
+
+use exion_core::conmerge::MergedBlock;
+use exion_tensor::{ops, Matrix};
+
+use crate::config::DscGeometry;
+
+/// One computed output element of a merged block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdueOutput {
+    /// Input (token) row within the tile.
+    pub input_row: usize,
+    /// Original weight column.
+    pub weight_col: usize,
+    /// Dot-product value.
+    pub value: f32,
+}
+
+/// SDUE functional and cycle model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdueModel {
+    geometry: DscGeometry,
+}
+
+impl SdueModel {
+    /// Creates a model with the given array geometry.
+    pub fn new(geometry: DscGeometry) -> Self {
+        Self { geometry }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> DscGeometry {
+        self.geometry
+    }
+
+    /// Cycles to execute one block (dense or merged) with inner dimension
+    /// `k`: each DPU consumes `lane_length` operand pairs per cycle.
+    pub fn block_cycles(&self, k: u64) -> u64 {
+        k.div_ceil(self.geometry.lane_length as u64).max(1)
+    }
+
+    /// Cycles for a full MMUL of `m × k × n` executing `blocks_per_tile`
+    /// blocks per row-tile (dense: `ceil(n / array_cols)`).
+    pub fn mmul_cycles(&self, m: u64, k: u64, blocks_per_tile: f64) -> u64 {
+        let row_tiles = m.div_ceil(self.geometry.array_rows as u64);
+        let per_tile = (blocks_per_tile.max(0.0) * self.block_cycles(k) as f64).ceil() as u64;
+        // A small drain/fill overhead per row-tile for accumulator flush and
+        // output write-back.
+        row_tiles * (per_tile + 2)
+    }
+
+    /// Dense blocks per row-tile for an `n`-column output.
+    pub fn dense_blocks_per_tile(&self, n: u64) -> u64 {
+        n.div_ceil(self.geometry.array_cols as u64)
+    }
+
+    /// Executes a merged block bit-faithfully through the switch semantics.
+    ///
+    /// `inputs` holds the tile's input rows (`tile_height × k`); `weights`
+    /// holds the full weight matrix (`k × n_total`) indexed by each slot's
+    /// original weight column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block geometry exceeds the array, a slot references an
+    /// input row outside the tile or a weight column outside `weights`, or a
+    /// conflict-line slot disagrees with its lane's conflict vector (a
+    /// ConMerge invariant violation).
+    pub fn execute_merged_block(
+        &self,
+        block: &MergedBlock,
+        inputs: &Matrix,
+        weights: &Matrix,
+    ) -> Vec<SdueOutput> {
+        assert!(
+            block.height() <= self.geometry.array_rows
+                && block.width() <= self.geometry.array_cols,
+            "merged block exceeds array geometry"
+        );
+        assert!(inputs.rows() >= block.height(), "missing input rows");
+        assert_eq!(inputs.cols(), weights.rows(), "inner dimension mismatch");
+
+        let mut out = Vec::with_capacity(block.occupied_slots());
+        for lane in 0..block.height() {
+            for col in 0..block.width() {
+                let Some(slot) = block.slot(lane, col) else {
+                    continue; // clock-gated DPU
+                };
+                // i_sw: original line carries the lane's own row; the conflict
+                // line carries exactly the CV row.
+                if slot.input_row != lane {
+                    assert_eq!(
+                        block.cv()[lane],
+                        Some(slot.input_row),
+                        "slot ({lane},{col}) reads row {} but CV is {:?}",
+                        slot.input_row,
+                        block.cv()[lane]
+                    );
+                }
+                assert!(slot.weight_col < weights.cols(), "weight column out of range");
+                let w_col = weights.col(slot.weight_col);
+                let value = ops::dot(inputs.row(slot.input_row), &w_col);
+                out.push(SdueOutput {
+                    input_row: slot.input_row,
+                    weight_col: slot.weight_col,
+                    value,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exion_core::bitmask::Bitmask2D;
+    use exion_core::conmerge::{CompactionConfig, TileCompactor};
+    use exion_tensor::rng::seeded_uniform;
+
+    fn model() -> SdueModel {
+        SdueModel::new(DscGeometry::exion())
+    }
+
+    #[test]
+    fn block_cycles_scale_with_k() {
+        let m = model();
+        assert_eq!(m.block_cycles(16), 1);
+        assert_eq!(m.block_cycles(17), 2);
+        assert_eq!(m.block_cycles(256), 16);
+        assert_eq!(m.block_cycles(0), 1);
+    }
+
+    #[test]
+    fn dense_mmul_cycles() {
+        let m = model();
+        // 64×256×64: 4 row-tiles × 4 blocks × 16 cycles (+2 fill each).
+        assert_eq!(m.mmul_cycles(64, 256, 4.0), 4 * (4 * 16 + 2));
+        assert_eq!(m.dense_blocks_per_tile(64), 4);
+    }
+
+    #[test]
+    fn merged_execution_matches_dense_mmul() {
+        // End-to-end ConMerge validation: sparse output positions computed
+        // through merged blocks equal the dense MMUL at those positions.
+        let k = 24;
+        let n = 48;
+        let height = 16;
+        let inputs = seeded_uniform(height, k, -1.0, 1.0, 1);
+        let weights = seeded_uniform(k, n, -1.0, 1.0, 2);
+        let dense = ops::matmul(&inputs, &weights);
+
+        // An ~85%-sparse output bitmask.
+        let mask = Bitmask2D::from_fn(height, n, |r, c| (r * 13 + c * 7) % 7 == 0);
+        let compactor = TileCompactor::new(CompactionConfig::default());
+        let result = compactor.compact_tile(&mask, 0, height);
+        assert!(result.merged_blocks.len() < n.div_ceil(16));
+
+        let sdue = model();
+        let mut covered = 0usize;
+        for block in &result.merged_blocks {
+            for o in sdue.execute_merged_block(block, &inputs, &weights) {
+                let want = dense[(o.input_row, o.weight_col)];
+                assert!(
+                    (o.value - want).abs() < 1e-4,
+                    "({}, {}): {} vs {}",
+                    o.input_row,
+                    o.weight_col,
+                    o.value,
+                    want
+                );
+                assert!(mask.get(o.input_row, o.weight_col));
+                covered += 1;
+            }
+        }
+        assert_eq!(covered, mask.count_ones(), "every masked element computed");
+    }
+
+    #[test]
+    fn merged_execution_respects_toy_geometry() {
+        let sdue = SdueModel::new(DscGeometry::toy());
+        let inputs = seeded_uniform(8, 12, -1.0, 1.0, 3);
+        let weights = seeded_uniform(12, 9, -1.0, 1.0, 4);
+        let mask = Bitmask2D::from_fn(8, 9, |r, c| (r + c) % 4 == 0);
+        let compactor = TileCompactor::new(CompactionConfig::toy());
+        let result = compactor.compact_tile(&mask, 0, 8);
+        let dense = ops::matmul(&inputs, &weights);
+        let mut covered = 0;
+        for block in &result.merged_blocks {
+            for o in sdue.execute_merged_block(block, &inputs, &weights) {
+                assert!((o.value - dense[(o.input_row, o.weight_col)]).abs() < 1e-4);
+                covered += 1;
+            }
+        }
+        assert_eq!(covered, mask.count_ones());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array geometry")]
+    fn oversized_block_rejected() {
+        let sdue = SdueModel::new(DscGeometry::toy());
+        let mask = Bitmask2D::ones(16, 16);
+        let compactor = TileCompactor::new(CompactionConfig::default());
+        let result = compactor.compact_tile(&mask, 0, 16);
+        let inputs = Matrix::zeros(16, 4);
+        let weights = Matrix::zeros(4, 16);
+        let _ = sdue.execute_merged_block(&result.merged_blocks[0], &inputs, &weights);
+    }
+}

@@ -1,0 +1,43 @@
+//! # exion-tensor
+//!
+//! Dense math substrate for the [EXION](https://arxiv.org/abs/2501.05680)
+//! reproduction.
+//!
+//! The EXION paper operates on the matrix multiplications (MMULs) inside
+//! diffusion-model transformer blocks. This crate supplies everything those
+//! workloads need in pure Rust:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with shape-checked operations,
+//! * [`ops`] — blocked MMUL, transposes, element-wise arithmetic,
+//! * [`activation`] — GELU / GEGLU / SiLU / ReLU non-linearities,
+//! * [`softmax`] and [`norm`] — numerically stable softmax and LayerNorm,
+//! * [`quant`] — INT12/INT16 symmetric post-training quantization matching the
+//!   paper's mixed-precision hardware datapath (12-bit SDUE/EPRE, 16/32-bit CFSE),
+//! * [`stats`] — cosine similarity, PSNR, MSE and a Fréchet distance used by the
+//!   accuracy-evaluation experiments,
+//! * [`rng`] — deterministic seeded initializers so every experiment is
+//!   reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use exion_tensor::{Matrix, ops};
+//!
+//! let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+//! let b = Matrix::identity(3);
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod activation;
+pub mod matrix;
+pub mod norm;
+pub mod ops;
+pub mod quant;
+pub mod rng;
+pub mod softmax;
+pub mod stats;
+
+pub use activation::Activation;
+pub use matrix::Matrix;
+pub use quant::{IntWidth, QuantMatrix, QuantParams};

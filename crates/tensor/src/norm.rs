@@ -1,0 +1,90 @@
+//! Layer normalization (the "Add & Normalization" blocks of Figure 3(b)).
+
+use crate::Matrix;
+
+/// Row-wise layer normalization with learned scale (`gamma`) and shift
+/// (`beta`).
+///
+/// Each row is normalized to zero mean / unit variance and then affinely
+/// transformed: `y = gamma ⊙ (x - mean) / sqrt(var + eps) + beta`.
+///
+/// # Panics
+///
+/// Panics if `gamma.len()` or `beta.len()` differs from `x.cols()`.
+///
+/// # Examples
+///
+/// ```
+/// use exion_tensor::{Matrix, norm::layer_norm};
+/// let x = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+/// let y = layer_norm(&x, &[1.0, 1.0], &[0.0, 0.0], 1e-5);
+/// assert!((y[(0, 0)] + y[(0, 1)]).abs() < 1e-5); // zero mean
+/// ```
+pub fn layer_norm(x: &Matrix, gamma: &[f32], beta: &[f32], eps: f32) -> Matrix {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    let n = x.cols() as f32;
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let mean: f32 = row.iter().sum::<f32>() / n;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let out_row = out.row_mut(r);
+        for c in 0..row.len() {
+            out_row[c] = gamma[c] * (row[c] - mean) * inv_std + beta[c];
+        }
+    }
+    out
+}
+
+/// Layer normalization with unit scale and zero shift.
+pub fn layer_norm_plain(x: &Matrix, eps: f32) -> Matrix {
+    let ones = vec![1.0; x.cols()];
+    let zeros = vec![0.0; x.cols()];
+    layer_norm(x, &ones, &zeros, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_uniform;
+
+    #[test]
+    fn normalized_rows_have_zero_mean_unit_var() {
+        let x = seeded_uniform(4, 16, -3.0, 3.0, 7);
+        let y = layer_norm_plain(&x, 1e-6);
+        for r in 0..y.rows() {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            let var: f32 =
+                row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_applied() {
+        let x = Matrix::from_vec(1, 2, vec![-1.0, 1.0]);
+        let y = layer_norm(&x, &[2.0, 2.0], &[5.0, 5.0], 1e-9);
+        // normalized values are ±1; after affine: 5 ∓ 2.
+        assert!((y[(0, 0)] - 3.0).abs() < 1e-4);
+        assert!((y[(0, 1)] - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constant_row_maps_to_beta() {
+        let x = Matrix::full(1, 4, 9.0);
+        let y = layer_norm(&x, &[1.0; 4], &[0.5; 4], 1e-5);
+        for c in 0..4 {
+            assert!((y[(0, c)] - 0.5).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma length mismatch")]
+    fn rejects_bad_gamma() {
+        let _ = layer_norm(&Matrix::zeros(1, 3), &[1.0; 2], &[0.0; 3], 1e-5);
+    }
+}

@@ -1,0 +1,227 @@
+//! Matrix operations: blocked MMUL, transpose and element-wise arithmetic.
+//!
+//! MMUL is the operation EXION accelerates; the blocked implementation here
+//! mirrors the tiling mindset of the paper's hardware (Section III-B observes
+//! that "an HW accelerator running MMUL operations … employs a tiling
+//! strategy") while remaining an ordinary cache-blocked CPU kernel.
+
+use crate::Matrix;
+
+/// Cache block edge used by [`matmul`]. 64 `f32`s = 256 B per row segment.
+const BLOCK: usize = 64;
+
+/// Dense matrix multiplication `A (m×k) · B (k×n) -> C (m×n)`.
+///
+/// Uses i-k-j loop order with `k`-blocking, which is both cache-friendly and
+/// bit-identical to the naive triple loop for `f32` accumulation order within
+/// each row (accumulation runs in ascending `k`).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use exion_tensor::{Matrix, ops};
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(ops::matmul(&a, &b), a);
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul inner-dimension mismatch: {:?} · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let c_row = c.row_mut(i);
+            #[allow(clippy::needless_range_loop)] // kk walks a k-window, not a slice
+            for kk in kb..kend {
+                let aik = a_row[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(kk);
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Matrix multiplication with the second operand transposed:
+/// `A (m×k) · Bᵀ (k×n) -> C (m×n)` where `b` is stored as `n×k`.
+///
+/// This is the natural layout for attention scores `Q·Kᵀ`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transpose_b inner-dimension mismatch: {:?} · {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.rows();
+    let n = b.rows();
+    Matrix::from_fn(m, n, |i, j| dot(a.row(i), b.row(j)))
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// Transposes a matrix.
+pub fn transpose(m: &Matrix) -> Matrix {
+    Matrix::from_fn(m.cols(), m.rows(), |r, c| m[(c, r)])
+}
+
+/// Element-wise sum.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    a.zip_map(b, |x, y| x + y)
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    a.zip_map(b, |x, y| x - y)
+}
+
+/// Element-wise (Hadamard) product.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    a.zip_map(b, |x, y| x * y)
+}
+
+/// Multiplies every element by a scalar.
+pub fn scale(m: &Matrix, s: f32) -> Matrix {
+    m.map(|x| x * s)
+}
+
+/// Adds a bias row vector to every row of `m`.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != m.cols()`.
+pub fn add_bias(m: &Matrix, bias: &[f32]) -> Matrix {
+    assert_eq!(bias.len(), m.cols(), "bias length mismatch");
+    Matrix::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)] + bias[c])
+}
+
+/// Linear layer: `x · w + bias`.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn linear(x: &Matrix, w: &Matrix, bias: &[f32]) -> Matrix {
+    add_bias(&matmul(x, w), bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_uniform;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        Matrix::from_fn(m, n, |i, j| (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum())
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_random_sizes() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (17, 33, 9), (65, 130, 66)] {
+            let a = seeded_uniform(m, k, -1.0, 1.0, 42);
+            let b = seeded_uniform(k, n, -1.0, 1.0, 43);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-3, "blocked {x} vs naive {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = seeded_uniform(4, 6, -1.0, 1.0, 1);
+        let b = seeded_uniform(5, 6, -1.0, 1.0, 2);
+        let via_t = matmul(&a, &transpose(&b));
+        let direct = matmul_transpose_b(&a, &b);
+        for (x, y) in via_t.as_slice().iter().zip(direct.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = seeded_uniform(3, 7, -1.0, 1.0, 9);
+        assert_eq!(transpose(&transpose(&m)), m);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::full(2, 2, 6.0);
+        let b = Matrix::full(2, 2, 2.0);
+        assert_eq!(add(&a, &b).as_slice(), &[8.0; 4]);
+        assert_eq!(sub(&a, &b).as_slice(), &[4.0; 4]);
+        assert_eq!(hadamard(&a, &b).as_slice(), &[12.0; 4]);
+        assert_eq!(scale(&a, 0.5).as_slice(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn linear_applies_bias() {
+        let x = Matrix::identity(2);
+        let w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = linear(&x, &w, &[10.0, 20.0]);
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+}

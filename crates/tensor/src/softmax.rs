@@ -1,0 +1,135 @@
+//! Numerically stable softmax, applied row-wise over attention scores.
+
+use crate::Matrix;
+
+/// Row-wise numerically stable softmax.
+///
+/// Each row is shifted by its maximum before exponentiation, so arbitrarily
+/// large scores do not overflow.
+///
+/// # Examples
+///
+/// ```
+/// use exion_tensor::{Matrix, softmax::softmax_rows};
+/// let s = softmax_rows(&Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+/// assert!((s[(0, 0)] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(scores: &Matrix) -> Matrix {
+    let mut out = scores.clone();
+    for r in 0..out.rows() {
+        softmax_row_inplace(out.row_mut(r));
+    }
+    out
+}
+
+/// In-place stable softmax over a single row.
+pub fn softmax_row_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Softmax with some entries masked out (treated as `-inf`).
+///
+/// `mask[r][c] == false` removes the entry from the distribution. Rows whose
+/// mask is entirely `false` become all zeros. This models the paper's top-k
+/// eager-prediction pruning, where "values that do not rank within the top k
+/// are directly assigned to zero" before the real-domain softmax.
+///
+/// # Panics
+///
+/// Panics if the mask shape does not match the score shape.
+pub fn masked_softmax_rows(scores: &Matrix, mask: &[Vec<bool>]) -> Matrix {
+    assert_eq!(mask.len(), scores.rows(), "mask row count mismatch");
+    let mut out = Matrix::zeros(scores.rows(), scores.cols());
+    for r in 0..scores.rows() {
+        assert_eq!(mask[r].len(), scores.cols(), "mask col count mismatch");
+        let kept: Vec<(usize, f32)> = (0..scores.cols())
+            .filter(|&c| mask[r][c])
+            .map(|c| (c, scores[(r, c)]))
+            .collect();
+        if kept.is_empty() {
+            continue;
+        }
+        let max = kept.iter().fold(f32::NEG_INFINITY, |m, &(_, x)| m.max(x));
+        let exps: Vec<(usize, f32)> = kept.iter().map(|&(c, x)| (c, (x - max).exp())).collect();
+        let sum: f32 = exps.iter().map(|&(_, e)| e).sum();
+        for (c, e) in exps {
+            out[(r, c)] = e / sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax_rows(&Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let b = softmax_rows(&Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_scores() {
+        let s = softmax_rows(&Matrix::from_vec(1, 2, vec![1e30f32, -1e30f32]));
+        assert!((s[(0, 0)] - 1.0).abs() < 1e-6);
+        assert_eq!(s[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn dominant_element_takes_almost_all_mass() {
+        // This is the property the eager-prediction row-skip relies on: when
+        // one score dominates, the softmax output is effectively one-hot.
+        let s = softmax_rows(&Matrix::from_vec(1, 4, vec![20.0, 0.0, 0.0, 0.0]));
+        assert!(s[(0, 0)] > 0.999);
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked_entries() {
+        let m = Matrix::from_vec(1, 3, vec![5.0, 5.0, 5.0]);
+        let mask = vec![vec![true, false, true]];
+        let s = masked_softmax_rows(&m, &mask);
+        assert_eq!(s[(0, 1)], 0.0);
+        assert!((s[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!((s[(0, 2)] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_softmax_all_false_row_is_zero() {
+        let m = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let s = masked_softmax_rows(&m, &[vec![false, false]]);
+        assert_eq!(s.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_row_is_noop() {
+        let mut row: [f32; 0] = [];
+        softmax_row_inplace(&mut row);
+    }
+}

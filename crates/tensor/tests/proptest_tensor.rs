@@ -1,0 +1,97 @@
+//! Property-based tests of the math substrate's algebraic invariants.
+
+use exion_tensor::quant::quant_matmul;
+use exion_tensor::rng::seeded_uniform;
+use exion_tensor::softmax::softmax_rows;
+use exion_tensor::{ops, IntWidth, Matrix, QuantMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identity is a two-sided unit for MMUL.
+    #[test]
+    fn identity_is_matmul_unit(n in 1usize..24, seed in 0u64..1000) {
+        let a = seeded_uniform(n, n, -2.0, 2.0, seed);
+        let i = Matrix::identity(n);
+        let left = ops::matmul(&i, &a);
+        let right = ops::matmul(&a, &i);
+        for (x, y) in left.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+        for (x, y) in right.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_reverses_products(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000
+    ) {
+        let a = seeded_uniform(m, k, -1.0, 1.0, seed);
+        let b = seeded_uniform(k, n, -1.0, 1.0, seed + 1);
+        let lhs = ops::transpose(&ops::matmul(&a, &b));
+        let rhs = ops::matmul(&ops::transpose(&b), &ops::transpose(&a));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// MMUL distributes over addition.
+    #[test]
+    fn matmul_distributes(m in 1usize..10, k in 1usize..10, seed in 0u64..1000) {
+        let a = seeded_uniform(m, k, -1.0, 1.0, seed);
+        let b = seeded_uniform(k, m, -1.0, 1.0, seed + 1);
+        let c = seeded_uniform(k, m, -1.0, 1.0, seed + 2);
+        let lhs = ops::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&ops::matmul(&a, &b), &ops::matmul(&a, &c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows are probability distributions whatever the input.
+    #[test]
+    fn softmax_rows_are_distributions(
+        m in 1usize..8, n in 1usize..16, lo in -50.0f32..0.0, seed in 0u64..1000
+    ) {
+        let s = softmax_rows(&seeded_uniform(m, n, lo, lo + 60.0, seed));
+        for r in 0..m {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    /// Quantization round-trip error is bounded by half a step, and the
+    /// quantized MMUL tracks the real one.
+    #[test]
+    fn quantization_bounds(m in 2usize..10, k in 2usize..16, seed in 0u64..1000) {
+        let a = seeded_uniform(m, k, -3.0, 3.0, seed);
+        let q = QuantMatrix::quantize(&a, IntWidth::Int12);
+        let step = q.params().scale;
+        for (x, y) in a.as_slice().iter().zip(q.dequantize().as_slice()) {
+            prop_assert!((x - y).abs() <= step * 0.501);
+        }
+        let b = seeded_uniform(k, m, -3.0, 3.0, seed + 1);
+        let qb = QuantMatrix::quantize(&b, IntWidth::Int12);
+        let approx = quant_matmul(&q, &qb);
+        let exact = ops::matmul(&a, &b);
+        let denom = exact.max_abs().max(1e-3);
+        for (x, y) in approx.as_slice().iter().zip(exact.as_slice()) {
+            prop_assert!((x - y).abs() / denom < 0.02, "{x} vs {y}");
+        }
+    }
+
+    /// PSNR is monotone in perturbation size.
+    #[test]
+    fn psnr_monotone(seed in 0u64..1000, eps in 0.01f32..0.2) {
+        let a = seeded_uniform(8, 8, -1.0, 1.0, seed);
+        let near = a.map(|v| v + eps * 0.5);
+        let far = a.map(|v| v + eps);
+        prop_assert!(
+            exion_tensor::stats::psnr(&a, &near) >= exion_tensor::stats::psnr(&a, &far)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Edge vs server deployment: EXION4 against the Jetson Orin Nano and
+//! EXION24 against the RTX 6000 Ada on a motion benchmark (Figs. 18/19 in
+//! miniature).
+//!
+//! ```sh
+//! cargo run --release --example edge_vs_server
+//! ```
+
+use exion::gpu::diffusion_cost::estimate_generation;
+use exion::gpu::GpuSpec;
+use exion::model::{ModelConfig, ModelKind};
+use exion::sim::config::HwConfig;
+use exion::sim::perf::{simulate_model, SimAblation};
+use exion::sim::workload::SparsityProfile;
+
+fn main() {
+    let model = ModelConfig::for_kind(ModelKind::Mdm);
+    let profile = SparsityProfile::analytic(
+        model.ffn_reuse.target_sparsity,
+        model.ep.paper_sparsity_pct / 100.0,
+        16,
+    );
+    println!("benchmark: {} at batch 1\n", model.kind.name());
+
+    for (hw, gpu) in [
+        (HwConfig::exion4(), GpuSpec::jetson_orin_nano()),
+        (HwConfig::exion24(), GpuSpec::rtx6000_ada()),
+    ] {
+        let exion = simulate_model(&hw, &model, &profile, SimAblation::All, 1);
+        let gpu_cost = estimate_generation(&gpu, &model, 1);
+        println!("{} vs {}:", hw.name, gpu.name);
+        println!(
+            "  latency : {:>9.2} ms vs {:>9.2} ms  ({:.0}x speedup)",
+            exion.latency_ms,
+            gpu_cost.latency_ms,
+            gpu_cost.latency_ms / exion.latency_ms,
+        );
+        println!(
+            "  energy  : {:>9.1} mJ vs {:>9.1} mJ",
+            exion.energy_mj, gpu_cost.energy_mj,
+        );
+        println!(
+            "  TOPS/W  : {:>9.2}    vs {:>9.4}    ({:.0}x efficiency gain)\n",
+            exion.tops_per_watt,
+            gpu_cost.tops_per_watt(),
+            exion.tops_per_watt / gpu_cost.tops_per_watt(),
+        );
+    }
+    println!("(paper: up to 1090.9x speedup / 4668.2x efficiency over the edge GPU,");
+    println!(" up to 379.3x / 3067.6x over the server GPU)");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run a diffusion generation with EXION's FFN-Reuse and see the
+//! inter-iteration output sparsity it creates.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use exion::model::{Ablation, GenerationPipeline, ModelConfig, ModelKind};
+
+fn main() {
+    // The MLD text-to-motion benchmark at simulation scale.
+    let config = ModelConfig::for_kind(ModelKind::Mld);
+    println!(
+        "benchmark: {} ({}), {} iterations, N = {} sparse iterations per dense",
+        config.kind.name(),
+        config.kind.task(),
+        config.iterations,
+        config.ffn_reuse.sparse_iters,
+    );
+
+    // Build the pipeline with the paper's FFN-Reuse settings and generate.
+    let policy = Ablation::FfnReuse.policy(&config);
+    let mut pipeline = GenerationPipeline::new(&config, policy, 42);
+    let (motion, report) = pipeline.generate("a person walks forward and waves", 7);
+
+    println!(
+        "generated a {}x{} motion latent (first row: {:.3?} …)",
+        motion.rows(),
+        motion.cols(),
+        &motion.row(0)[..4.min(motion.cols())]
+    );
+    println!(
+        "inter-iteration output sparsity : {:.1}% (paper target {:.0}%)",
+        100.0 * report.mean_inter_iteration_sparsity(),
+        100.0 * config.ffn_reuse.target_sparsity,
+    );
+    println!(
+        "FFN MACs skipped                : {:.1}% (paper: {:.2}%)",
+        100.0 * report.ffn_ops().reduction(),
+        config.ffn_reuse.paper_op_reduction_pct,
+    );
+    println!(
+        "total MACs performed            : {} of {} dense",
+        report.total_ops().performed,
+        report.total_ops().dense,
+    );
+}

@@ -1,0 +1,34 @@
+//! # exion
+//!
+//! Meta-crate of the EXION reproduction (HPCA 2025: "EXION: Exploiting
+//! Inter- and Intra-Iteration Output Sparsity for Diffusion Models").
+//!
+//! This crate re-exports every subsystem so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — dense math substrate (matrices, activations, quantization),
+//! * [`core`] — FFN-Reuse, eager prediction, ConMerge,
+//! * [`model`] — the diffusion-workload zoo and generation pipeline,
+//! * [`dram`] — the DRAM timing model,
+//! * [`sim`] — the cycle-level EXION hardware simulator,
+//! * [`gpu`] — analytical GPU and Cambricon-D baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use exion::model::{Ablation, GenerationPipeline, ModelConfig, ModelKind};
+//!
+//! let config = ModelConfig::for_kind(ModelKind::Mld).shrunk(2, 3);
+//! let policy = Ablation::FfnReuse.policy(&config);
+//! let mut pipeline = GenerationPipeline::new(&config, policy, 42);
+//! let (motion, report) = pipeline.generate("a person walks forward", 7);
+//! assert_eq!(motion.rows(), config.sim.tokens);
+//! assert!(report.ffn_ops().reduction() > 0.0);
+//! ```
+
+pub use exion_core as core;
+pub use exion_dram as dram;
+pub use exion_gpu as gpu;
+pub use exion_model as model;
+pub use exion_sim as sim;
+pub use exion_tensor as tensor;

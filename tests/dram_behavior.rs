@@ -1,0 +1,69 @@
+//! Property tests of the DRAM model's timing sanity: completion times are
+//! causal, bandwidth-bounded, and monotone in transfer size.
+
+use exion::dram::{Dram, DramTiming};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A transfer never completes before its bandwidth-limited lower bound,
+    /// and never before it starts.
+    #[test]
+    fn completion_is_causal_and_bandwidth_bounded(
+        bytes in 32u64..1_000_000,
+        start in 0.0f64..1e6,
+        lpddr in any::<bool>(),
+    ) {
+        let timing = if lpddr { DramTiming::lpddr5() } else { DramTiming::gddr6() };
+        let mut d = Dram::new(timing, 2);
+        let done = d.transfer(0, bytes, false, start);
+        prop_assert!(done > start);
+        let min = d.min_transfer_ns(bytes);
+        prop_assert!(done - start >= min * 0.99,
+            "done in {} ns, bandwidth floor {} ns", done - start, min);
+    }
+
+    /// Larger transfers from the same state never finish earlier.
+    #[test]
+    fn completion_monotone_in_size(bytes in 64u64..500_000) {
+        let mut a = Dram::new(DramTiming::lpddr5(), 2);
+        let mut b = Dram::new(DramTiming::lpddr5(), 2);
+        let small = a.transfer(0, bytes / 2, false, 0.0);
+        let large = b.transfer(0, bytes, false, 0.0);
+        prop_assert!(large >= small);
+    }
+
+    /// The coarse stream model agrees with the per-burst simulation within
+    /// 30% on sequential transfers of any size.
+    #[test]
+    fn stream_model_tracks_burst_model(kib in 4u64..512) {
+        let bytes = kib * 1024;
+        let mut fine = Dram::for_bandwidth(DramTiming::gddr6(), 819.0);
+        let mut coarse = Dram::for_bandwidth(DramTiming::gddr6(), 819.0);
+        let f = fine.transfer(0, bytes, false, 0.0);
+        let c = coarse.stream_transfer(bytes, false, 0.0);
+        let ratio = c / f;
+        prop_assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Hit-rate accounting is consistent: hits + misses equals the burst
+    /// count.
+    #[test]
+    fn hit_accounting_consistent(bytes in 32u64..200_000, addr in 0u64..1_000_000) {
+        let addr = addr & !31; // burst aligned
+        let mut d = Dram::new(DramTiming::lpddr5(), 1);
+        let _ = d.transfer(addr, bytes, false, 0.0);
+        let stats = d.stats();
+        let bursts = (addr + bytes - 1) / 32 - addr / 32 + 1;
+        prop_assert_eq!(stats.row_hits + stats.row_misses, bursts);
+    }
+}
+
+#[test]
+fn background_energy_scales_with_time_and_channels() {
+    let d2 = Dram::new(DramTiming::lpddr5(), 2);
+    let d4 = Dram::new(DramTiming::lpddr5(), 4);
+    assert!(d4.background_energy_pj(100.0) > d2.background_energy_pj(100.0));
+    assert!(d2.background_energy_pj(200.0) > d2.background_energy_pj(100.0));
+}

@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: the full generation pipeline under every
+//! ablation, feeding the compaction mechanism and the cycle-level simulator.
+
+use exion::core::conmerge::{CompactionConfig, TileCompactor};
+use exion::model::{Ablation, ExecPolicy, GenerationPipeline, ModelConfig, ModelKind};
+use exion::sim::config::HwConfig;
+use exion::sim::perf::{simulate_model, SimAblation};
+use exion::sim::workload::SparsityProfile;
+use exion::tensor::stats;
+
+fn tiny(kind: ModelKind) -> ModelConfig {
+    ModelConfig::for_kind(kind).shrunk(2, 6)
+}
+
+#[test]
+fn every_benchmark_generates_under_every_ablation() {
+    for kind in ModelKind::ALL {
+        let config = tiny(kind);
+        let mut vanilla = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 1);
+        let (reference, _) = vanilla.generate("integration", 2);
+        for ablation in [
+            Ablation::FfnReuse,
+            Ablation::Ep,
+            Ablation::FfnReuseEp,
+            Ablation::FfnReuseEpQuant,
+        ] {
+            let mut p = GenerationPipeline::new(&config, ablation.policy(&config), 1);
+            let (out, report) = p.generate("integration", 2);
+            assert_eq!(out.shape(), reference.shape(), "{kind:?}/{ablation:?}");
+            let psnr = stats::psnr(&reference, &out);
+            assert!(
+                psnr > 5.0,
+                "{kind:?}/{ablation:?}: PSNR {psnr:.1} dB vs vanilla"
+            );
+            assert!(
+                report.total_ops().performed <= report.total_ops().dense,
+                "{kind:?}/{ablation:?}: op accounting"
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_is_bit_reproducible() {
+    let config = tiny(ModelKind::Dit);
+    let policy = Ablation::FfnReuseEp.policy(&config);
+    let run = || {
+        let mut p = GenerationPipeline::new(&config, policy, 3);
+        p.generate("repro", 4).0
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn masks_flow_from_pipeline_into_conmerge() {
+    let config = tiny(ModelKind::Mdm);
+    let policy = Ablation::FfnReuseEp.policy(&config).with_mask_capture();
+    let mut p = GenerationPipeline::new(&config, policy, 5);
+    let (_, report) = p.generate("mask flow", 6);
+    let compactor = TileCompactor::new(CompactionConfig::default());
+    let mut compacted_any = false;
+    for mask in report.ffn_masks() {
+        let r = compactor.compact_matrix(mask);
+        assert!(r.merged_blocks <= r.dense_blocks);
+        assert!(r.remaining_column_fraction() <= 1.0);
+        compacted_any = true;
+    }
+    assert!(compacted_any, "pipeline produced FFN masks");
+}
+
+#[test]
+fn simulator_consumes_all_benchmarks() {
+    // Paper-scale simulation of every benchmark on both instances.
+    for kind in ModelKind::ALL {
+        let mut model = ModelConfig::for_kind(kind);
+        model.iterations = 4;
+        let profile = SparsityProfile::analytic(
+            model.ffn_reuse.target_sparsity,
+            model.ep.paper_sparsity_pct / 100.0,
+            16,
+        );
+        for hw in [HwConfig::exion4(), HwConfig::exion24()] {
+            let base = simulate_model(&hw, &model, &profile, SimAblation::Base, 1);
+            let all = simulate_model(&hw, &model, &profile, SimAblation::All, 1);
+            assert!(base.latency_ms > 0.0 && all.latency_ms > 0.0, "{kind:?}");
+            assert!(
+                all.energy_mj < base.energy_mj,
+                "{kind:?} on {}: All {} mJ vs Base {} mJ",
+                hw.name,
+                all.energy_mj,
+                base.energy_mj
+            );
+            assert!(all.latency_ms <= base.latency_ms * 1.01, "{kind:?} on {}", hw.name);
+        }
+    }
+}
+
+#[test]
+fn meta_crate_reexports_work() {
+    // Compile-time check that the meta crate exposes every subsystem.
+    let _ = exion::tensor::Matrix::zeros(1, 1);
+    let _ = exion::core::Bitmask2D::zeros(1, 1);
+    let _ = exion::dram::DramTiming::lpddr5();
+    let _ = exion::gpu::GpuSpec::a100();
+    let _ = exion::sim::config::HwConfig::single_dsc();
+    let _ = exion::model::ModelConfig::all();
+}

@@ -1,0 +1,101 @@
+//! Smoke tests of every paper experiment at reduced iteration caps: each
+//! harness must run end-to-end and reproduce its headline *shape* property.
+
+use exion_bench::experiments::*;
+
+#[test]
+fn fig04_breakdown_renders() {
+    let out = fig04_opcount::run();
+    assert!(out.contains("Stable Diffusion") && out.contains("FFN"));
+}
+
+#[test]
+fn fig06_reductions_in_paper_band() {
+    // Paper: 52.47–85.41% FFN op reduction across benchmarks.
+    for r in fig06_ffn_reuse::compute(Some(10)) {
+        assert!(
+            (0.40..0.92).contains(&r.measured_reduction),
+            "{}: reduction {}",
+            r.model,
+            r.measured_reduction
+        );
+    }
+}
+
+#[test]
+fn fig07_similarity_structure() {
+    let r = fig07_similarity::compute(Some(12));
+    assert!(r.adjacent_mean > 0.9);
+    assert!(r.adjacent_mean > r.distant_mean);
+}
+
+#[test]
+fn fig08_and_09_condense_merge_shape() {
+    let rows = fig08_condensing::compute(Some(5));
+    assert!(rows[0].measured < rows[1].measured, "MLD below SD");
+    let m = fig09_merging::compute(Some(5));
+    assert!(m.ffn_merge_frac < m.ffn_condense_frac);
+}
+
+#[test]
+fn fig12_sorting_renders_all_models() {
+    let rows = fig12_sorting::compute(Some(4));
+    assert_eq!(rows.len(), 6);
+}
+
+#[test]
+fn fig15_score_error_ordering() {
+    let r = fig15_tslod::compute(Some(6));
+    assert!(r.tslod_score_err < r.lod_score_err);
+}
+
+#[test]
+fn fig17_all_benchmarks_compact() {
+    let rows = fig17_conmerge_eff::compute(Some(5));
+    assert_eq!(rows.len(), 7);
+    for r in &rows {
+        assert!(r.ffn_merge <= 1.0 && r.ffn_merge > 0.0, "{}", r.model);
+    }
+}
+
+#[test]
+fn fig18_gains_exceed_one_everywhere() {
+    let points = fig18_energy::compute_platform(
+        &exion::sim::config::HwConfig::exion24(),
+        &exion::gpu::GpuSpec::rtx6000_ada(),
+        &[exion::model::ModelKind::Dit],
+        &[1],
+        Some(4),
+    );
+    for p in points.iter().filter(|p| p.config.ends_with("_All")) {
+        assert!(p.gain() > 1.0, "{}: {}", p.model, p.gain());
+    }
+}
+
+#[test]
+fn fig19a_speedups_exceed_one() {
+    let points = fig19a_latency::compute_platform(
+        &exion::sim::config::HwConfig::exion24(),
+        &exion::gpu::GpuSpec::rtx6000_ada(),
+        &[exion::model::ModelKind::Mdm],
+        &[1, 8],
+        Some(4),
+    );
+    for p in &points {
+        assert!(p.speedup() > 1.0, "{} b{}: {}", p.model, p.batch, p.speedup());
+    }
+}
+
+#[test]
+fn fig19b_crossover() {
+    let rows = fig19b_cambricon::compute(Some(4));
+    let dit = rows.iter().find(|r| r.model == "DiT").unwrap();
+    assert!(dit.exion_speedup > dit.cambricon_speedup);
+}
+
+#[test]
+fn tables_render() {
+    assert!(tab2_hwconfig::run().contains("EXION24"));
+    let t3 = tab3_power_area::compute(Some(3));
+    assert_eq!(t3.len(), 6);
+}
