@@ -56,11 +56,9 @@ fn bench_sparsity_sweep(c: &mut Criterion) {
     let compactor = TileCompactor::new(CompactionConfig::default());
     for sparsity in [70u32, 90, 97] {
         let mask = workload(64, 512, sparsity);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(sparsity),
-            &sparsity,
-            |b, _| b.iter(|| compactor.compact_matrix(black_box(&mask))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(sparsity), &sparsity, |b, _| {
+            b.iter(|| compactor.compact_matrix(black_box(&mask)))
+        });
     }
     group.finish();
 }

@@ -8,7 +8,10 @@ use exion_tensor::{IntWidth, QuantMatrix};
 use std::hint::black_box;
 
 fn quantized(rows: usize, cols: usize, seed: u64) -> QuantMatrix {
-    QuantMatrix::quantize(&seeded_uniform(rows, cols, -1.0, 1.0, seed), IntWidth::Int12)
+    QuantMatrix::quantize(
+        &seeded_uniform(rows, cols, -1.0, 1.0, seed),
+        IntWidth::Int12,
+    )
 }
 
 fn bench_log_dot_modes(c: &mut Criterion) {

@@ -21,10 +21,8 @@ fn bench_dense_vs_sparse_iterations(c: &mut Criterion) {
             BenchmarkId::new("sparse_iteration", sparsity),
             &sparsity,
             |b, &s| {
-                let mut engine = FfnReuseEngine::new(FfnReuseConfig::with_target_sparsity(
-                    s as f64 / 100.0,
-                    4,
-                ));
+                let mut engine =
+                    FfnReuseEngine::new(FfnReuseConfig::with_target_sparsity(s as f64 / 100.0, 4));
                 let (_, _) = engine.forward(&x, &w); // dense iteration primes state
                 b.iter(|| {
                     // Keep the engine in its sparse phase.
@@ -48,5 +46,9 @@ fn bench_threshold_calibration(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dense_vs_sparse_iterations, bench_threshold_calibration);
+criterion_group!(
+    benches,
+    bench_dense_vs_sparse_iterations,
+    bench_threshold_calibration
+);
 criterion_main!(benches);

@@ -54,5 +54,10 @@ fn bench_softmax_and_norm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_quant_matmul, bench_softmax_and_norm);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_quant_matmul,
+    bench_softmax_and_norm
+);
 criterion_main!(benches);

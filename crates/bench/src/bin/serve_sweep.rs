@@ -1,0 +1,5 @@
+//! Binary wrapper: `cargo run --release -p exion-bench --bin serve_sweep`.
+
+fn main() {
+    print!("{}", exion_bench::experiments::serve_sweep::run());
+}

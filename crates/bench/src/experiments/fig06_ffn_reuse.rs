@@ -38,8 +38,7 @@ pub fn compute(iteration_cap: Option<usize>) -> Vec<Row> {
             if let Some(cap) = iteration_cap {
                 c.iterations = c.iterations.min(cap);
             }
-            let mut pipeline =
-                GenerationPipeline::new(&c, Ablation::FfnReuse.policy(&c), 0xF16);
+            let mut pipeline = GenerationPipeline::new(&c, Ablation::FfnReuse.policy(&c), 0xF16);
             let (_, report) = pipeline.generate("fig06 measurement", 0x5EED);
             Row {
                 model: c.kind.name(),

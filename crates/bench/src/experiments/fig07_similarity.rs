@@ -157,7 +157,11 @@ mod tests {
         let r = compute(Some(16));
         // Random 5% subsets would overlap with Jaccard ≈ 0.026; the measured
         // overlap must be far above chance.
-        assert!(r.hot_position_overlap > 0.15, "overlap {}", r.hot_position_overlap);
+        assert!(
+            r.hot_position_overlap > 0.15,
+            "overlap {}",
+            r.hot_position_overlap
+        );
     }
 
     #[test]

@@ -64,7 +64,12 @@ pub fn render(rows: &[Row]) -> String {
         })
         .collect();
     out.push_str(&render_table(
-        &["Benchmark", "Output rows", "Remaining (paper)", "Remaining (measured)"],
+        &[
+            "Benchmark",
+            "Output rows",
+            "Remaining (paper)",
+            "Remaining (measured)",
+        ],
         &table_rows,
     ));
     out.push_str(

@@ -154,7 +154,10 @@ mod tests {
             Some(6),
         );
         let mld = points.iter().find(|p| p.model == "MLD").unwrap();
-        let sd = points.iter().find(|p| p.model == "Stable Diffusion").unwrap();
+        let sd = points
+            .iter()
+            .find(|p| p.model == "Stable Diffusion")
+            .unwrap();
         assert!(
             mld.speedup() > sd.speedup(),
             "MLD {} vs SD {}",

@@ -61,15 +61,17 @@ pub fn compute(iteration_cap: Option<usize>) -> Vec<Row> {
 
 /// Renders the comparison.
 pub fn render(rows: &[Row]) -> String {
-    let mut out = String::from(
-        "Fig. 19(b) — Speedup over the NVIDIA A100 (batch 1)\n\n",
-    );
+    let mut out = String::from("Fig. 19(b) — Speedup over the NVIDIA A100 (batch 1)\n\n");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
                 r.model.to_string(),
-                format!("{} (paper {}x)", ratio(r.cambricon_speedup), r.paper_cambricon),
+                format!(
+                    "{} (paper {}x)",
+                    ratio(r.cambricon_speedup),
+                    r.paper_cambricon
+                ),
                 format!("{} (paper {}x)", ratio(r.exion_speedup), r.paper_exion),
             ]
         })

@@ -15,6 +15,7 @@ pub mod fig17_conmerge_eff;
 pub mod fig18_energy;
 pub mod fig19a_latency;
 pub mod fig19b_cambricon;
+pub mod serve_sweep;
 pub mod tab1_accuracy;
 pub mod tab2_hwconfig;
 pub mod tab3_power_area;

@@ -1,0 +1,219 @@
+//! `serve_sweep` — serving-traffic saturation sweep (beyond the paper).
+//!
+//! The paper evaluates single generations at fixed batch sizes (Figs.
+//! 18–19); this experiment drives the `exion-serve` request-level simulator
+//! instead: Poisson/bursty/diurnal arrival streams over the multi-tenant
+//! model mix, swept across offered load on the edge (EXION4) and server
+//! (EXION24) instances, plus an admission-policy comparison near
+//! saturation. The headline shape is the saturation knee: tail latency and
+//! queue depth explode once offered load crosses the instance's continuous-
+//! batching capacity, while goodput collapses.
+
+use exion_serve::{
+    Policy, ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+};
+use exion_sim::config::HwConfig;
+
+use crate::fmt::{pct, render_table};
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load as a fraction of the estimated capacity.
+    pub load_frac: f64,
+    /// The serving report at that load.
+    pub report: ServeReport,
+}
+
+/// The sweep of one (hardware, pattern) pairing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Hardware instance name.
+    pub hw: &'static str,
+    /// Traffic-pattern name.
+    pub pattern: &'static str,
+    /// Estimated continuous-batching capacity (requests/s).
+    pub capacity_rps: f64,
+    /// Reports per load fraction, ascending.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// p99 latency blow-up from the lightest to the heaviest load.
+    pub fn knee_ratio(&self) -> f64 {
+        let first = self.points.first().map(|p| p.report.latency.p99);
+        let last = self.points.last().map(|p| p.report.latency.p99);
+        match (first, last) {
+            (Some(a), Some(b)) if a > 0.0 => b / a,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The load fractions the sweep visits (around the knee at 1.0).
+pub const LOAD_FRACTIONS: [f64; 6] = [0.2, 0.4, 0.6, 0.8, 1.0, 1.3];
+
+/// Runs the sweep for both hardware instances and all three patterns.
+///
+/// `horizon_cap_ms` bounds the trace horizon (`None` = the full 4 s run);
+/// integration tests pass a smaller horizon.
+pub fn compute(horizon_cap_ms: Option<f64>) -> Vec<Sweep> {
+    let horizon_ms = horizon_cap_ms.unwrap_or(4_000.0).max(100.0);
+    let mix = WorkloadMix::multi_tenant();
+    let mut sweeps = Vec::new();
+    for hw in [HwConfig::exion4(), HwConfig::exion24()] {
+        let mut sim = ServeSimulator::new(ServeConfig::new(hw));
+        let capacity = sim.capacity_estimate_rps(&mix);
+        for pattern in TrafficPattern::standard_suite() {
+            let mut points = Vec::new();
+            for &frac in &LOAD_FRACTIONS {
+                let report = sim.run(&TraceConfig {
+                    pattern: pattern.with_mean_rps(frac * capacity),
+                    horizon_ms,
+                    seed: 0x5E17E,
+                    mix: mix.clone(),
+                });
+                points.push(SweepPoint {
+                    load_frac: frac,
+                    report,
+                });
+            }
+            sweeps.push(Sweep {
+                hw: hw.name,
+                pattern: pattern.name(),
+                capacity_rps: capacity,
+                points,
+            });
+        }
+    }
+    sweeps
+}
+
+/// Compares the admission policies at 90% Poisson load on `hw`.
+pub fn compare_policies(hw: &HwConfig, horizon_cap_ms: Option<f64>) -> Vec<(Policy, ServeReport)> {
+    let horizon_ms = horizon_cap_ms.unwrap_or(4_000.0).max(100.0);
+    let mix = WorkloadMix::multi_tenant();
+    Policy::ALL
+        .iter()
+        .map(|&policy| {
+            let mut sim = ServeSimulator::new(ServeConfig::new(*hw).with_policy(policy));
+            let capacity = sim.capacity_estimate_rps(&mix);
+            let report = sim.run(&TraceConfig {
+                pattern: TrafficPattern::Poisson {
+                    rate_rps: 0.9 * capacity,
+                },
+                horizon_ms,
+                seed: 0x5E17E,
+                mix: mix.clone(),
+            });
+            (policy, report)
+        })
+        .collect()
+}
+
+/// Runs the full experiment.
+pub fn run() -> String {
+    let mut out = String::from(
+        "serve_sweep — request-level serving over EXION instances\n\
+         (continuous batching at DDIM iteration boundaries, multi-tenant mix)\n\n",
+    );
+    for sweep in compute(None) {
+        out.push_str(&format!(
+            "{} | {} arrivals | est. capacity {:.1} rps\n",
+            sweep.hw, sweep.pattern, sweep.capacity_rps
+        ));
+        let rows: Vec<Vec<String>> = sweep
+            .points
+            .iter()
+            .map(|p| {
+                let r = &p.report;
+                vec![
+                    format!("{:.0}%", 100.0 * p.load_frac),
+                    format!("{:.1}", r.offered_rps),
+                    format!("{:.2}", r.latency.p50),
+                    format!("{:.2}", r.latency.p99),
+                    format!("{:.1}", r.goodput_rps),
+                    pct(r.mean_utilization),
+                    format!("{:.2}", r.mean_batch_occupancy),
+                    format!("{:.3}", r.joules_per_request),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &[
+                "load", "rps", "p50 ms", "p99 ms", "goodput", "util", "batch", "J/req",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+    }
+
+    out.push_str("Admission policies at 90% Poisson load (EXION24):\n");
+    let rows: Vec<Vec<String>> = compare_policies(&HwConfig::exion24(), None)
+        .iter()
+        .map(|(policy, r)| {
+            vec![
+                policy.name().to_string(),
+                format!("{:.2}", r.latency.p99),
+                pct(r.slo_attainment),
+                pct(r.sparse_iteration_frac),
+                format!("{:.3}", r.joules_per_request),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["policy", "p99 ms", "SLO", "sparse iters", "J/req"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_saturation_knee() {
+        let sweeps = compute(Some(1_500.0));
+        assert_eq!(sweeps.len(), 6); // 2 hw × 3 patterns
+        for sweep in &sweeps {
+            assert!(sweep.capacity_rps > 0.0);
+            assert_eq!(sweep.points.len(), LOAD_FRACTIONS.len());
+            // Past the knee the tail latency must have blown up.
+            assert!(
+                sweep.knee_ratio() > 3.0,
+                "{} {}: knee ratio {}",
+                sweep.hw,
+                sweep.pattern,
+                sweep.knee_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_rises_with_load() {
+        let sweeps = compute(Some(1_000.0));
+        for sweep in &sweeps {
+            let first = sweep.points.first().unwrap().report.mean_utilization;
+            let last = sweep.points.last().unwrap().report.mean_utilization;
+            assert!(
+                last > first,
+                "{} {}: {first} vs {last}",
+                sweep.hw,
+                sweep.pattern
+            );
+        }
+    }
+
+    #[test]
+    fn policies_all_conserve_requests() {
+        for (policy, report) in compare_policies(&HwConfig::exion4(), Some(800.0)) {
+            assert_eq!(
+                report.completed,
+                report.arrivals,
+                "{} dropped requests",
+                policy.name()
+            );
+        }
+    }
+}

@@ -74,7 +74,12 @@ pub fn render(rows: &[Row]) -> String {
         pct(1.0),
     ]);
     out.push_str(&render_table(
-        &["Component", "Area [mm^2]", "Power [mW]", "Measured energy share (DiT_All)"],
+        &[
+            "Component",
+            "Area [mm^2]",
+            "Power [mW]",
+            "Measured energy share (DiT_All)",
+        ],
         &table_rows,
     ));
     out.push_str(&format!(

@@ -53,14 +53,24 @@ fn compact_all(masks: &[&Bitmask2D]) -> (f64, f64, f64, f64) {
 /// cycles to measure steady-state behaviour without paying for a full
 /// generation).
 pub fn measure_profile(config: &ModelConfig, iteration_cap: usize, seed: u64) -> MeasuredProfile {
-    measure_with_sparsity(config, config.ffn_reuse.target_sparsity, iteration_cap, seed)
+    measure_with_sparsity(
+        config,
+        config.ffn_reuse.target_sparsity,
+        iteration_cap,
+        seed,
+    )
 }
 
 /// Like [`measure_profile`] but at the sparsity level the paper's ConMerge
 /// figures quote for this model (Figs. 8/9/12/17; see the
 /// `FfnReuseSetting::conmerge_sparsity` docs for the discrepancy note).
 pub fn measure_conmerge(config: &ModelConfig, iteration_cap: usize, seed: u64) -> MeasuredProfile {
-    measure_with_sparsity(config, config.ffn_reuse.conmerge_sparsity, iteration_cap, seed)
+    measure_with_sparsity(
+        config,
+        config.ffn_reuse.conmerge_sparsity,
+        iteration_cap,
+        seed,
+    )
 }
 
 fn measure_with_sparsity(

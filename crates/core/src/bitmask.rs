@@ -84,7 +84,10 @@ impl Bitmask2D {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "bitmask index out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "bitmask index out of bounds"
+        );
         let w = self.words[r * self.words_per_row + c / 64];
         (w >> (c % 64)) & 1 == 1
     }
@@ -95,7 +98,10 @@ impl Bitmask2D {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, value: bool) {
-        assert!(r < self.rows && c < self.cols, "bitmask index out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "bitmask index out of bounds"
+        );
         let w = &mut self.words[r * self.words_per_row + c / 64];
         if value {
             *w |= 1 << (c % 64);
@@ -157,7 +163,10 @@ impl Bitmask2D {
     /// Panics if `height > 64` or the region exceeds the mask bounds.
     pub fn tile_col_mask(&self, row0: usize, height: usize, c: usize) -> u64 {
         assert!(height <= 64, "tile height above 64 unsupported");
-        assert!(row0 + height <= self.rows && c < self.cols, "tile out of bounds");
+        assert!(
+            row0 + height <= self.rows && c < self.cols,
+            "tile out of bounds"
+        );
         let mut m = 0u64;
         for i in 0..height {
             if self.get(row0 + i, c) {

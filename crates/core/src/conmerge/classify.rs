@@ -37,8 +37,14 @@ impl SparsityClass {
     /// Panics if `popcount` is 0 (condensed columns never reach the
     /// SortBuffer) or exceeds `height`.
     pub fn classify(popcount: usize, height: usize) -> Self {
-        assert!(popcount > 0, "all-zero columns are condensed, not classified");
-        assert!(popcount <= height, "popcount {popcount} exceeds height {height}");
+        assert!(
+            popcount > 0,
+            "all-zero columns are condensed, not classified"
+        );
+        assert!(
+            popcount <= height,
+            "popcount {popcount} exceeds height {height}"
+        );
         let frac = popcount as f64 / height as f64;
         if frac >= 0.75 {
             SparsityClass::HighDense

@@ -225,11 +225,8 @@ mod tests {
         let placed: usize = r.merged_blocks.iter().map(|b| b.occupied_slots()).sum();
         assert_eq!(placed, total_bits);
         // Every original (row, col) bit appears exactly once.
-        let mut cover: Vec<(usize, usize)> = r
-            .merged_blocks
-            .iter()
-            .flat_map(|b| b.coverage())
-            .collect();
+        let mut cover: Vec<(usize, usize)> =
+            r.merged_blocks.iter().flat_map(|b| b.coverage()).collect();
         cover.sort_unstable();
         let mut want = Vec::new();
         for (c, &m) in masks.iter().enumerate() {
@@ -287,10 +284,8 @@ mod tests {
 
     #[test]
     fn cycles_grow_with_input() {
-        let small = VectorGenerator::new(16, 16, true)
-            .generate(entries_from_masks(&[0xFFFF; 16]));
-        let large = VectorGenerator::new(16, 16, true)
-            .generate(entries_from_masks(&[0xFFFF; 64]));
+        let small = VectorGenerator::new(16, 16, true).generate(entries_from_masks(&[0xFFFF; 16]));
+        let large = VectorGenerator::new(16, 16, true).generate(entries_from_masks(&[0xFFFF; 64]));
         assert!(large.cycles > small.cycles);
     }
 }

@@ -166,8 +166,7 @@ impl EncodedVectors {
 /// How many merged blocks' vectors fit a CVMEM of `cvmem_bytes` (the paper's
 /// configuration: 50 kB).
 pub fn blocks_per_cvmem(cvmem_bytes: usize, height: usize, width: usize) -> usize {
-    let per_block_bits =
-        5 * height + 4 * height * width + COL_ORIGIN_BITS as usize * 3 * width;
+    let per_block_bits = 5 * height + 4 * height * width + COL_ORIGIN_BITS as usize * 3 * width;
     (cvmem_bytes * 8) / per_block_bits
 }
 
@@ -180,15 +179,27 @@ mod tests {
         let a = Block::new(
             4,
             vec![
-                ColumnEntry { origin: 7, mask: 0b0011 },
-                ColumnEntry { origin: 9, mask: 0b0001 },
+                ColumnEntry {
+                    origin: 7,
+                    mask: 0b0011,
+                },
+                ColumnEntry {
+                    origin: 9,
+                    mask: 0b0001,
+                },
             ],
         );
         let b = Block::new(
             4,
             vec![
-                ColumnEntry { origin: 20, mask: 0b0001 }, // conflicts at row 0
-                ColumnEntry { origin: 21, mask: 0b0110 },
+                ColumnEntry {
+                    origin: 20,
+                    mask: 0b0001,
+                }, // conflicts at row 0
+                ColumnEntry {
+                    origin: 21,
+                    mask: 0b0110,
+                },
             ],
         );
         let base = MergedBlock::from_block(&a, 2);
@@ -200,11 +211,7 @@ mod tests {
         let block = merged_pair();
         let enc = EncodedVectors::encode(&block).expect("encodes");
         for r in 0..block.height() {
-            assert_eq!(
-                enc.cv_source(r),
-                block.cv()[r],
-                "lane {r} CV"
-            );
+            assert_eq!(enc.cv_source(r), block.cv()[r], "lane {r} CV");
             for j in 0..block.width() {
                 match block.slot(r, j) {
                     Some(slot) => {
@@ -244,7 +251,13 @@ mod tests {
 
     #[test]
     fn oversized_origin_rejected() {
-        let a = Block::new(2, vec![ColumnEntry { origin: 1 << 10, mask: 0b01 }]);
+        let a = Block::new(
+            2,
+            vec![ColumnEntry {
+                origin: 1 << 10,
+                mask: 0b01,
+            }],
+        );
         let m = MergedBlock::from_block(&a, 1);
         let err = EncodedVectors::encode(&m).expect_err("origin too wide");
         assert!(err.to_string().contains("10-bit"));

@@ -170,7 +170,10 @@ impl MergedBlock {
     ///
     /// Panics if out of bounds.
     pub fn slot(&self, r: usize, j: usize) -> Option<Slot> {
-        assert!(r < self.height && j < self.width, "slot index out of bounds");
+        assert!(
+            r < self.height && j < self.width,
+            "slot index out of bounds"
+        );
         self.slots[r * self.width + j]
     }
 
@@ -289,8 +292,7 @@ impl MergedBlock {
         let empties = (0..self.height)
             .filter(|&r2| {
                 state.slots[r2 * self.width + j].is_none()
-                    && (state.cv[r2].is_none()
-                        || pending.iter().any(|&r| state.cv[r2] == Some(r)))
+                    && (state.cv[r2].is_none() || pending.iter().any(|&r| state.cv[r2] == Some(r)))
             })
             .count() as i64;
         empties - pending.len() as i64

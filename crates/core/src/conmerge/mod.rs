@@ -252,7 +252,10 @@ mod tests {
         })
         .compact_matrix(&mask);
         assert!(merged.merged_blocks <= condense_only.merged_blocks);
-        assert_eq!(condense_only.merged_blocks, condense_only.condense_only_blocks);
+        assert_eq!(
+            condense_only.merged_blocks,
+            condense_only.condense_only_blocks
+        );
     }
 
     #[test]

@@ -105,8 +105,8 @@ impl AttentionPlan {
         let mut col_used = vec![false; cols];
         // The epsilon guards against f32→f64 artifacts (0.8f32 as f64 is
         // slightly above 0.8, which would bump the ceil).
-        let keep_per_row = (((cols as f64 * config.top_k_ratio as f64) - 1e-6).ceil() as usize)
-            .clamp(1, cols);
+        let keep_per_row =
+            (((cols as f64 * config.top_k_ratio as f64) - 1e-6).ceil() as usize).clamp(1, cols);
 
         #[allow(clippy::needless_range_loop)] // r indexes scores, one_hot and keep together
         for r in 0..rows {

@@ -373,7 +373,10 @@ impl FfnReuseEngine {
     }
 
     fn forward_sparse(&mut self, x: &Matrix, w: &FfnWeights) -> (Matrix, FfnIterationReport) {
-        let state = self.state.as_ref().expect("sparse iteration requires dense state");
+        let state = self
+            .state
+            .as_ref()
+            .expect("sparse iteration requires dense state");
         assert_eq!(
             x.rows(),
             state.hidden.rows(),
@@ -399,8 +402,7 @@ impl FfnReuseEngine {
         self.iterations_since_dense += 1;
 
         let dense = Self::dense_macs(x.rows(), w);
-        let performed =
-            recompute_count * (w.macs_per_hidden_element() + w.d_model() as u64);
+        let performed = recompute_count * (w.macs_per_hidden_element() + w.d_model() as u64);
         let report = FfnIterationReport {
             kind: IterationKind::Sparse,
             output_sparsity: bitmask.sparsity(),
@@ -505,7 +507,11 @@ mod tests {
         let x2 = x.map(|v| v + 0.01);
         let (y_sparse, report) = engine.forward(&x2, &w);
         let y_exact = w.forward_dense(&x2);
-        assert!(report.ops.reduction() > 0.5, "reduction {}", report.ops.reduction());
+        assert!(
+            report.ops.reduction() > 0.5,
+            "reduction {}",
+            report.ops.reduction()
+        );
         assert!(
             stats::relative_error(&y_exact, &y_sparse) < 0.05,
             "error {}",
@@ -582,7 +588,11 @@ mod tests {
         assert_eq!(s.sparse_iterations, 8);
         assert!(s.mean_output_sparsity > 0.8);
         // Paper Fig. 6: 52–85% FFN op reduction with N=2..9 and 70–97% sparsity.
-        assert!(s.ops.reduction() > 0.5, "total reduction {}", s.ops.reduction());
+        assert!(
+            s.ops.reduction() > 0.5,
+            "total reduction {}",
+            s.ops.reduction()
+        );
     }
 
     #[test]

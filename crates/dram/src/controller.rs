@@ -256,7 +256,10 @@ mod tests {
     fn transfer_is_deterministic() {
         let mut a = Dram::new(DramTiming::gddr6(), 2);
         let mut b = Dram::new(DramTiming::gddr6(), 2);
-        assert_eq!(a.transfer(128, 8192, true, 5.0), b.transfer(128, 8192, true, 5.0));
+        assert_eq!(
+            a.transfer(128, 8192, true, 5.0),
+            b.transfer(128, 8192, true, 5.0)
+        );
     }
 
     #[test]

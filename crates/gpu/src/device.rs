@@ -115,7 +115,11 @@ mod tests {
 
     #[test]
     fn derates_are_fractions() {
-        for g in [GpuSpec::rtx6000_ada(), GpuSpec::jetson_orin_nano(), GpuSpec::a100()] {
+        for g in [
+            GpuSpec::rtx6000_ada(),
+            GpuSpec::jetson_orin_nano(),
+            GpuSpec::a100(),
+        ] {
             assert!(g.compute_efficiency > 0.0 && g.compute_efficiency <= 1.0);
             assert!(g.bandwidth_efficiency > 0.0 && g.bandwidth_efficiency <= 1.0);
             assert!(g.idle_w < g.tdp_w);

@@ -60,7 +60,10 @@ pub fn iteration_kernels(config: &ModelConfig, batch: u64) -> Vec<Kernel> {
         // Two LayerNorms, softmax, two residuals.
         kernels.push(Kernel::pointwise(m * d, FP16_BYTES));
         kernels.push(Kernel::pointwise(m * d, FP16_BYTES));
-        kernels.push(Kernel::pointwise(batch * per_sample_m * per_sample_m, FP16_BYTES));
+        kernels.push(Kernel::pointwise(
+            batch * per_sample_m * per_sample_m,
+            FP16_BYTES,
+        ));
         kernels.push(Kernel::pointwise(m * d, FP16_BYTES));
         // FFN pair + activation.
         kernels.push(Kernel::matmul(m, d, d_ff, FP16_BYTES));

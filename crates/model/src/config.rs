@@ -129,6 +129,54 @@ pub struct FfnReuseSetting {
     pub conmerge_sparsity: f64,
 }
 
+/// Phase of one denoising iteration under FFN-Reuse: dense iterations
+/// recompute the first FFN layer fully (and regenerate the sparsity
+/// bitmasks); sparse iterations reuse them and skip the predicted zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IterationPhase {
+    /// Full recomputation (an FFN-Reuse phase boundary).
+    Dense,
+    /// Bitmask-reusing sparse execution.
+    Sparse,
+}
+
+impl IterationPhase {
+    /// Whether this is the sparse (reusing) phase.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, IterationPhase::Sparse)
+    }
+}
+
+impl FfnReuseSetting {
+    /// The FFN-Reuse period: one dense iteration followed by `sparse_iters`
+    /// sparse ones.
+    pub fn period(&self) -> usize {
+        self.sparse_iters + 1
+    }
+
+    /// The phase of denoising step `step` (0-based) when FFN-Reuse is
+    /// active. Step 0 and every `period()`-th step after it are dense.
+    pub fn phase_of_step(&self, step: usize) -> IterationPhase {
+        if step.is_multiple_of(self.period()) {
+            IterationPhase::Dense
+        } else {
+            IterationPhase::Sparse
+        }
+    }
+
+    /// Steps until the next dense phase boundary at or after `step`
+    /// (0 when `step` itself is a boundary). Continuous-batching schedulers
+    /// use this to admit requests only at aligned iteration boundaries.
+    pub fn steps_to_boundary(&self, step: usize) -> usize {
+        let rem = step % self.period();
+        if rem == 0 {
+            0
+        } else {
+            self.period() - rem
+        }
+    }
+}
+
 /// Eager-prediction setting for one model (paper Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpSetting {
@@ -421,6 +469,16 @@ impl ModelConfig {
         ModelKind::ALL.iter().map(|&k| Self::for_kind(k)).collect()
     }
 
+    /// The phases of every denoising iteration, in order: a materialized
+    /// view over [`FfnReuseSetting::phase_of_step`] for offline analysis
+    /// and plotting. Schedulers on the hot path should query
+    /// `phase_of_step`/`period` directly instead of allocating this.
+    pub fn iteration_phases(&self) -> Vec<IterationPhase> {
+        (0..self.iterations)
+            .map(|i| self.ffn_reuse.phase_of_step(i))
+            .collect()
+    }
+
     /// A copy with sim-scale dimensions shrunk further (for fast unit tests):
     /// tokens/d_model/d_ff divided by `factor` (floored at hardware-friendly
     /// minimums), block count capped at 1, iterations capped at `max_iters`.
@@ -513,6 +571,24 @@ mod tests {
             match c.network {
                 NetworkType::UNetRes => assert!(c.paper.resblock_ops_share > 0.0),
                 _ => assert_eq!(c.paper.resblock_ops_share, 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_phase_metadata_matches_period() {
+        for c in ModelConfig::all() {
+            let phases = c.iteration_phases();
+            assert_eq!(phases.len(), c.iterations);
+            assert_eq!(phases[0], IterationPhase::Dense, "{}", c.kind.name());
+            let period = c.ffn_reuse.period();
+            let dense = phases.iter().filter(|p| !p.is_sparse()).count();
+            assert_eq!(dense, c.iterations.div_ceil(period), "{}", c.kind.name());
+            for (i, p) in phases.iter().enumerate() {
+                assert_eq!(p.is_sparse(), i % period != 0);
+                let to_boundary = c.ffn_reuse.steps_to_boundary(i);
+                assert_eq!((i + to_boundary) % period, 0);
+                assert!(to_boundary < period);
             }
         }
     }

@@ -36,6 +36,6 @@ pub mod sampler;
 pub mod schedule;
 pub mod transformer;
 
-pub use config::{ModelConfig, ModelKind, NetworkType, ScaleParams};
+pub use config::{IterationPhase, ModelConfig, ModelKind, NetworkType, ScaleParams};
 pub use pipeline::{Ablation, GenerationPipeline, RunReport};
 pub use transformer::ExecPolicy;

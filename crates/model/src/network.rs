@@ -364,8 +364,7 @@ mod tests {
         let records = net.take_records();
         assert!(records[0].resblock_ops.dense > 0);
         assert_eq!(
-            records[0].resblock_ops.performed,
-            records[0].resblock_ops.dense,
+            records[0].resblock_ops.performed, records[0].resblock_ops.dense,
             "ResBlocks are never optimized"
         );
     }

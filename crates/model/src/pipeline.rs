@@ -193,10 +193,7 @@ impl GenerationPipeline {
             DiffusionSchedule::linear(Self::TRAIN_STEPS),
             config.iterations,
         );
-        let encoder = ConditioningEncoder::new(
-            config.sim.cond_tokens.max(1),
-            config.sim.d_model,
-        );
+        let encoder = ConditioningEncoder::new(config.sim.cond_tokens.max(1), config.sim.d_model);
         Self {
             config: *config,
             network,
@@ -219,9 +216,7 @@ impl GenerationPipeline {
                 .set_condition(self.encoder.encode_pooled(prompt));
         }
         let shape = (self.config.sim.tokens, self.config.sim.d_model);
-        let out = self
-            .sampler
-            .sample(&mut self.network, shape, noise_seed);
+        let out = self.sampler.sample(&mut self.network, shape, noise_seed);
         let report = RunReport {
             iterations: self.network.take_records(),
         };
@@ -394,11 +389,8 @@ mod tests {
     fn quant_ablation_stays_close_to_vanilla() {
         let config = tiny(ModelKind::Mld);
         let mut vanilla = GenerationPipeline::new(&config, ExecPolicy::vanilla(), 13);
-        let mut quant = GenerationPipeline::new(
-            &config,
-            Ablation::FfnReuseEpQuant.policy(&config),
-            13,
-        );
+        let mut quant =
+            GenerationPipeline::new(&config, Ablation::FfnReuseEpQuant.policy(&config), 13);
         let (a, _) = vanilla.generate("turn", 14);
         let (b, _) = quant.generate("turn", 14);
         // All three approximations stacked still track the vanilla output.

@@ -210,7 +210,9 @@ mod tests {
         let x0 = exion_tensor::rng::seeded_uniform(4, 8, -1.0, 1.0, 11);
         let mut oracle = |x: &Matrix, t: usize| -> Matrix {
             let abar = schedule.alpha_bar(t);
-            x.zip_map(&x0, |xt, x0v| (xt - abar.sqrt() * x0v) / (1.0 - abar).sqrt())
+            x.zip_map(&x0, |xt, x0v| {
+                (xt - abar.sqrt() * x0v) / (1.0 - abar).sqrt()
+            })
         };
         let out = sampler.sample(&mut oracle, (4, 8), 5);
         let err = exion_tensor::stats::relative_error(&x0, &out);
@@ -238,10 +240,7 @@ mod tests {
         let _ = sampler.sample_with_observer(&mut p, (8, 16), 5, |i, _, x| {
             if let Some(ref pv) = prev {
                 if i > 2 {
-                    let cos = exion_tensor::stats::cosine_similarity(
-                        pv.as_slice(),
-                        x.as_slice(),
-                    );
+                    let cos = exion_tensor::stats::cosine_similarity(pv.as_slice(), x.as_slice());
                     min_cos = min_cos.min(cos);
                 }
             }

@@ -41,9 +41,11 @@ impl DiffusionSchedule {
     pub fn cosine(steps: usize) -> Self {
         assert!(steps > 0, "schedule needs at least one step");
         let s = 0.008f32;
-        let f = |t: f32| ((t / steps as f32 + s) / (1.0 + s) * std::f32::consts::FRAC_PI_2)
-            .cos()
-            .powi(2);
+        let f = |t: f32| {
+            ((t / steps as f32 + s) / (1.0 + s) * std::f32::consts::FRAC_PI_2)
+                .cos()
+                .powi(2)
+        };
         let f0 = f(0.0);
         let mut betas = Vec::with_capacity(steps);
         let mut prev = 1.0f32;

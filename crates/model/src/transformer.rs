@@ -15,8 +15,7 @@
 //!   integer datapath with scale factors).
 
 use exion_core::ep::{
-    execute_dense_attention, execute_sparse_attention, log_matmul, AttentionPlan, EpConfig,
-    EpStats,
+    execute_dense_attention, execute_sparse_attention, log_matmul, AttentionPlan, EpConfig, EpStats,
 };
 use exion_core::ffn_reuse::{FfnIterationReport, FfnReuseConfig, FfnReuseEngine, FfnWeights};
 use exion_core::{Bitmask2D, OpCounts};
@@ -118,7 +117,11 @@ impl BlockWeights {
             "d_model must divide into heads"
         );
         let d = params.d_model;
-        let act = if geglu { Activation::Geglu } else { Activation::Gelu };
+        let act = if geglu {
+            Activation::Geglu
+        } else {
+            Activation::Gelu
+        };
         // Residual-branch output projections are scaled down (GPT-2-style
         // 1/sqrt(2L) initialization). With unscaled random weights, the
         // near-uniform attention of an untrained block injects an identical

@@ -1,0 +1,306 @@
+//! Cluster-level serving simulation: arrivals → queue → instances → report.
+//!
+//! Instances pull work from one shared queue (central scheduler, instance
+//! pull), each advancing its own clock one denoising iteration at a time.
+//! The event loop always steps the instance with the smallest local clock,
+//! which keeps arrival release causal across instances and makes the whole
+//! simulation deterministic for a fixed trace.
+
+use std::collections::HashMap;
+
+use exion_model::config::{ModelConfig, ModelKind};
+use exion_sim::config::HwConfig;
+use exion_sim::perf::SimAblation;
+
+use crate::cost::CostModel;
+use crate::metrics::{queue_depth_stats, LatencyStats, ServeReport};
+use crate::policy::Policy;
+use crate::request::{Completion, Request};
+use crate::scheduler::Instance;
+use crate::trace::{generate, TraceConfig};
+
+/// Serving-cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// The accelerator instance type.
+    pub hw: HwConfig,
+    /// How many instances serve the queue.
+    pub instances: usize,
+    /// Maximum batch rows per instance.
+    pub max_batch: usize,
+    /// Which EXION optimizations are active.
+    pub ablation: SimAblation,
+    /// Admission policy.
+    pub policy: Policy,
+}
+
+impl ServeConfig {
+    /// One instance, batch 8, all optimizations, FCFS.
+    pub fn new(hw: HwConfig) -> Self {
+        Self {
+            hw,
+            instances: 1,
+            max_batch: 8,
+            ablation: SimAblation::All,
+            policy: Policy::Fcfs,
+        }
+    }
+
+    /// Replaces the instance count.
+    pub fn with_instances(mut self, instances: usize) -> Self {
+        self.instances = instances.max(1);
+        self
+    }
+
+    /// Replaces the admission policy.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the per-instance batch bound.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Replaces the ablation.
+    pub fn with_ablation(mut self, ablation: SimAblation) -> Self {
+        self.ablation = ablation;
+        self
+    }
+}
+
+/// Request-level serving simulator over a cluster of EXION instances.
+#[derive(Debug, Clone)]
+pub struct ServeSimulator {
+    config: ServeConfig,
+    cost: CostModel,
+    model_configs: HashMap<ModelKind, ModelConfig>,
+}
+
+impl ServeSimulator {
+    /// A simulator for `config`. Iteration costs are priced lazily and
+    /// cached across runs of the same simulator.
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            config,
+            cost: CostModel::new(config.hw, config.ablation),
+            model_configs: HashMap::new(),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    fn model_config(&mut self, kind: ModelKind) -> ModelConfig {
+        *self
+            .model_configs
+            .entry(kind)
+            .or_insert_with(|| ModelConfig::for_kind(kind))
+    }
+
+    /// Analytic saturation-throughput estimate (requests/s) for `mix`:
+    /// each model's full-batch steady-state throughput, weighted by its
+    /// traffic share. Arrival-rate sweeps anchor on this to place the
+    /// saturation knee without hand-tuning per hardware instance.
+    pub fn capacity_estimate_rps(&mut self, mix: &crate::trace::WorkloadMix) -> f64 {
+        let batch = self.config.max_batch as u64;
+        let instances = self.config.instances as f64;
+        let total_w: f64 = mix.entries.iter().map(|&(_, w, _)| w).sum();
+        // Weighted harmonic mean: a fraction w_k of requests each occupying
+        // 1/r_k of an instance-second gives 1 / Σ (w_k / r_k) requests/s.
+        let mut seconds_per_request = 0.0;
+        for &(kind, w, _) in &mix.entries {
+            let config = self.model_config(kind);
+            let gen_ms = self.cost.generation_latency_ms(&config, batch);
+            let per_instance_rps = batch as f64 / (gen_ms / 1000.0);
+            seconds_per_request += (w / total_w) / per_instance_rps;
+        }
+        instances / seconds_per_request
+    }
+
+    /// Runs the trace to completion and reports serving metrics.
+    ///
+    /// Every arrival is eventually admitted and completed (no drops, no
+    /// preemption), so saturation shows up as unbounded queueing delay
+    /// rather than lost requests.
+    pub fn run(&mut self, trace: &TraceConfig) -> ServeReport {
+        let arrivals = generate(trace);
+        let max_batch = self.config.max_batch as u64;
+        let mut pending: Vec<Request> = Vec::with_capacity(arrivals.len());
+        for (id, a) in arrivals.iter().enumerate() {
+            let config = self.model_config(a.model);
+            // The SLO scales the model's steady-state service time (a full
+            // generation at the deployment's batch size), so it is
+            // attainable under batching and degrades only through queueing.
+            let slo_ms = trace.mix.slo_multiplier(a.model)
+                * self.cost.generation_latency_ms(&config, max_batch);
+            pending.push(Request::new(
+                id as u64,
+                a.model,
+                a.at_ms,
+                slo_ms,
+                config.iterations,
+            ));
+        }
+
+        let mut instances: Vec<Instance> = (0..self.config.instances).map(Instance::new).collect();
+        let mut queue: Vec<Request> = Vec::new();
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut depth_events: Vec<(f64, i64)> = Vec::new();
+        let mut next_arrival = 0usize;
+
+        let policy = self.config.policy;
+        let max_batch = self.config.max_batch;
+        // Periods and model configs are cheap lookups; precompute per kind.
+        let kinds: Vec<ModelKind> = trace.mix.kinds();
+        let periods: HashMap<ModelKind, usize> = kinds
+            .iter()
+            .map(|&k| {
+                let c = self.model_config(k);
+                (k, self.cost.period(&c))
+            })
+            .collect();
+        let configs: HashMap<ModelKind, ModelConfig> =
+            kinds.iter().map(|&k| (k, self.model_config(k))).collect();
+
+        loop {
+            // Step the instance with the smallest clock (ties by id).
+            let i = (0..instances.len())
+                .min_by(|&a, &b| {
+                    instances[a]
+                        .now_ms
+                        .total_cmp(&instances[b].now_ms)
+                        .then(a.cmp(&b))
+                })
+                .expect("at least one instance");
+            if instances[i].now_ms.is_infinite() {
+                break; // every instance is drained
+            }
+
+            // Release arrivals up to this instance's clock.
+            while next_arrival < pending.len()
+                && pending[next_arrival].arrival_ms <= instances[i].now_ms
+            {
+                let r = pending[next_arrival];
+                depth_events.push((r.arrival_ms, 1));
+                queue.push(r);
+                next_arrival += 1;
+            }
+
+            if instances[i].is_idle() && queue.is_empty() {
+                if next_arrival < pending.len() {
+                    // Jump the idle clock to the next arrival.
+                    let at = pending[next_arrival].arrival_ms;
+                    instances[i].now_ms = instances[i].now_ms.max(at);
+                } else {
+                    instances[i].now_ms = f64::INFINITY;
+                }
+                continue;
+            }
+
+            // Iteration boundary: admit, then execute one iteration.
+            let admitted = instances[i].admit(&mut queue, policy, max_batch, |k| {
+                periods.get(&k).copied().unwrap_or(1)
+            });
+            for &(_, at_ms) in &admitted {
+                depth_events.push((at_ms, -1));
+            }
+            if instances[i].is_idle() {
+                // A sparsity gate cannot block an idle instance, so this
+                // only happens when the queue holds no admissible request;
+                // re-loop to jump the clock.
+                continue;
+            }
+            completions.extend(instances[i].execute_iteration(&mut self.cost, &|k| {
+                *configs
+                    .get(&k)
+                    .expect("every traced model kind is precomputed")
+            }));
+        }
+
+        completions.sort_by_key(|c| c.id);
+        self.report(trace, &arrivals, completions, &mut depth_events, &instances)
+    }
+
+    fn report(
+        &self,
+        trace: &TraceConfig,
+        arrivals: &[crate::trace::Arrival],
+        completions: Vec<Completion>,
+        depth_events: &mut [(f64, i64)],
+        instances: &[Instance],
+    ) -> ServeReport {
+        let makespan_ms = completions
+            .iter()
+            .map(|c| c.finished_ms)
+            .fold(0.0, f64::max);
+        let makespan_s = (makespan_ms / 1000.0).max(1e-9);
+        let within_slo = completions.iter().filter(|c| c.within_slo()).count();
+        let latency =
+            LatencyStats::from_unsorted(completions.iter().map(|c| c.latency_ms()).collect());
+        let queue_delay =
+            LatencyStats::from_unsorted(completions.iter().map(|c| c.queue_ms()).collect());
+        let (mean_queue_depth, peak_queue_depth) = queue_depth_stats(depth_events, makespan_ms);
+        let per_instance: Vec<_> = instances.iter().map(|i| i.stats(makespan_ms)).collect();
+        let energy_mj: f64 = per_instance.iter().map(|s| s.energy_mj).sum();
+        let total_iters: u64 = per_instance.iter().map(|s| s.iterations).sum();
+        let sparse_iters: f64 = per_instance
+            .iter()
+            .map(|s| s.sparse_iteration_frac * s.iterations as f64)
+            .sum();
+        let batch_rows: f64 = per_instance
+            .iter()
+            .map(|s| s.mean_batch * s.iterations as f64)
+            .sum();
+        ServeReport {
+            hw_name: self.config.hw.name.to_string(),
+            policy: self.config.policy.name().to_string(),
+            pattern: trace.pattern.name().to_string(),
+            instances: instances.len(),
+            arrivals: arrivals.len(),
+            completed: completions.len(),
+            offered_rps: arrivals.len() as f64 / (trace.horizon_ms / 1000.0).max(1e-9),
+            throughput_rps: completions.len() as f64 / makespan_s,
+            goodput_rps: within_slo as f64 / makespan_s,
+            slo_attainment: if completions.is_empty() {
+                0.0
+            } else {
+                within_slo as f64 / completions.len() as f64
+            },
+            horizon_ms: trace.horizon_ms,
+            makespan_ms,
+            latency,
+            queue_delay,
+            energy_mj,
+            joules_per_request: if completions.is_empty() {
+                0.0
+            } else {
+                energy_mj / 1000.0 / completions.len() as f64
+            },
+            mean_utilization: if per_instance.is_empty() {
+                0.0
+            } else {
+                per_instance.iter().map(|s| s.utilization).sum::<f64>() / per_instance.len() as f64
+            },
+            mean_batch_occupancy: if total_iters > 0 {
+                batch_rows / total_iters as f64
+            } else {
+                0.0
+            },
+            sparse_iteration_frac: if total_iters > 0 {
+                sparse_iters / total_iters as f64
+            } else {
+                0.0
+            },
+            mean_queue_depth,
+            peak_queue_depth,
+            cold_switches: per_instance.iter().map(|s| s.cold_switches).sum(),
+            per_instance,
+            completions,
+        }
+    }
+}

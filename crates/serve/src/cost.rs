@@ -1,0 +1,210 @@
+//! Cached per-iteration cost lookups against the cycle-level simulator.
+//!
+//! The scheduler prices every (model, batch size, FFN-Reuse phase, warm/cold)
+//! combination it executes through [`exion_sim::simulate_iteration`] and
+//! memoizes the result, so a serving run of tens of thousands of iterations
+//! costs only a handful of one-iteration cycle simulations.
+
+use std::collections::HashMap;
+
+use exion_model::config::{IterationPhase, ModelConfig, ModelKind};
+use exion_sim::config::HwConfig;
+use exion_sim::perf::{simulate_iteration, IterationCost, SimAblation, SimError};
+use exion_sim::workload::SparsityProfile;
+
+/// Memoized iteration-cost oracle for one hardware instance type.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    hw: HwConfig,
+    ablation: SimAblation,
+    cache: HashMap<(ModelKind, u64, IterationPhase, bool), IterationCost>,
+    isolated: HashMap<ModelKind, f64>,
+}
+
+impl CostModel {
+    /// A cost model for `hw` running under `ablation`.
+    pub fn new(hw: HwConfig, ablation: SimAblation) -> Self {
+        Self {
+            hw,
+            ablation,
+            cache: HashMap::new(),
+            isolated: HashMap::new(),
+        }
+    }
+
+    /// The hardware this model prices.
+    pub fn hw(&self) -> &HwConfig {
+        &self.hw
+    }
+
+    /// The ablation under which iterations are priced.
+    pub fn ablation(&self) -> SimAblation {
+        self.ablation
+    }
+
+    /// The analytic sparsity profile of `model` (same closed form the
+    /// Fig. 18/19 experiments use when functional measurements are absent).
+    pub fn profile(model: &ModelConfig) -> SparsityProfile {
+        SparsityProfile::analytic(
+            model.ffn_reuse.target_sparsity,
+            model.ep.paper_sparsity_pct / 100.0,
+            16,
+        )
+    }
+
+    /// The scheduling period of `model` under this ablation: the FFN-Reuse
+    /// period when reuse is active, else 1 (every iteration is a boundary).
+    pub fn period(&self, model: &ModelConfig) -> usize {
+        if self.ablation.ffn_reuse() {
+            model.ffn_reuse.period()
+        } else {
+            1
+        }
+    }
+
+    /// Cost of one denoising iteration of `model` at `batch` rows in
+    /// `phase`, with weights GSC-resident iff `warm`.
+    pub fn iteration(
+        &mut self,
+        model: &ModelConfig,
+        batch: u64,
+        phase: IterationPhase,
+        warm: bool,
+    ) -> Result<IterationCost, SimError> {
+        // Without FFN-Reuse every step prices as a dense boundary step.
+        let phase = if self.ablation.ffn_reuse() {
+            phase
+        } else {
+            IterationPhase::Dense
+        };
+        let key = (model.kind, batch, phase, warm);
+        if let Some(&cost) = self.cache.get(&key) {
+            return Ok(cost);
+        }
+        // Step 0 is always dense; step 1 is sparse whenever FFN-Reuse is on
+        // (every benchmark has sparse_iters ≥ 1).
+        let step = match phase {
+            IterationPhase::Dense => 0,
+            IterationPhase::Sparse => 1,
+        };
+        let cost = simulate_iteration(
+            &self.hw,
+            model,
+            &Self::profile(model),
+            self.ablation,
+            batch,
+            step,
+            warm,
+        )?;
+        self.cache.insert(key, cost);
+        Ok(cost)
+    }
+
+    /// Warm full-generation latency of `model` at `batch` rows: the sum of
+    /// per-iteration costs across the denoising schedule with weights
+    /// GSC-resident throughout.
+    pub fn generation_latency_ms(&mut self, model: &ModelConfig, batch: u64) -> f64 {
+        let mut total = 0.0;
+        for step in 0..model.iterations {
+            let phase = if self.ablation.ffn_reuse() {
+                model.ffn_reuse.phase_of_step(step)
+            } else {
+                IterationPhase::Dense
+            };
+            let cost = self
+                .iteration(model, batch, phase, true)
+                .expect("positive batch and in-range steps cannot fail");
+            total += cost.latency_ms;
+        }
+        total
+    }
+
+    /// Isolated batch-1 generation latency of `model` on this hardware
+    /// (cold first step, warm thereafter): the no-contention reference
+    /// point for speedup/slowdown analysis. SLOs scale the full-batch
+    /// service time instead (see `ServeSimulator::run`).
+    pub fn isolated_latency_ms(&mut self, model: &ModelConfig) -> f64 {
+        if let Some(&ms) = self.isolated.get(&model.kind) {
+            return ms;
+        }
+        let cold_extra = {
+            let cold = self
+                .iteration(model, 1, IterationPhase::Dense, false)
+                .expect("batch 1 cannot fail");
+            let warm = self
+                .iteration(model, 1, IterationPhase::Dense, true)
+                .expect("batch 1 cannot fail");
+            cold.latency_ms - warm.latency_ms
+        };
+        let total = self.generation_latency_ms(model, 1) + cold_extra;
+        self.isolated.insert(model.kind, total);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_return_identical_costs() {
+        let mut cm = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let model = ModelConfig::for_kind(ModelKind::Mld);
+        let a = cm
+            .iteration(&model, 4, IterationPhase::Sparse, true)
+            .unwrap();
+        let b = cm
+            .iteration(&model, 4, IterationPhase::Sparse, true)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cm.cache.len(), 1);
+    }
+
+    #[test]
+    fn batching_amortizes_per_request_cost() {
+        let mut cm = CostModel::new(HwConfig::exion24(), SimAblation::All);
+        let model = ModelConfig::for_kind(ModelKind::StableDiffusion);
+        let b1 = cm
+            .iteration(&model, 1, IterationPhase::Dense, true)
+            .unwrap();
+        let b8 = cm
+            .iteration(&model, 8, IterationPhase::Dense, true)
+            .unwrap();
+        assert!(b8.latency_ms < 8.0 * b1.latency_ms);
+        assert!(b8.latency_ms > b1.latency_ms);
+    }
+
+    #[test]
+    fn base_ablation_prices_everything_dense() {
+        let mut cm = CostModel::new(HwConfig::exion4(), SimAblation::Base);
+        let model = ModelConfig::for_kind(ModelKind::Mdm);
+        assert_eq!(cm.period(&model), 1);
+        let s = cm
+            .iteration(&model, 2, IterationPhase::Sparse, true)
+            .unwrap();
+        let d = cm
+            .iteration(&model, 2, IterationPhase::Dense, true)
+            .unwrap();
+        assert_eq!(s, d);
+    }
+
+    #[test]
+    fn isolated_latency_matches_end_to_end_sim() {
+        let mut cm = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let model = ModelConfig::for_kind(ModelKind::Mdm);
+        let isolated = cm.isolated_latency_ms(&model);
+        let full = exion_sim::perf::simulate_model(
+            &HwConfig::exion4(),
+            &model,
+            &CostModel::profile(&model),
+            SimAblation::All,
+            1,
+        );
+        let gap = (isolated - full.latency_ms).abs() / full.latency_ms;
+        assert!(
+            gap < 0.05,
+            "isolated {isolated} vs full {}",
+            full.latency_ms
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # exion-serve
+//!
+//! Request-level serving simulation over the EXION accelerator: the layer
+//! between the cycle-level simulator (one inference at a fixed batch) and
+//! the ROADMAP's production-scale north star (heavy traffic from millions of
+//! users).
+//!
+//! The subsystem models the full request path:
+//!
+//! * [`trace`] — deterministic, seeded arrival streams (Poisson steady
+//!   state, two-state bursty MMPP, diurnal ramp) over weighted model mixes
+//!   of the `exion-model` zoo;
+//! * [`scheduler`] / [`cluster`] — a continuous batcher that exploits the
+//!   iterative structure of DDIM denoising: requests join and leave running
+//!   batches at *iteration boundaries* rather than waiting for a full batch
+//!   drain, across one or more hardware instances;
+//! * [`policy`] — admission policies: FCFS, SLO-aware EDF, and a
+//!   sparsity-aware policy that only admits at FFN-Reuse dense boundaries so
+//!   co-batched requests stay phase-aligned and sparse iterations are never
+//!   forfeited to a straggler;
+//! * [`cost`] — memoized per-iteration pricing through
+//!   [`exion_sim::simulate_iteration`], including cold (weight-streaming)
+//!   model switches vs GSC-resident warm iterations;
+//! * [`metrics`] — p50/p95/p99 latency, goodput, SLO attainment,
+//!   utilization, queue depth, and joules per request.
+//!
+//! # Example
+//!
+//! ```
+//! use exion_serve::{
+//!     Policy, ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+//! };
+//! use exion_sim::config::HwConfig;
+//!
+//! let mut sim = ServeSimulator::new(
+//!     ServeConfig::new(HwConfig::exion4()).with_policy(Policy::SparsityAware),
+//! );
+//! let report = sim.run(&TraceConfig {
+//!     pattern: TrafficPattern::Poisson { rate_rps: 50.0 },
+//!     horizon_ms: 500.0,
+//!     seed: 7,
+//!     mix: WorkloadMix::text_to_motion(),
+//! });
+//! assert_eq!(report.completed, report.arrivals);
+//! assert!(report.latency.p99 >= report.latency.p50);
+//! ```
+
+pub mod cluster;
+pub mod cost;
+pub mod metrics;
+pub mod policy;
+pub mod request;
+pub mod scheduler;
+pub mod trace;
+
+pub use cluster::{ServeConfig, ServeSimulator};
+pub use cost::CostModel;
+pub use metrics::{InstanceStats, LatencyStats, ServeReport};
+pub use policy::Policy;
+pub use request::{Completion, Request, RequestId};
+pub use trace::{Arrival, TraceConfig, TrafficPattern, WorkloadMix};

@@ -1,0 +1,195 @@
+//! Serving metrics: tail latency, goodput, utilization, energy per request.
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::Completion;
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q ∈ [0, 1]`).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Distribution summary of a latency-like sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median (ms).
+    pub p50: f64,
+    /// 95th percentile (ms).
+    pub p95: f64,
+    /// 99th percentile (ms).
+    pub p99: f64,
+    /// Mean (ms).
+    pub mean: f64,
+    /// Maximum (ms).
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Stats of an unsorted sample (all zeros when empty).
+    pub fn from_unsorted(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self {
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                mean: 0.0,
+                max: 0.0,
+            };
+        }
+        samples.sort_by(f64::total_cmp);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Self {
+            p50: percentile(&samples, 0.50),
+            p95: percentile(&samples, 0.95),
+            p99: percentile(&samples, 0.99),
+            mean,
+            max: *samples.last().unwrap(),
+        }
+    }
+}
+
+/// Per-instance accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceStats {
+    /// Busy fraction of the makespan.
+    pub utilization: f64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Fraction of iterations run in the FFN-Reuse sparse phase.
+    pub sparse_iteration_frac: f64,
+    /// Mean batch occupancy over executed iterations (rows/iteration).
+    pub mean_batch: f64,
+    /// Energy consumed (mJ).
+    pub energy_mj: f64,
+    /// Cold model switches (weight re-fetch from DRAM).
+    pub cold_switches: u64,
+}
+
+/// The full report of one serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Hardware instance name (e.g. `EXION4`).
+    pub hw_name: String,
+    /// Scheduler policy name.
+    pub policy: String,
+    /// Traffic pattern name.
+    pub pattern: String,
+    /// Hardware instance count.
+    pub instances: usize,
+    /// Requests that arrived within the horizon.
+    pub arrivals: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Offered load (requests/s over the horizon).
+    pub offered_rps: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// Within-SLO completions per second of makespan.
+    pub goodput_rps: f64,
+    /// Fraction of completed requests that met their SLO.
+    pub slo_attainment: f64,
+    /// Trace horizon (ms).
+    pub horizon_ms: f64,
+    /// Time until the last completion (ms).
+    pub makespan_ms: f64,
+    /// End-to-end latency distribution (ms).
+    pub latency: LatencyStats,
+    /// Queueing-delay distribution (ms).
+    pub queue_delay: LatencyStats,
+    /// Total energy over all instances (mJ).
+    pub energy_mj: f64,
+    /// Energy per completed request (J).
+    pub joules_per_request: f64,
+    /// Mean busy fraction across instances.
+    pub mean_utilization: f64,
+    /// Mean batch occupancy across executed iterations.
+    pub mean_batch_occupancy: f64,
+    /// Fraction of executed iterations in the sparse phase.
+    pub sparse_iteration_frac: f64,
+    /// Time-weighted mean queue depth.
+    pub mean_queue_depth: f64,
+    /// Peak queue depth.
+    pub peak_queue_depth: usize,
+    /// Total cold model switches.
+    pub cold_switches: u64,
+    /// Per-instance accounting.
+    pub per_instance: Vec<InstanceStats>,
+    /// Every completion record (tests and downstream analysis).
+    pub completions: Vec<Completion>,
+}
+
+impl ServeReport {
+    /// One-line summary for sweeps.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:>8.1} rps | p50 {:>9.2} ms | p99 {:>10.2} ms | goodput {:>7.1} rps | \
+             util {:>5.1}% | batch {:>4.2} | {:>7.3} J/req",
+            self.offered_rps,
+            self.latency.p50,
+            self.latency.p99,
+            self.goodput_rps,
+            100.0 * self.mean_utilization,
+            self.mean_batch_occupancy,
+            self.joules_per_request,
+        )
+    }
+}
+
+/// Integrates a `(time, +1/-1)` event stream into time-weighted mean and
+/// peak depth over `[0, end_ms]`.
+pub(crate) fn queue_depth_stats(events: &mut [(f64, i64)], end_ms: f64) -> (f64, usize) {
+    if events.is_empty() || end_ms <= 0.0 {
+        return (0.0, 0);
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut depth = 0i64;
+    let mut peak = 0i64;
+    let mut area = 0.0;
+    let mut prev = 0.0;
+    for &(t, delta) in events.iter() {
+        let t = t.min(end_ms);
+        area += depth as f64 * (t - prev);
+        prev = t;
+        depth += delta;
+        peak = peak.max(depth);
+    }
+    area += depth as f64 * (end_ms - prev).max(0.0);
+    (area / end_ms, peak.max(0) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.95), 95.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn stats_of_constant_sample() {
+        let s = LatencyStats::from_unsorted(vec![7.0; 32]);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn queue_depth_integration() {
+        // Depth 1 over [0,4), 2 over [4,6), 0 after 8 → area 4+4+2 = 10 over 10.
+        let mut events = vec![(0.0, 1), (4.0, 1), (6.0, -1), (8.0, -1)];
+        let (mean, peak) = queue_depth_stats(&mut events, 10.0);
+        assert!((mean - 1.0).abs() < 1e-12, "{mean}");
+        assert_eq!(peak, 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Admission-ordering policies of the continuous batcher.
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::Request;
+
+/// How queued requests are ordered (and gated) for admission into running
+/// batches at iteration boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// First-come-first-served on arrival time.
+    Fcfs,
+    /// SLO-aware earliest-deadline-first.
+    Edf,
+    /// FCFS ordering, but admission into a non-empty batch waits for the
+    /// batch's FFN-Reuse dense boundary, so every member stays in the same
+    /// dense/sparse phase and sparse iterations are never forfeited to a
+    /// straggler.
+    SparsityAware,
+}
+
+impl Policy {
+    /// All policies in presentation order.
+    pub const ALL: [Policy; 3] = [Policy::Fcfs, Policy::Edf, Policy::SparsityAware];
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Fcfs => "fcfs",
+            Policy::Edf => "edf",
+            Policy::SparsityAware => "sparsity-aware",
+        }
+    }
+
+    /// Sort key: smaller is admitted first. The id tie-break keeps the
+    /// ordering total and deterministic.
+    pub(crate) fn key(&self, r: &Request) -> (f64, u64) {
+        match self {
+            Policy::Fcfs | Policy::SparsityAware => (r.arrival_ms, r.id),
+            Policy::Edf => (r.deadline_ms(), r.id),
+        }
+    }
+
+    /// Whether admission into a batch whose members sit `steps_into_period`
+    /// steps past the last dense boundary is allowed.
+    pub(crate) fn admits_mid_period(&self, steps_into_period: usize) -> bool {
+        match self {
+            Policy::Fcfs | Policy::Edf => true,
+            Policy::SparsityAware => steps_into_period == 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exion_model::config::ModelKind;
+
+    #[test]
+    fn edf_orders_by_deadline_not_arrival() {
+        let early_arrival = Request::new(0, ModelKind::Mld, 0.0, 100.0, 50);
+        let urgent = Request::new(1, ModelKind::Mld, 10.0, 20.0, 50);
+        assert!(Policy::Fcfs.key(&early_arrival) < Policy::Fcfs.key(&urgent));
+        assert!(Policy::Edf.key(&urgent) < Policy::Edf.key(&early_arrival));
+    }
+
+    #[test]
+    fn sparsity_aware_gates_on_boundary() {
+        assert!(Policy::SparsityAware.admits_mid_period(0));
+        assert!(!Policy::SparsityAware.admits_mid_period(3));
+        assert!(Policy::Fcfs.admits_mid_period(3));
+        assert!(Policy::Edf.admits_mid_period(3));
+    }
+}

@@ -1,0 +1,131 @@
+//! Generation requests and their lifecycle records.
+
+use exion_model::config::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Monotone request identifier, assigned in arrival order.
+pub type RequestId = u64;
+
+/// One in-flight generation request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Identifier (also the arrival rank).
+    pub id: RequestId,
+    /// Which benchmark model the request targets.
+    pub model: ModelKind,
+    /// Arrival time (ms since simulation start).
+    pub arrival_ms: f64,
+    /// Latency SLO measured from arrival (ms).
+    pub slo_ms: f64,
+    /// Denoising steps the request needs in total.
+    pub total_steps: usize,
+    /// Denoising steps already executed.
+    pub steps_done: usize,
+    /// When the request was first admitted into a running batch (ms);
+    /// `None` while queued.
+    pub admitted_ms: Option<f64>,
+}
+
+impl Request {
+    /// A fresh queued request.
+    pub fn new(
+        id: RequestId,
+        model: ModelKind,
+        arrival_ms: f64,
+        slo_ms: f64,
+        total_steps: usize,
+    ) -> Self {
+        Self {
+            id,
+            model,
+            arrival_ms,
+            slo_ms,
+            total_steps,
+            steps_done: 0,
+            admitted_ms: None,
+        }
+    }
+
+    /// Absolute completion deadline (ms).
+    pub fn deadline_ms(&self) -> f64 {
+        self.arrival_ms + self.slo_ms
+    }
+
+    /// Remaining denoising steps.
+    pub fn steps_left(&self) -> usize {
+        self.total_steps.saturating_sub(self.steps_done)
+    }
+
+    /// Whether every denoising step has run.
+    pub fn is_done(&self) -> bool {
+        self.steps_done >= self.total_steps
+    }
+}
+
+/// The immutable record of one finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Benchmark model.
+    pub model: ModelKind,
+    /// Arrival time (ms).
+    pub arrival_ms: f64,
+    /// First admission into a batch (ms).
+    pub admitted_ms: f64,
+    /// Completion time (ms).
+    pub finished_ms: f64,
+    /// Latency SLO from arrival (ms).
+    pub slo_ms: f64,
+    /// Index of the hardware instance that served the request.
+    pub instance: usize,
+}
+
+impl Completion {
+    /// End-to-end latency: queueing plus service (ms).
+    pub fn latency_ms(&self) -> f64 {
+        self.finished_ms - self.arrival_ms
+    }
+
+    /// Time spent queued before first admission (ms).
+    pub fn queue_ms(&self) -> f64 {
+        self.admitted_ms - self.arrival_ms
+    }
+
+    /// Whether the request met its SLO.
+    pub fn within_slo(&self) -> bool {
+        self.latency_ms() <= self.slo_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_accessors() {
+        let mut r = Request::new(3, ModelKind::Mld, 10.0, 40.0, 50);
+        assert_eq!(r.deadline_ms(), 50.0);
+        assert_eq!(r.steps_left(), 50);
+        assert!(!r.is_done());
+        r.steps_done = 50;
+        assert!(r.is_done());
+        assert_eq!(r.steps_left(), 0);
+    }
+
+    #[test]
+    fn completion_latency_split() {
+        let c = Completion {
+            id: 1,
+            model: ModelKind::Dit,
+            arrival_ms: 5.0,
+            admitted_ms: 9.0,
+            finished_ms: 30.0,
+            slo_ms: 26.0,
+            instance: 0,
+        };
+        assert_eq!(c.latency_ms(), 25.0);
+        assert_eq!(c.queue_ms(), 4.0);
+        assert!(c.within_slo());
+    }
+}

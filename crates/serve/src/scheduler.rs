@@ -1,0 +1,312 @@
+//! The per-instance continuous batcher.
+//!
+//! DDIM denoising is an iterative loop, so a running batch reaches a
+//! scheduling point at every iteration boundary: finished requests leave,
+//! and queued requests are admitted into the freed slots without waiting for
+//! the whole batch to drain (continuous batching at iteration granularity).
+//! An instance executes one model at a time — its weights are the ones
+//! GSC-resident — and switching models costs a cold (weight-streaming)
+//! iteration.
+
+use exion_model::config::{IterationPhase, ModelConfig, ModelKind};
+
+use crate::cost::CostModel;
+use crate::metrics::InstanceStats;
+use crate::policy::Policy;
+use crate::request::{Completion, Request};
+
+/// One accelerator instance's scheduler state.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance index within the cluster.
+    pub id: usize,
+    /// Local clock (ms). `f64::INFINITY` marks a drained instance.
+    pub now_ms: f64,
+    /// The model whose batch is currently running (sticky after drain).
+    pub active_model: Option<ModelKind>,
+    /// The model whose weights are GSC-resident, if any.
+    resident_model: Option<ModelKind>,
+    /// The running batch.
+    pub running: Vec<Request>,
+    busy_ms: f64,
+    energy_mj: f64,
+    iterations: u64,
+    sparse_iterations: u64,
+    batch_rows: u64,
+    cold_switches: u64,
+}
+
+impl Instance {
+    /// A fresh idle instance.
+    pub fn new(id: usize) -> Self {
+        Self {
+            id,
+            now_ms: 0.0,
+            active_model: None,
+            resident_model: None,
+            running: Vec::new(),
+            busy_ms: 0.0,
+            energy_mj: 0.0,
+            iterations: 0,
+            sparse_iterations: 0,
+            batch_rows: 0,
+            cold_switches: 0,
+        }
+    }
+
+    /// Whether the instance has no running batch.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty()
+    }
+
+    /// Steps the running members sit past their last dense boundary.
+    /// Members admitted under [`Policy::SparsityAware`] stay mutually
+    /// aligned, so the first member is representative; under other policies
+    /// the value is only used for reporting.
+    fn steps_into_period(&self, period: usize) -> usize {
+        self.running
+            .first()
+            .map(|r| r.steps_done % period)
+            .unwrap_or(0)
+    }
+
+    /// Admits queued requests into free slots at this iteration boundary.
+    /// Returns the ids admitted (their `admitted_ms` is stamped).
+    ///
+    /// An idle instance may seed a batch of any queued model (switching the
+    /// active model); a busy one only tops up with its active model, gated
+    /// by the policy's phase-boundary rule.
+    pub fn admit(
+        &mut self,
+        queue: &mut Vec<Request>,
+        policy: Policy,
+        max_batch: usize,
+        period: impl Fn(ModelKind) -> usize,
+    ) -> Vec<(u64, f64)> {
+        let mut admitted = Vec::new();
+        if queue.is_empty() {
+            return admitted;
+        }
+
+        // The policy's most urgent queued request.
+        let urgent_idx = (0..queue.len())
+            .min_by(|&a, &b| {
+                policy
+                    .key(&queue[a])
+                    .partial_cmp(&policy.key(&queue[b]))
+                    .unwrap()
+            })
+            .unwrap();
+        if self.running.is_empty() {
+            // Seed: the most urgent request picks the model.
+            self.active_model = Some(queue[urgent_idx].model);
+        } else {
+            let model = self.active_model.expect("running batch has a model");
+            // Anti-starvation: when the most urgent request targets another
+            // model, stop topping up and let the batch drain so the
+            // instance can switch. Without this, continuous top-up under
+            // backlog lets the first-seeded model monopolize the instance.
+            if queue[urgent_idx].model != model {
+                return admitted;
+            }
+            if !policy.admits_mid_period(self.steps_into_period(period(model))) {
+                return admitted;
+            }
+        }
+
+        let model = self.active_model.unwrap();
+        let free = max_batch.saturating_sub(self.running.len());
+        let mut candidates: Vec<usize> = (0..queue.len())
+            .filter(|&i| queue[i].model == model)
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            policy
+                .key(&queue[a])
+                .partial_cmp(&policy.key(&queue[b]))
+                .unwrap()
+        });
+        candidates.truncate(free);
+        // Remove back-to-front so earlier indices stay valid.
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in candidates {
+            let mut r = queue.swap_remove(idx);
+            r.admitted_ms = Some(self.now_ms);
+            admitted.push((r.id, self.now_ms));
+            self.running.push(r);
+        }
+        // Keep the batch in deterministic id order regardless of removal
+        // order above.
+        self.running.sort_by_key(|r| r.id);
+        admitted
+    }
+
+    /// Executes one denoising iteration for the running batch, advancing the
+    /// local clock and returning the completions it produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty.
+    pub fn execute_iteration(
+        &mut self,
+        cost: &mut CostModel,
+        configs: &dyn Fn(ModelKind) -> ModelConfig,
+    ) -> Vec<Completion> {
+        assert!(!self.running.is_empty(), "executing an empty batch");
+        let model = self.active_model.expect("running batch has a model");
+        let config = configs(model);
+        let period = cost.period(&config);
+
+        // The iteration runs sparse only when every member is in its sparse
+        // phase; one member at a dense boundary forces a dense (bitmask
+        // regenerating) pass for the whole batch.
+        let all_sparse = self.running.iter().all(|r| r.steps_done % period != 0);
+        let phase = if all_sparse {
+            IterationPhase::Sparse
+        } else {
+            IterationPhase::Dense
+        };
+
+        let warm = self.resident_model == Some(model);
+        if !warm {
+            self.cold_switches += 1;
+        }
+        let batch = self.running.len() as u64;
+        let c = cost
+            .iteration(&config, batch, phase, warm)
+            .expect("non-empty batch and in-range step");
+
+        self.now_ms += c.latency_ms;
+        self.busy_ms += c.latency_ms;
+        self.energy_mj += c.energy_mj;
+        self.iterations += 1;
+        if phase.is_sparse() {
+            self.sparse_iterations += 1;
+        }
+        self.batch_rows += batch;
+        self.resident_model = Some(model);
+
+        let mut done = Vec::new();
+        let now = self.now_ms;
+        let id = self.id;
+        self.running.retain_mut(|r| {
+            r.steps_done += 1;
+            if r.is_done() {
+                done.push(Completion {
+                    id: r.id,
+                    model: r.model,
+                    arrival_ms: r.arrival_ms,
+                    admitted_ms: r.admitted_ms.expect("running request was admitted"),
+                    finished_ms: now,
+                    slo_ms: r.slo_ms,
+                    instance: id,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+
+    /// Final accounting over a makespan.
+    pub fn stats(&self, makespan_ms: f64) -> InstanceStats {
+        InstanceStats {
+            utilization: if makespan_ms > 0.0 {
+                self.busy_ms / makespan_ms
+            } else {
+                0.0
+            },
+            iterations: self.iterations,
+            sparse_iteration_frac: if self.iterations > 0 {
+                self.sparse_iterations as f64 / self.iterations as f64
+            } else {
+                0.0
+            },
+            mean_batch: if self.iterations > 0 {
+                self.batch_rows as f64 / self.iterations as f64
+            } else {
+                0.0
+            },
+            energy_mj: self.energy_mj,
+            cold_switches: self.cold_switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exion_sim::config::HwConfig;
+    use exion_sim::perf::SimAblation;
+
+    fn tiny(kind: ModelKind) -> ModelConfig {
+        ModelConfig::for_kind(kind).shrunk(1, 12)
+    }
+
+    fn queue_of(kinds: &[ModelKind]) -> Vec<Request> {
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Request::new(i as u64, k, i as f64, 1e9, tiny(k).iterations))
+            .collect()
+    }
+
+    #[test]
+    fn admission_fills_slots_with_one_model() {
+        let mut inst = Instance::new(0);
+        let mut queue = queue_of(&[ModelKind::Mld, ModelKind::Mdm, ModelKind::Mld]);
+        let admitted = inst.admit(&mut queue, Policy::Fcfs, 8, |_| 5);
+        // Seeded with MLD (earliest arrival), so both MLD requests join.
+        assert_eq!(admitted.len(), 2);
+        assert_eq!(inst.active_model, Some(ModelKind::Mld));
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue[0].model, ModelKind::Mdm);
+    }
+
+    #[test]
+    fn max_batch_bounds_admission() {
+        let mut inst = Instance::new(0);
+        let mut queue = queue_of(&[ModelKind::Mld; 12]);
+        let admitted = inst.admit(&mut queue, Policy::Fcfs, 4, |_| 5);
+        assert_eq!(admitted.len(), 4);
+        // Earliest arrivals won the slots.
+        let ids: Vec<u64> = inst.running.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sparsity_aware_waits_for_boundary() {
+        let mut inst = Instance::new(0);
+        let mut queue = queue_of(&[ModelKind::Mld; 4]);
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        inst.admit(&mut queue, Policy::SparsityAware, 2, |_| 5);
+        assert_eq!(inst.running.len(), 2);
+        // One step in: mid-period, so the gate closes.
+        inst.execute_iteration(&mut cost, &|k| tiny(k));
+        let admitted = inst.admit(&mut queue, Policy::SparsityAware, 4, |_| 5);
+        assert!(admitted.is_empty());
+        // FCFS would have admitted immediately.
+        let admitted = inst.admit(&mut queue, Policy::Fcfs, 4, |_| 5);
+        assert_eq!(admitted.len(), 2);
+    }
+
+    #[test]
+    fn completions_carry_timing() {
+        let mut inst = Instance::new(3);
+        let mut queue = queue_of(&[ModelKind::Mld]);
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        inst.admit(&mut queue, Policy::Fcfs, 8, |_| 5);
+        let total = tiny(ModelKind::Mld).iterations;
+        let mut done = Vec::new();
+        for _ in 0..total {
+            done.extend(inst.execute_iteration(&mut cost, &|k| tiny(k)));
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].instance, 3);
+        assert!(done[0].finished_ms > 0.0);
+        assert!(inst.is_idle());
+        let stats = inst.stats(inst.now_ms);
+        assert_eq!(stats.iterations, total as u64);
+        assert!(stats.utilization > 0.99);
+    }
+}

@@ -105,6 +105,9 @@ mod tests {
 
     #[test]
     fn zero_elements_zero_cycles() {
-        assert_eq!(model().cycles(SpecialFunc::Softmax, 0, CfseWidth::TwoWay16), 0);
+        assert_eq!(
+            model().cycles(SpecialFunc::Softmax, 0, CfseWidth::TwoWay16),
+            0
+        );
     }
 }

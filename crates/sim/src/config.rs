@@ -194,8 +194,8 @@ impl HwConfig {
     /// at 1 op each. For the paper's geometry this yields 9.8 TOPS per DSC
     /// (Table II's footnote: "throughput of a single DSC is 9.8 TOPS").
     pub fn peak_tops(&self) -> f64 {
-        let per_dsc_ops_per_cycle = 2 * self.geometry.sdue_macs_per_cycle()
-            + self.geometry.epre_macs_per_cycle();
+        let per_dsc_ops_per_cycle =
+            2 * self.geometry.sdue_macs_per_cycle() + self.geometry.epre_macs_per_cycle();
         per_dsc_ops_per_cycle as f64 * self.dsc_count as f64 * self.clock_mhz * 1e6 / 1e12
     }
 

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::cau::CauModel;
 use crate::cfse::CfseModel;
 use crate::config::HwConfig;
-use crate::energy::{Engine, EnergyAccumulator};
+use crate::energy::{EnergyAccumulator, Engine};
 use crate::epre::EpreModel;
 use crate::sdue::SdueModel;
 use crate::workload::{DscOp, IterationPlan};
@@ -99,6 +99,15 @@ impl DscSimulator {
         &self.config
     }
 
+    /// Marks the model weights as already resident in the GSC, as in the
+    /// steady state of a serving loop where the same model runs
+    /// back-to-back. Subsequent iterations skip the DRAM traffic for the
+    /// GSC-resident fraction, exactly as iterations after the first do in a
+    /// cold run.
+    pub fn preload_weights(&mut self) {
+        self.weights_resident = true;
+    }
+
     /// Executes one diffusion iteration's op list.
     pub fn execute_iteration(&mut self, plan: &IterationPlan) {
         let dsc = self.config.dsc_count as u64;
@@ -114,9 +123,8 @@ impl DscSimulator {
                 DscOp::Mmul(desc) => {
                     let m_share = desc.m.div_ceil(dsc);
                     let dense_blocks = self.sdue.dense_blocks_per_tile(desc.n) as f64;
-                    let blocks = (dense_blocks * desc.block_frac).max(f64::from(u8::from(
-                        desc.block_frac > 0.0,
-                    )));
+                    let blocks = (dense_blocks * desc.block_frac)
+                        .max(f64::from(u8::from(desc.block_frac > 0.0)));
                     let c = self.sdue.mmul_cycles(m_share, desc.k_eff(), blocks) as f64;
                     sdue_c += c;
                     sdue_active += c * desc.utilization;
@@ -144,8 +152,7 @@ impl DscSimulator {
                     tiles,
                 } => {
                     let tile_share = tiles.div_ceil(dsc);
-                    cau_c +=
-                        (self.cau.estimate_cycles(*cols, *surviving_frac) * tile_share) as f64;
+                    cau_c += (self.cau.estimate_cycles(*cols, *surviving_frac) * tile_share) as f64;
                 }
             }
         }
@@ -177,19 +184,14 @@ impl DscSimulator {
             self.weights_resident = true;
         }
 
-        let iter_cycles = sdue_c
-            .max(epre_c)
-            .max(cfse_c)
-            .max(cau_c)
-            .max(dram_c)
-            + ITERATION_FILL_CYCLES;
+        let iter_cycles =
+            sdue_c.max(epre_c).max(cfse_c).max(cau_c).max(dram_c) + ITERATION_FILL_CYCLES;
 
         self.acc.record(Engine::Sdue, sdue_active, 1.0);
         self.acc.record(Engine::Epre, epre_c, 1.0);
         self.acc.record(Engine::Cfse, cfse_c, 1.0);
         self.acc.record(Engine::Cau, cau_c, 1.0);
-        self.acc
-            .record(Engine::Memories, sdue_c.max(cfse_c), 1.0);
+        self.acc.record(Engine::Memories, sdue_c.max(cfse_c), 1.0);
         self.acc.record(Engine::Control, dram_c, 1.0);
         self.acc.advance(iter_cycles);
         self.now_ns += iter_cycles * self.config.cycle_ns();
@@ -211,9 +213,8 @@ impl DscSimulator {
             .map(|&e| (e, self.acc.engine_energy_mj(e, clock) * dsc_count))
             .collect();
         let dsc_energy_mj = engine_energy_mj.iter().map(|(_, e)| e).sum();
-        let dram_energy_mj = (self.dram.dynamic_energy_pj()
-            + self.dram.background_energy_pj(self.now_ns))
-            * 1e-9;
+        let dram_energy_mj =
+            (self.dram.dynamic_energy_pj() + self.dram.background_energy_pj(self.now_ns)) * 1e-9;
         DscReport {
             total_cycles: self.acc.elapsed_cycles,
             seconds,
@@ -342,10 +343,8 @@ mod tests {
     #[test]
     fn full_iteration_produces_energy_breakdown() {
         let hw = HwConfig::exion4();
-        let params = exion_model::config::ModelConfig::for_kind(
-            exion_model::config::ModelKind::Mdm,
-        )
-        .paper;
+        let params =
+            exion_model::config::ModelConfig::for_kind(exion_model::config::ModelKind::Mdm).paper;
         let flags = crate::workload::IterationKindFlags {
             ffn_sparse: true,
             ffn_dense_with_cau: false,

@@ -107,7 +107,10 @@ impl EnergyAccumulator {
     }
 
     fn idx(engine: Engine) -> usize {
-        Engine::ALL.iter().position(|&e| e == engine).expect("known engine")
+        Engine::ALL
+            .iter()
+            .position(|&e| e == engine)
+            .expect("known engine")
     }
 
     /// Records `cycles` of activity on `engine` at the given utilization

@@ -115,7 +115,11 @@ impl Instruction {
                     | u64::from(blocks & 0xFFF) << 12
                     | u64::from(k_steps & 0xFFF)
             }
-            Instruction::Special { func, beats, two_way } => {
+            Instruction::Special {
+                func,
+                beats,
+                two_way,
+            } => {
                 OP_SPECIAL << 60
                     | u64::from(func & 0x7) << 25
                     | u64::from(two_way) << 24
@@ -197,12 +201,15 @@ pub fn assemble_iteration(plan: &IterationPlan, array: usize, lane: usize) -> Ve
                     merged: d.block_frac < 1.0,
                 });
                 prog.push(Instruction::Store {
-                    beats: ((d.m * d.n.min(array as u64 * blocks as u64) * 3 / 2)
-                        .div_ceil(32))
-                    .min(0xF_FFFF_u64) as u32,
+                    beats: ((d.m * d.n.min(array as u64 * blocks as u64) * 3 / 2).div_ceil(32))
+                        .min(0xF_FFFF_u64) as u32,
                 });
             }
-            DscOp::Special { func, elements, width } => {
+            DscOp::Special {
+                func,
+                elements,
+                width,
+            } => {
                 let f = match func {
                     crate::cfse::SpecialFunc::Softmax => 0,
                     crate::cfse::SpecialFunc::LayerNorm => 1,
@@ -245,12 +252,36 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let cases = [
-            Instruction::Load { target: 1, buf: 2, beats: 123_456 },
-            Instruction::Mmul { row_tiles: 12, blocks: 256, k_steps: 64, merged: true },
-            Instruction::Mmul { row_tiles: 1, blocks: 1, k_steps: 1, merged: false },
-            Instruction::Special { func: 4, beats: 9_999_999, two_way: true },
-            Instruction::Predict { tokens: 196, heads: 16 },
-            Instruction::Merge { cols: 4000, tiles: 13 },
+            Instruction::Load {
+                target: 1,
+                buf: 2,
+                beats: 123_456,
+            },
+            Instruction::Mmul {
+                row_tiles: 12,
+                blocks: 256,
+                k_steps: 64,
+                merged: true,
+            },
+            Instruction::Mmul {
+                row_tiles: 1,
+                blocks: 1,
+                k_steps: 1,
+                merged: false,
+            },
+            Instruction::Special {
+                func: 4,
+                beats: 9_999_999,
+                two_way: true,
+            },
+            Instruction::Predict {
+                tokens: 196,
+                heads: 16,
+            },
+            Instruction::Merge {
+                cols: 4000,
+                tiles: 13,
+            },
             Instruction::Store { beats: 77 },
             Instruction::Barrier,
         ];

@@ -43,5 +43,7 @@ pub mod sram;
 pub mod workload;
 
 pub use config::HwConfig;
-pub use perf::{simulate_model, PerfReport};
+pub use perf::{
+    simulate_iteration, simulate_model, try_simulate_model, IterationCost, PerfReport, SimError,
+};
 pub use workload::SparsityProfile;

@@ -23,8 +23,12 @@ pub enum SimAblation {
 
 impl SimAblation {
     /// All ablations in the paper's plotting order.
-    pub const ALL: [SimAblation; 4] =
-        [SimAblation::Base, SimAblation::Ep, SimAblation::Ffnr, SimAblation::All];
+    pub const ALL: [SimAblation; 4] = [
+        SimAblation::Base,
+        SimAblation::Ep,
+        SimAblation::Ffnr,
+        SimAblation::All,
+    ];
 
     /// Suffix used in the paper's config names.
     pub fn suffix(&self) -> &'static str {
@@ -46,6 +50,34 @@ impl SimAblation {
         matches!(self, SimAblation::Ep | SimAblation::All)
     }
 }
+
+/// Errors of the non-panicking simulation entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// `batch == 0` was requested.
+    ZeroBatch,
+    /// A per-iteration simulation was asked for a step past the model's
+    /// denoising schedule.
+    StepOutOfRange {
+        /// The requested 0-based step.
+        step: usize,
+        /// The model's iteration count.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ZeroBatch => write!(f, "batch must be positive"),
+            SimError::StepOutOfRange { step, iterations } => {
+                write!(f, "step {step} out of range for {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// End-to-end performance report of one (hardware, model, ablation, batch)
 /// point.
@@ -92,6 +124,82 @@ impl PerfReport {
     }
 }
 
+/// The iteration flags `ablation` implies for denoising step `step` of
+/// `model` — the FFN-Reuse phase comes from the model's iteration-boundary
+/// metadata.
+fn flags_for_step(model: &ModelConfig, ablation: SimAblation, step: usize) -> IterationKindFlags {
+    let ffnr = ablation.ffn_reuse();
+    let sparse = ffnr && model.ffn_reuse.phase_of_step(step).is_sparse();
+    IterationKindFlags {
+        ffn_sparse: sparse,
+        ffn_dense_with_cau: ffnr && !sparse,
+        ep: ablation.ep(),
+    }
+}
+
+/// Cost of one denoising iteration on an accelerator instance — the
+/// per-iteration hook that request-level serving simulators batch against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationCost {
+    /// Iteration latency (ms).
+    pub latency_ms: f64,
+    /// Iteration energy: DSCs + DRAM (mJ).
+    pub energy_mj: f64,
+    /// Dense-equivalent operations of the iteration.
+    pub dense_ops: f64,
+}
+
+/// Simulates a single denoising iteration of `model` at `batch` rows.
+///
+/// `step` selects the FFN-Reuse phase (dense boundary or sparse reuse) via
+/// the model's iteration metadata. `warm` marks the model weights as already
+/// GSC-resident, as in the steady state of a serving loop; a cold iteration
+/// pays the initial DRAM fetch.
+pub fn simulate_iteration(
+    hw: &HwConfig,
+    model: &ModelConfig,
+    profile: &SparsityProfile,
+    ablation: SimAblation,
+    batch: u64,
+    step: usize,
+    warm: bool,
+) -> Result<IterationCost, SimError> {
+    if batch == 0 {
+        return Err(SimError::ZeroBatch);
+    }
+    if step >= model.iterations {
+        return Err(SimError::StepOutOfRange {
+            step,
+            iterations: model.iterations,
+        });
+    }
+    let dense_profile = SparsityProfile::dense();
+    let active_profile = if ablation == SimAblation::Base {
+        &dense_profile
+    } else {
+        profile
+    };
+    let plan = build_iteration(
+        &model.paper,
+        model.network,
+        model.geglu,
+        flags_for_step(model, ablation, step),
+        active_profile,
+        batch,
+    );
+    let mut sim = DscSimulator::new(hw);
+    if warm {
+        sim.preload_weights();
+    }
+    sim.execute_iteration(&plan);
+    let detail = sim.finish();
+    Ok(IterationCost {
+        latency_ms: detail.seconds * 1e3,
+        energy_mj: detail.total_energy_mj(),
+        dense_ops: 2.0 * plan.dense_equivalent_macs as f64,
+    })
+}
+
 /// Simulates one benchmark end to end on an accelerator instance.
 ///
 /// `profile` carries the measured (or analytic) sparsity/compaction summary
@@ -100,7 +208,8 @@ impl PerfReport {
 ///
 /// # Panics
 ///
-/// Panics if `batch == 0`.
+/// Panics if `batch == 0`. [`try_simulate_model`] is the non-panicking
+/// variant.
 pub fn simulate_model(
     hw: &HwConfig,
     model: &ModelConfig,
@@ -108,20 +217,28 @@ pub fn simulate_model(
     ablation: SimAblation,
     batch: u64,
 ) -> PerfReport {
-    assert!(batch > 0, "batch must be positive");
+    match try_simulate_model(hw, model, profile, ablation, batch) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Non-panicking [`simulate_model`]: rejects `batch == 0` as a [`SimError`].
+pub fn try_simulate_model(
+    hw: &HwConfig,
+    model: &ModelConfig,
+    profile: &SparsityProfile,
+    ablation: SimAblation,
+    batch: u64,
+) -> Result<PerfReport, SimError> {
+    if batch == 0 {
+        return Err(SimError::ZeroBatch);
+    }
     let mut sim = DscSimulator::new(hw);
-    let n = model.ffn_reuse.sparse_iters;
     let dense_profile = SparsityProfile::dense();
     let mut dense_macs = 0u64;
 
     for i in 0..model.iterations {
-        let ffnr = ablation.ffn_reuse();
-        let is_sparse = ffnr && i % (n + 1) != 0;
-        let flags = IterationKindFlags {
-            ffn_sparse: is_sparse,
-            ffn_dense_with_cau: ffnr && !is_sparse,
-            ep: ablation.ep(),
-        };
         let active_profile = if ablation == SimAblation::Base {
             &dense_profile
         } else {
@@ -131,7 +248,7 @@ pub fn simulate_model(
             &model.paper,
             model.network,
             model.geglu,
-            flags,
+            flags_for_step(model, ablation, i),
             active_profile,
             batch,
         );
@@ -153,7 +270,7 @@ pub fn simulate_model(
     } else {
         0.0
     };
-    PerfReport {
+    Ok(PerfReport {
         name: format!("{}_{}", hw.name, ablation.suffix()),
         latency_ms,
         energy_mj,
@@ -161,7 +278,7 @@ pub fn simulate_model(
         effective_tops,
         tops_per_watt,
         detail,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -197,13 +314,7 @@ mod tests {
     fn base_effective_tops_bounded_by_peak() {
         let model = ModelConfig::for_kind(ModelKind::Dit);
         let hw = HwConfig::exion24();
-        let base = simulate_model(
-            &hw,
-            &model,
-            &SparsityProfile::dense(),
-            SimAblation::Base,
-            8,
-        );
+        let base = simulate_model(&hw, &model, &SparsityProfile::dense(), SimAblation::Base, 8);
         assert!(base.effective_tops <= hw.peak_tops());
         assert!(base.effective_tops > 0.05 * hw.peak_tops());
     }
@@ -240,6 +351,85 @@ mod tests {
         let total: f64 = Engine::ALL.iter().map(|&e| r.engine_share(e)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(r.mean_power_w() > 0.0);
+    }
+
+    #[test]
+    fn try_simulate_matches_panicking_variant() {
+        let model = ModelConfig::for_kind(ModelKind::Mld);
+        let profile = profile_for(&model);
+        let hw = HwConfig::exion4();
+        let a = simulate_model(&hw, &model, &profile, SimAblation::All, 2);
+        let b = try_simulate_model(&hw, &model, &profile, SimAblation::All, 2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            try_simulate_model(&hw, &model, &profile, SimAblation::All, 0),
+            Err(SimError::ZeroBatch)
+        );
+    }
+
+    #[test]
+    fn iteration_costs_sum_to_generation_latency() {
+        // Warm per-iteration costs plus one cold first step reproduce the
+        // end-to-end simulation within the pipeline-fill rounding.
+        let model = ModelConfig::for_kind(ModelKind::Mdm);
+        let profile = profile_for(&model);
+        let hw = HwConfig::exion4();
+        let full = simulate_model(&hw, &model, &profile, SimAblation::All, 1);
+        let mut summed = 0.0;
+        for step in 0..model.iterations {
+            let c = simulate_iteration(&hw, &model, &profile, SimAblation::All, 1, step, step > 0)
+                .unwrap();
+            summed += c.latency_ms;
+        }
+        let gap = (summed - full.latency_ms).abs() / full.latency_ms;
+        assert!(gap < 0.05, "sum {summed} vs full {}", full.latency_ms);
+    }
+
+    #[test]
+    fn sparse_steps_are_cheaper_than_dense() {
+        let model = ModelConfig::for_kind(ModelKind::Dit);
+        let profile = profile_for(&model);
+        let hw = HwConfig::exion24();
+        let dense =
+            simulate_iteration(&hw, &model, &profile, SimAblation::All, 4, 0, true).unwrap();
+        let sparse =
+            simulate_iteration(&hw, &model, &profile, SimAblation::All, 4, 1, true).unwrap();
+        assert!(sparse.latency_ms < dense.latency_ms);
+        assert!(sparse.energy_mj < dense.energy_mj);
+        // Dense-equivalent work is identical either way.
+        assert_eq!(sparse.dense_ops, dense.dense_ops);
+    }
+
+    #[test]
+    fn cold_iteration_pays_weight_fetch() {
+        let model = ModelConfig::for_kind(ModelKind::StableDiffusion);
+        let profile = profile_for(&model);
+        let hw = HwConfig::exion4();
+        let cold =
+            simulate_iteration(&hw, &model, &profile, SimAblation::All, 1, 0, false).unwrap();
+        let warm = simulate_iteration(&hw, &model, &profile, SimAblation::All, 1, 0, true).unwrap();
+        assert!(cold.latency_ms >= warm.latency_ms);
+    }
+
+    #[test]
+    fn iteration_step_bounds_checked() {
+        let model = ModelConfig::for_kind(ModelKind::Mld);
+        let err = simulate_iteration(
+            &HwConfig::exion4(),
+            &model,
+            &SparsityProfile::dense(),
+            SimAblation::Base,
+            1,
+            model.iterations,
+            true,
+        );
+        assert_eq!(
+            err,
+            Err(SimError::StepOutOfRange {
+                step: model.iterations,
+                iterations: model.iterations
+            })
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ impl SdueModel {
         weights: &Matrix,
     ) -> Vec<SdueOutput> {
         assert!(
-            block.height() <= self.geometry.array_rows
-                && block.width() <= self.geometry.array_cols,
+            block.height() <= self.geometry.array_rows && block.width() <= self.geometry.array_cols,
             "merged block exceeds array geometry"
         );
         assert!(inputs.rows() >= block.height(), "missing input rows");
@@ -111,7 +110,10 @@ impl SdueModel {
                         block.cv()[lane]
                     );
                 }
-                assert!(slot.weight_col < weights.cols(), "weight column out of range");
+                assert!(
+                    slot.weight_col < weights.cols(),
+                    "weight column out of range"
+                );
                 let w_col = weights.col(slot.weight_col);
                 let value = ops::dot(inputs.row(slot.input_row), &w_col);
                 out.push(SdueOutput {

@@ -60,8 +60,14 @@ impl SparsityProfile {
     ///
     /// Panics if sparsities are outside `[0, 1]`.
     pub fn analytic(inter_sparsity: f64, intra_sparsity: f64, tile_height: u32) -> Self {
-        assert!((0.0..=1.0).contains(&inter_sparsity), "inter sparsity range");
-        assert!((0.0..=1.0).contains(&intra_sparsity), "intra sparsity range");
+        assert!(
+            (0.0..=1.0).contains(&inter_sparsity),
+            "inter sparsity range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&intra_sparsity),
+            "intra sparsity range"
+        );
         const FILL_EFFICIENCY: f64 = 0.75;
         let block_frac = |s: f64| -> f64 {
             if s == 0.0 {
@@ -402,8 +408,16 @@ mod tests {
         // 95% sparsity over 16-row tiles: ~56% of tile-columns survive,
         // merging compacts toward max(0.56/3, 0.05/0.75) ≈ 18.7%.
         let p = SparsityProfile::analytic(0.95, 0.0, 16);
-        assert!((p.ffn_weight_frac - 0.5599).abs() < 0.01, "{}", p.ffn_weight_frac);
-        assert!((p.ffn_block_frac - 0.187).abs() < 0.01, "{}", p.ffn_block_frac);
+        assert!(
+            (p.ffn_weight_frac - 0.5599).abs() < 0.01,
+            "{}",
+            p.ffn_weight_frac
+        );
+        assert!(
+            (p.ffn_block_frac - 0.187).abs() < 0.01,
+            "{}",
+            p.ffn_block_frac
+        );
         assert!(p.ffn_utilization > 0.2);
         // Dense input leaves everything dense.
         let d = SparsityProfile::analytic(0.0, 0.0, 16);

@@ -85,9 +85,7 @@ impl Activation {
                     h.cols()
                 );
                 let half = h.cols() / 2;
-                Matrix::from_fn(h.rows(), half, |r, c| {
-                    gelu(h[(r, c)]) * h[(r, half + c)]
-                })
+                Matrix::from_fn(h.rows(), half, |r, c| gelu(h[(r, c)]) * h[(r, half + c)])
             }
         }
     }

@@ -193,7 +193,10 @@ impl QuantMatrix {
         Matrix::from_vec(
             self.rows,
             self.cols,
-            self.data.iter().map(|&q| self.params.dequantize(q)).collect(),
+            self.data
+                .iter()
+                .map(|&q| self.params.dequantize(q))
+                .collect(),
         )
     }
 }

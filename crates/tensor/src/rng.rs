@@ -100,7 +100,11 @@ mod tests {
     fn normal_moments_are_plausible() {
         let m = seeded_normal(100, 100, 1.0, 77);
         let mean = m.mean();
-        let var: f32 = m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / m.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");

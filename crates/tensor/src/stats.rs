@@ -169,7 +169,12 @@ pub fn frechet_distance(a: &GaussianFit, b: &GaussianFit) -> f64 {
 /// feature space with a seeded random projection, the stand-in for the
 /// Inception embedding in proxy-FID.
 pub fn random_projection_features(samples: &Matrix, dim: usize, seed: u64) -> Matrix {
-    let proj = seeded_normal(samples.cols(), dim, (1.0 / samples.cols() as f32).sqrt(), seed);
+    let proj = seeded_normal(
+        samples.cols(),
+        dim,
+        (1.0 / samples.cols() as f32).sqrt(),
+        seed,
+    );
     ops::matmul(samples, &proj)
 }
 

@@ -31,7 +31,10 @@ fn main() {
         16,
     );
 
-    println!("{:<14} {:>12} {:>12} {:>14} {:>12}", "config", "latency", "energy", "eff. TOPS", "TOPS/W");
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>12}",
+        "config", "latency", "energy", "eff. TOPS", "TOPS/W"
+    );
     for ablation in SimAblation::ALL {
         let r = simulate_model(&hw, &model, &profile, ablation, 1);
         println!(

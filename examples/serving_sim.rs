@@ -1,0 +1,70 @@
+//! Serving-traffic simulation: sweep the arrival rate across traffic
+//! patterns and hardware instances to find each deployment's saturation
+//! knee, then compare admission policies at high load.
+//!
+//! ```sh
+//! cargo run --release --example serving_sim
+//! ```
+
+use exion::serve::{Policy, ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix};
+use exion::sim::config::HwConfig;
+
+fn main() {
+    let mix = WorkloadMix::multi_tenant();
+    let horizon_ms = 4_000.0;
+    let load_fractions = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.5];
+
+    for hw in [HwConfig::exion4(), HwConfig::exion24()] {
+        let mut sim = ServeSimulator::new(ServeConfig::new(hw));
+        let capacity = sim.capacity_estimate_rps(&mix);
+        println!(
+            "== {} | 1 instance, max batch {}, mixed multi-tenant traffic \
+             (est. capacity {:.1} rps)",
+            hw.name,
+            sim.config().max_batch,
+            capacity,
+        );
+
+        for pattern in TrafficPattern::standard_suite() {
+            println!("-- {} arrivals", pattern.name());
+            for frac in load_fractions {
+                let trace = TraceConfig {
+                    pattern: pattern.with_mean_rps(frac * capacity),
+                    horizon_ms,
+                    seed: 42,
+                    mix: mix.clone(),
+                };
+                let report = sim.run(&trace);
+                println!("  load {:>3.0}% {}", 100.0 * frac, report.summary_line());
+            }
+        }
+        println!();
+    }
+
+    // Policy comparison at heavy (90% of capacity) Poisson load on the
+    // server instance: EDF trades mean latency for SLO attainment, and the
+    // sparsity-aware batcher buys back sparse iterations.
+    let hw = HwConfig::exion24();
+    println!("== {} | policy comparison at 90% load", hw.name);
+    for policy in Policy::ALL {
+        let mut sim = ServeSimulator::new(ServeConfig::new(hw).with_policy(policy));
+        let capacity = sim.capacity_estimate_rps(&mix);
+        let trace = TraceConfig {
+            pattern: TrafficPattern::Poisson {
+                rate_rps: 0.9 * capacity,
+            },
+            horizon_ms,
+            seed: 42,
+            mix: mix.clone(),
+        };
+        let report = sim.run(&trace);
+        println!(
+            "  {:>15}: p99 {:>9.2} ms | SLO {:>5.1}% | sparse iters {:>5.1}% | {:.3} J/req",
+            policy.name(),
+            report.latency.p99,
+            100.0 * report.slo_attainment,
+            100.0 * report.sparse_iteration_frac,
+            report.joules_per_request,
+        );
+    }
+}

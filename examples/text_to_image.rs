@@ -16,11 +16,7 @@ fn main() {
     println!("prompt: {prompt}\n");
 
     // Vanilla reference.
-    let mut vanilla = GenerationPipeline::new(
-        &config,
-        exion::model::ExecPolicy::vanilla(),
-        1,
-    );
+    let mut vanilla = GenerationPipeline::new(&config, exion::model::ExecPolicy::vanilla(), 1);
     let (reference, _) = vanilla.generate(prompt, 99);
 
     // Each ablation row of the paper's Table I.

@@ -16,11 +16,7 @@ fn main() {
         let prompt = "he jumped over the fence in one smooth motion";
         println!("== {} ({}) ==", config.kind.name(), config.kind.task());
 
-        let mut vanilla = GenerationPipeline::new(
-            &config,
-            exion::model::ExecPolicy::vanilla(),
-            5,
-        );
+        let mut vanilla = GenerationPipeline::new(&config, exion::model::ExecPolicy::vanilla(), 5);
         let (reference, _) = vanilla.generate(prompt, 11);
         let reference_batch = vanilla.generate_batch(prompt, 4, 100);
 

@@ -11,7 +11,8 @@
 //! * [`model`] — the diffusion-workload zoo and generation pipeline,
 //! * [`dram`] — the DRAM timing model,
 //! * [`sim`] — the cycle-level EXION hardware simulator,
-//! * [`gpu`] — analytical GPU and Cambricon-D baselines.
+//! * [`gpu`] — analytical GPU and Cambricon-D baselines,
+//! * [`serve`] — request-level serving simulation with continuous batching.
 //!
 //! # Examples
 //!
@@ -30,5 +31,6 @@ pub use exion_core as core;
 pub use exion_dram as dram;
 pub use exion_gpu as gpu;
 pub use exion_model as model;
+pub use exion_serve as serve;
 pub use exion_sim as sim;
 pub use exion_tensor as tensor;

@@ -41,7 +41,11 @@ fn check_schedule(mask: &Bitmask2D, inputs: &Matrix, weights: &Matrix, sorted: b
         }
         row0 += height;
     }
-    assert_eq!(covered, mask.count_ones(), "every masked element computed once");
+    assert_eq!(
+        covered,
+        mask.count_ones(),
+        "every masked element computed once"
+    );
 }
 
 #[test]

@@ -90,7 +90,11 @@ fn simulator_consumes_all_benchmarks() {
                 all.energy_mj,
                 base.energy_mj
             );
-            assert!(all.latency_ms <= base.latency_ms * 1.01, "{kind:?} on {}", hw.name);
+            assert!(
+                all.latency_ms <= base.latency_ms * 1.01,
+                "{kind:?} on {}",
+                hw.name
+            );
         }
     }
 }

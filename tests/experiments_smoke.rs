@@ -82,7 +82,13 @@ fn fig19a_speedups_exceed_one() {
         Some(4),
     );
     for p in &points {
-        assert!(p.speedup() > 1.0, "{} b{}: {}", p.model, p.batch, p.speedup());
+        assert!(
+            p.speedup() > 1.0,
+            "{} b{}: {}",
+            p.model,
+            p.batch,
+            p.speedup()
+        );
     }
 }
 
@@ -98,4 +104,25 @@ fn tables_render() {
     assert!(tab2_hwconfig::run().contains("EXION24"));
     let t3 = tab3_power_area::compute(Some(3));
     assert_eq!(t3.len(), 6);
+}
+
+#[test]
+fn serve_sweep_knee_and_policies() {
+    let sweeps = serve_sweep::compute(Some(900.0));
+    assert_eq!(sweeps.len(), 6);
+    for s in &sweeps {
+        assert!(
+            s.knee_ratio() > 2.0,
+            "{} {}: {}",
+            s.hw,
+            s.pattern,
+            s.knee_ratio()
+        );
+    }
+    let policies =
+        serve_sweep::compare_policies(&exion::sim::config::HwConfig::exion4(), Some(600.0));
+    assert_eq!(policies.len(), 3);
+    for (policy, report) in &policies {
+        assert_eq!(report.completed, report.arrivals, "{}", policy.name());
+    }
 }

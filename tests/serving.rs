@@ -1,0 +1,128 @@
+//! Scheduler invariants of the serving simulator: conservation (every
+//! admitted request completes exactly once), monotonicity (mean latency is
+//! non-decreasing in offered load), and determinism (identical seeds give
+//! identical traces and reports).
+
+use std::collections::HashSet;
+
+use exion::serve::{Policy, ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix};
+use exion::sim::config::HwConfig;
+
+fn motion_trace(rate_rps: f64, seed: u64) -> TraceConfig {
+    TraceConfig {
+        pattern: TrafficPattern::Poisson { rate_rps },
+        horizon_ms: 1_500.0,
+        seed,
+        mix: WorkloadMix::text_to_motion(),
+    }
+}
+
+#[test]
+fn conservation_every_request_completes_exactly_once() {
+    for policy in Policy::ALL {
+        for instances in [1, 3] {
+            let mut sim = ServeSimulator::new(
+                ServeConfig::new(HwConfig::exion4())
+                    .with_policy(policy)
+                    .with_instances(instances),
+            );
+            let capacity = sim.capacity_estimate_rps(&WorkloadMix::text_to_motion());
+            let report = sim.run(&motion_trace(0.8 * capacity, 11));
+            assert!(report.arrivals > 0);
+            assert_eq!(
+                report.completed,
+                report.arrivals,
+                "{} x{instances}: dropped or duplicated requests",
+                policy.name()
+            );
+            let ids: HashSet<u64> = report.completions.iter().map(|c| c.id).collect();
+            assert_eq!(ids.len(), report.completed, "duplicate completion ids");
+            for c in &report.completions {
+                assert!(c.arrival_ms <= c.admitted_ms, "admitted before arrival");
+                assert!(c.admitted_ms < c.finished_ms, "finished before admission");
+            }
+        }
+    }
+}
+
+#[test]
+fn mean_latency_monotone_in_arrival_rate() {
+    let mut sim = ServeSimulator::new(ServeConfig::new(HwConfig::exion4()));
+    let capacity = sim.capacity_estimate_rps(&WorkloadMix::text_to_motion());
+    let mut prev = 0.0f64;
+    for frac in [0.25, 0.5, 1.0, 1.5] {
+        let report = sim.run(&motion_trace(frac * capacity, 7));
+        let mean = report.latency.mean;
+        // Small tolerance: traces at different rates are different discrete
+        // samples, so exact monotonicity only holds in expectation.
+        assert!(
+            mean >= 0.95 * prev,
+            "mean latency fell from {prev} to {mean} at load {frac}"
+        );
+        prev = prev.max(mean);
+    }
+    // Across the sweep the knee must be visible end to end.
+    assert!(prev > 0.0);
+}
+
+#[test]
+fn identical_seeds_identical_reports() {
+    let config = ServeConfig::new(HwConfig::exion24()).with_policy(Policy::Edf);
+    let trace = motion_trace(40.0, 123);
+    let a = ServeSimulator::new(config).run(&trace);
+    let b = ServeSimulator::new(config).run(&trace);
+    assert_eq!(a, b, "same seed and config must reproduce bit-identically");
+
+    let c = ServeSimulator::new(config).run(&motion_trace(40.0, 124));
+    assert_ne!(a.completions, c.completions, "different seeds must differ");
+}
+
+#[test]
+fn sparsity_aware_preserves_sparse_iterations() {
+    // Single-tenant image traffic at steady load: the sparsity-aware gate
+    // must never run fewer sparse-phase iterations than free admission.
+    let run_with = |policy: Policy| {
+        let mut sim =
+            ServeSimulator::new(ServeConfig::new(HwConfig::exion24()).with_policy(policy));
+        let capacity = sim.capacity_estimate_rps(&WorkloadMix::text_to_image());
+        sim.run(&TraceConfig {
+            pattern: TrafficPattern::Poisson {
+                rate_rps: 0.85 * capacity,
+            },
+            horizon_ms: 1_500.0,
+            seed: 31,
+            mix: WorkloadMix::text_to_image(),
+        })
+    };
+    let fcfs = run_with(Policy::Fcfs);
+    let aligned = run_with(Policy::SparsityAware);
+    assert!(
+        aligned.sparse_iteration_frac >= fcfs.sparse_iteration_frac,
+        "aligned {} vs fcfs {}",
+        aligned.sparse_iteration_frac,
+        fcfs.sparse_iteration_frac
+    );
+}
+
+#[test]
+fn more_instances_cut_tail_latency_at_fixed_load() {
+    let report_for = |instances: usize| {
+        let mut sim =
+            ServeSimulator::new(ServeConfig::new(HwConfig::exion4()).with_instances(instances));
+        // Load that saturates one instance but not three.
+        let one_cap = {
+            let mut probe = ServeSimulator::new(ServeConfig::new(HwConfig::exion4()));
+            probe.capacity_estimate_rps(&WorkloadMix::text_to_motion())
+        };
+        sim.run(&motion_trace(1.2 * one_cap, 99))
+    };
+    let single = report_for(1);
+    let triple = report_for(3);
+    assert!(
+        triple.latency.p99 < single.latency.p99,
+        "p99 {} vs {}",
+        triple.latency.p99,
+        single.latency.p99
+    );
+    assert!(triple.throughput_rps >= single.throughput_rps);
+}

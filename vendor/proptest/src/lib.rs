@@ -1,0 +1,245 @@
+//! Offline stub of `proptest` (the API subset the workspace's property tests
+//! use).
+//!
+//! The real crate cannot be fetched in the build container, so this stub
+//! reimplements the `proptest! { #![proptest_config(...)] #[test] fn f(x in
+//! strategy, ...) { .. } }` surface with a deterministic sampler: each test
+//! function derives its RNG seed from its own name, every case draws its
+//! arguments from the range strategies, and `prop_assert*` maps onto the
+//! standard assertion macros. No shrinking — a failing case panics with the
+//! case index so it can be replayed.
+
+pub use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The deterministic per-test generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from the test's name so each test owns an
+    /// independent, reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+}
+
+/// Value generators. Implemented for half-open ranges of the primitive
+/// numeric types, mirroring proptest's range strategies.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.random_range(0u64..2) == 1
+    }
+}
+
+macro_rules! impl_arbitrary_full_range {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.random_range(<$t>::MIN..<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_full_range!(u8, u16, u32, i8, i16, i32);
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// `Just`-style constant strategy, handy for composing.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...)` item expands
+/// to a `#[test]`-attributed zero-argument function that loops over sampled
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands the individual test items of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                let __run = || -> ::core::result::Result<(), String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(msg) = __run() {
+                    panic!("proptest case {__case} of {} failed: {msg}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!("assertion failed: {:?} == {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!("assertion failed: {:?} != {:?}", l, r));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in range.
+        #[test]
+        fn ranges_in_bounds(n in 1usize..24, x in -2.0f32..2.0) {
+            prop_assert!((1..24).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x), "x {x}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        assert_eq!((0u64..9).sample(&mut a), (0u64..9).sample(&mut b));
+    }
+}

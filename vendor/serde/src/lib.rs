@@ -1,0 +1,18 @@
+//! Offline stub of `serde`.
+//!
+//! The build container cannot reach crates.io, and the workspace uses serde
+//! only as `#[derive(Serialize, Deserialize)]` markers on plain-old-data
+//! reports and configs (no serializer backend is ever invoked). This stub
+//! keeps the source compatible with the real crate: swap the `[patch]`-style
+//! path dependency for crates.io serde and everything keeps compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build container has no crates.io access, and the workspace only uses
+//! serde for `#[derive(Serialize, Deserialize)]` markers (no `#[serde(...)]`
+//! field attributes, no serializer backends). These derives therefore expand
+//! to nothing; the marker traits in the sibling `serde` stub carry blanket
+//! impls instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
