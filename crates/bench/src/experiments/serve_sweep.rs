@@ -8,13 +8,31 @@
 //! saturation. The headline shape is the saturation knee: tail latency and
 //! queue depth explode once offered load crosses the instance's continuous-
 //! batching capacity, while goodput collapses.
+//!
+//! Three residency-era sections extend it:
+//!
+//! * **Preemption** — non-preemptive vs preemptive EDF under the bursty
+//!   MMPP trace: per-tenant-class p95, preemption counts, and GSC residency
+//!   hit-rate, showing iteration-boundary preemption bounding the urgent
+//!   class's head-of-line blocking;
+//! * **Autoscaling frontier** — at a fixed arrival rate, the minimum
+//!   instance count whose p95 SLO attainment reaches the target, per
+//!   traffic pattern;
+//! * **Measured profiles** — `exion-bench::profiles` functional
+//!   measurements wired through `CostModel` in place of the analytic
+//!   closed form.
 
+use exion_model::config::{ModelConfig, ModelKind};
 use exion_serve::{
     Policy, ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
 };
 use exion_sim::config::HwConfig;
 
 use crate::fmt::{pct, render_table};
+use crate::profiles::measure_profile;
+
+/// The seed every serving experiment here runs under.
+pub const SWEEP_SEED: u64 = 0x5E17E;
 
 /// One sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +88,7 @@ pub fn compute(horizon_cap_ms: Option<f64>) -> Vec<Sweep> {
                 let report = sim.run(&TraceConfig {
                     pattern: pattern.with_mean_rps(frac * capacity),
                     horizon_ms,
-                    seed: 0x5E17E,
+                    seed: SWEEP_SEED,
                     mix: mix.clone(),
                 });
                 points.push(SweepPoint {
@@ -103,12 +121,149 @@ pub fn compare_policies(hw: &HwConfig, horizon_cap_ms: Option<f64>) -> Vec<(Poli
                     rate_rps: 0.9 * capacity,
                 },
                 horizon_ms,
-                seed: 0x5E17E,
+                seed: SWEEP_SEED,
                 mix: mix.clone(),
             });
             (policy, report)
         })
         .collect()
+}
+
+/// The bursty-MMPP multi-tenant trace at `load_frac × capacity` the
+/// preemption comparison runs on (shared with `tests/serving.rs` so the
+/// acceptance invariant and the experiment cannot diverge).
+pub fn bursty_trace(capacity_rps: f64, load_frac: f64, horizon_ms: f64) -> TraceConfig {
+    TraceConfig {
+        pattern: TrafficPattern::Bursty {
+            rate_rps: 1.0,
+            burst_multiplier: 4.0,
+            mean_dwell_ms: 400.0,
+        }
+        .with_mean_rps(load_frac * capacity_rps),
+        horizon_ms,
+        seed: SWEEP_SEED,
+        mix: WorkloadMix::multi_tenant(),
+    }
+}
+
+/// Non-preemptive vs preemptive EDF on the seeded bursty-MMPP multi-tenant
+/// trace: `(policy, report)` pairs at 85% of estimated capacity.
+pub fn compare_preemption(
+    hw: &HwConfig,
+    horizon_cap_ms: Option<f64>,
+) -> Vec<(Policy, ServeReport)> {
+    let horizon_ms = horizon_cap_ms.unwrap_or(4_000.0).max(100.0);
+    // One policy-independent capacity estimate anchors one shared trace,
+    // so the two policies see identical arrivals.
+    let capacity = ServeSimulator::new(ServeConfig::new(*hw))
+        .capacity_estimate_rps(&WorkloadMix::multi_tenant());
+    let trace = bursty_trace(capacity, 0.85, horizon_ms);
+    [Policy::Edf, Policy::PreemptiveEdf]
+        .iter()
+        .map(|&policy| {
+            let mut sim = ServeSimulator::new(ServeConfig::new(*hw).with_policy(policy));
+            (policy, sim.run(&trace))
+        })
+        .collect()
+}
+
+/// One pattern's autoscaling-frontier result: p95 SLO attainment per
+/// instance count at a fixed arrival rate, and the minimum count meeting
+/// the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frontier {
+    /// Traffic-pattern name.
+    pub pattern: &'static str,
+    /// Fixed offered load (requests/s).
+    pub rate_rps: f64,
+    /// `(instances, slo_attainment, p95 ms)` per tried size, ascending.
+    pub points: Vec<(usize, f64, f64)>,
+    /// Minimum instance count with `slo_attainment ≥ target`, if any
+    /// tried size reached it.
+    pub min_instances: Option<usize>,
+}
+
+/// The p95-SLO target of the autoscaling frontier: 95% of completions
+/// within their class SLO.
+pub const FRONTIER_SLO_TARGET: f64 = 0.95;
+
+/// Sweeps instance count at a fixed arrival rate (`load_frac ×` the
+/// *single-instance* capacity) and finds the minimum cluster size whose
+/// p95 SLO attainment reaches [`FRONTIER_SLO_TARGET`], per traffic pattern.
+pub fn autoscaling_frontier(
+    hw: &HwConfig,
+    load_frac: f64,
+    max_instances: usize,
+    horizon_cap_ms: Option<f64>,
+) -> Vec<Frontier> {
+    let horizon_ms = horizon_cap_ms.unwrap_or(4_000.0).max(100.0);
+    let mix = WorkloadMix::multi_tenant();
+    let one_cap = ServeSimulator::new(ServeConfig::new(*hw)).capacity_estimate_rps(&mix);
+    let rate = load_frac * one_cap;
+    TrafficPattern::standard_suite()
+        .iter()
+        .map(|pattern| {
+            let mut points = Vec::new();
+            let mut min_instances = None;
+            for n in 1..=max_instances.max(1) {
+                let mut sim = ServeSimulator::new(ServeConfig::new(*hw).with_instances(n));
+                let report = sim.run(&TraceConfig {
+                    pattern: pattern.with_mean_rps(rate),
+                    horizon_ms,
+                    seed: SWEEP_SEED,
+                    mix: mix.clone(),
+                });
+                points.push((n, report.slo_attainment, report.latency.p95));
+                if min_instances.is_none() && report.slo_attainment >= FRONTIER_SLO_TARGET {
+                    min_instances = Some(n);
+                    break;
+                }
+            }
+            Frontier {
+                pattern: pattern.name(),
+                rate_rps: rate,
+                points,
+                min_instances,
+            }
+        })
+        .collect()
+}
+
+/// Prices the text-to-motion mix under measured (functional) sparsity
+/// profiles instead of the analytic closed form and reports both runs:
+/// `(analytic, measured)`. `iteration_cap` bounds the instrumented
+/// profile-measurement generations (tests use small caps).
+pub fn measured_profile_comparison(
+    hw: &HwConfig,
+    iteration_cap: usize,
+    horizon_cap_ms: Option<f64>,
+) -> (ServeReport, ServeReport) {
+    let horizon_ms = horizon_cap_ms.unwrap_or(2_000.0).max(100.0);
+    let mix = WorkloadMix::text_to_motion();
+    // One trace for both runs (anchored on the analytic capacity estimate)
+    // so every reported delta is attributable to the repriced iterations,
+    // not to a different arrival stream.
+    let mut analytic = ServeSimulator::new(ServeConfig::new(*hw));
+    let trace = TraceConfig {
+        pattern: TrafficPattern::Poisson {
+            rate_rps: 0.8 * analytic.capacity_estimate_rps(&mix),
+        },
+        horizon_ms,
+        seed: SWEEP_SEED,
+        mix: mix.clone(),
+    };
+    let analytic_report = analytic.run(&trace);
+
+    let mut measured = ServeSimulator::new(ServeConfig::new(*hw));
+    for kind in mix.kinds() {
+        // Functional measurement runs at sim scale; the measured summary
+        // then prices the paper-scale serving workload.
+        let config = ModelConfig::for_kind(kind).shrunk(2, iteration_cap);
+        let m = measure_profile(&config, iteration_cap, SWEEP_SEED);
+        measured.set_sparsity_profile(kind, m.profile);
+    }
+    let measured_report = measured.run(&trace);
+    (analytic_report, measured_report)
 }
 
 /// Runs the full experiment.
@@ -135,13 +290,14 @@ pub fn run() -> String {
                     format!("{:.1}", r.goodput_rps),
                     pct(r.mean_utilization),
                     format!("{:.2}", r.mean_batch_occupancy),
+                    pct(r.residency_hit_rate),
                     format!("{:.3}", r.joules_per_request),
                 ]
             })
             .collect();
         out.push_str(&render_table(
             &[
-                "load", "rps", "p50 ms", "p99 ms", "goodput", "util", "batch", "J/req",
+                "load", "rps", "p50 ms", "p99 ms", "goodput", "util", "batch", "GSC hit", "J/req",
             ],
             &rows,
         ));
@@ -163,6 +319,92 @@ pub fn run() -> String {
         .collect();
     out.push_str(&render_table(
         &["policy", "p99 ms", "SLO", "sparse iters", "J/req"],
+        &rows,
+    ));
+
+    out.push_str(
+        "\nPreemption under the bursty MMPP trace at 85% load (EXION24):\n\
+         (urgent tenants: MLD/MDM at 3x SLO; lenient: Stable Diffusion at 6x)\n",
+    );
+    let rows: Vec<Vec<String>> = compare_preemption(&HwConfig::exion24(), None)
+        .iter()
+        .map(|(policy, r)| {
+            vec![
+                policy.name().to_string(),
+                format!("{:.1}", r.class_latency(ModelKind::Mld).p95),
+                format!("{:.1}", r.class_latency(ModelKind::Mdm).p95),
+                format!("{:.1}", r.class_latency(ModelKind::StableDiffusion).p95),
+                pct(r.slo_attainment),
+                format!("{}", r.preemptions),
+                format!("{}", r.latent_spills),
+                pct(r.residency_hit_rate),
+                format!("{:.1}", r.weight_refill_bytes as f64 / 1e6),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "policy",
+            "MLD p95",
+            "MDM p95",
+            "SD p95",
+            "SLO",
+            "preempt",
+            "spills",
+            "GSC hit",
+            "refill MB",
+        ],
+        &rows,
+    ));
+
+    out.push_str(&format!(
+        "\nAutoscaling frontier at 2.5x single-instance load (EXION4, target {:.0}% SLO):\n",
+        100.0 * FRONTIER_SLO_TARGET
+    ));
+    let rows: Vec<Vec<String>> = autoscaling_frontier(&HwConfig::exion4(), 2.5, 6, None)
+        .iter()
+        .map(|f| {
+            let last = f.points.last().expect("at least one size tried");
+            vec![
+                f.pattern.to_string(),
+                format!("{:.1}", f.rate_rps),
+                f.min_instances
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| format!(">{}", f.points.len())),
+                pct(last.1),
+                format!("{:.1}", last.2),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["pattern", "rps", "min inst", "SLO@min", "p95@min ms"],
+        &rows,
+    ));
+
+    out.push_str("\nMeasured vs analytic sparsity profiles (EXION4, text-to-motion):\n");
+    let (analytic, measured) = measured_profile_comparison(&HwConfig::exion4(), 8, None);
+    let rows: Vec<Vec<String>> = [("analytic", &analytic), ("measured", &measured)]
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.to_string(),
+                format!("{:.2}", r.latency.p50),
+                format!("{:.2}", r.latency.p99),
+                pct(r.slo_attainment),
+                pct(r.sparse_iteration_frac),
+                format!("{:.3}", r.joules_per_request),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "profile",
+            "p50 ms",
+            "p99 ms",
+            "SLO",
+            "sparse iters",
+            "J/req",
+        ],
         &rows,
     ));
     out
@@ -215,5 +457,44 @@ mod tests {
                 policy.name()
             );
         }
+    }
+
+    #[test]
+    fn preemption_cuts_urgent_class_tail() {
+        let results = compare_preemption(&HwConfig::exion24(), Some(2_000.0));
+        let edf = &results[0].1;
+        let preemptive = &results[1].1;
+        assert!(preemptive.preemptions > 0, "preemption never fired");
+        let urgent_edf = edf.class_latency(ModelKind::Mld).p95;
+        let urgent_pre = preemptive.class_latency(ModelKind::Mld).p95;
+        assert!(
+            urgent_pre < urgent_edf,
+            "urgent p95 {urgent_pre} vs non-preemptive {urgent_edf}"
+        );
+    }
+
+    #[test]
+    fn frontier_finds_a_feasible_size() {
+        let frontiers = autoscaling_frontier(&HwConfig::exion4(), 1.6, 4, Some(1_000.0));
+        assert_eq!(frontiers.len(), 3);
+        for f in &frontiers {
+            // SLO attainment is monotone enough for the break-at-first rule;
+            // one instance at 1.6x load must not satisfy the target.
+            assert!(f.points[0].1 < FRONTIER_SLO_TARGET, "{}", f.pattern);
+            if let Some(n) = f.min_instances {
+                assert!(n > 1, "{}: one instance cannot absorb 1.6x load", f.pattern);
+                assert_eq!(f.points.last().unwrap().0, n);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_profiles_reprice_the_mix() {
+        let (analytic, measured) = measured_profile_comparison(&HwConfig::exion4(), 4, Some(600.0));
+        assert_eq!(analytic.completed, analytic.arrivals);
+        assert_eq!(measured.completed, measured.arrivals);
+        // The functional measurement differs from the closed form, so the
+        // priced latencies must differ too (either direction).
+        assert_ne!(analytic.latency.p50, measured.latency.p50);
     }
 }

@@ -11,12 +11,13 @@ use std::collections::HashMap;
 use exion_model::config::{ModelConfig, ModelKind};
 use exion_sim::config::HwConfig;
 use exion_sim::perf::SimAblation;
+use exion_sim::residency::EvictionPolicy;
 
 use crate::cost::CostModel;
 use crate::metrics::{queue_depth_stats, LatencyStats, ServeReport};
 use crate::policy::Policy;
 use crate::request::{Completion, Request};
-use crate::scheduler::Instance;
+use crate::scheduler::{Instance, SchedContext};
 use crate::trace::{generate, TraceConfig};
 
 /// Serving-cluster configuration.
@@ -32,10 +33,12 @@ pub struct ServeConfig {
     pub ablation: SimAblation,
     /// Admission policy.
     pub policy: Policy,
+    /// GSC eviction policy of every instance's residency cache.
+    pub eviction: EvictionPolicy,
 }
 
 impl ServeConfig {
-    /// One instance, batch 8, all optimizations, FCFS.
+    /// One instance, batch 8, all optimizations, FCFS, LRU eviction.
     pub fn new(hw: HwConfig) -> Self {
         Self {
             hw,
@@ -43,6 +46,7 @@ impl ServeConfig {
             max_batch: 8,
             ablation: SimAblation::All,
             policy: Policy::Fcfs,
+            eviction: EvictionPolicy::Lru,
         }
     }
 
@@ -69,6 +73,12 @@ impl ServeConfig {
         self.ablation = ablation;
         self
     }
+
+    /// Replaces the GSC eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
 }
 
 /// Request-level serving simulator over a cluster of EXION instances.
@@ -93,6 +103,18 @@ impl ServeSimulator {
     /// The cluster configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Installs a measured sparsity profile for `kind` (e.g. from
+    /// `exion-bench::profiles` functional runs): all subsequent pricing —
+    /// iteration costs, SLO scaling, capacity estimates — uses it instead
+    /// of the analytic closed form.
+    pub fn set_sparsity_profile(
+        &mut self,
+        kind: ModelKind,
+        profile: exion_sim::workload::SparsityProfile,
+    ) {
+        self.cost.set_profile(kind, profile);
     }
 
     fn model_config(&mut self, kind: ModelKind) -> ModelConfig {
@@ -147,25 +169,30 @@ impl ServeSimulator {
             ));
         }
 
-        let mut instances: Vec<Instance> = (0..self.config.instances).map(Instance::new).collect();
+        let mut instances: Vec<Instance> = (0..self.config.instances)
+            .map(|i| Instance::new(i, &self.config.hw, self.config.eviction))
+            .collect();
         let mut queue: Vec<Request> = Vec::new();
         let mut completions: Vec<Completion> = Vec::new();
         let mut depth_events: Vec<(f64, i64)> = Vec::new();
         let mut next_arrival = 0usize;
 
-        let policy = self.config.policy;
-        let max_batch = self.config.max_batch;
-        // Periods and model configs are cheap lookups; precompute per kind.
+        // Per-model scheduling constants (periods, weight/latent footprints,
+        // refill costs) are computed once per traced kind.
         let kinds: Vec<ModelKind> = trace.mix.kinds();
-        let periods: HashMap<ModelKind, usize> = kinds
-            .iter()
-            .map(|&k| {
-                let c = self.model_config(k);
-                (k, self.cost.period(&c))
-            })
-            .collect();
         let configs: HashMap<ModelKind, ModelConfig> =
             kinds.iter().map(|&k| (k, self.model_config(k))).collect();
+        let ctx = SchedContext::build(
+            self.config.policy,
+            self.config.max_batch,
+            &kinds,
+            &self.cost,
+            |k| {
+                *configs
+                    .get(&k)
+                    .expect("every traced model kind is precomputed")
+            },
+        );
 
         loop {
             // Step the instance with the smallest clock (ties by id).
@@ -202,24 +229,47 @@ impl ServeSimulator {
                 continue;
             }
 
-            // Iteration boundary: admit, then execute one iteration.
-            let admitted = instances[i].admit(&mut queue, policy, max_batch, |k| {
-                periods.get(&k).copied().unwrap_or(1)
-            });
-            for &(_, at_ms) in &admitted {
+            // Iteration boundary: admit (possibly preempting), then execute
+            // one iteration.
+            let outcome = instances[i].admit(&mut queue, &ctx);
+            for &(_, at_ms) in &outcome.parked {
+                depth_events.push((at_ms, 1));
+            }
+            for &(id, at_ms) in &outcome.admitted {
                 depth_events.push((at_ms, -1));
+                // A request parked on one instance may resume on another;
+                // release any latent copy the parking instance still holds
+                // (billing the migration write-back there) so it neither
+                // depresses that instance's weight residency nor is later
+                // mispriced as a dirty spill.
+                for (j, other) in instances.iter_mut().enumerate() {
+                    if j != i {
+                        other.discard_latent(id, &ctx);
+                    }
+                }
             }
             if instances[i].is_idle() {
-                // A sparsity gate cannot block an idle instance, so this
-                // only happens when the queue holds no admissible request;
-                // re-loop to jump the clock.
+                // A sparsity gate cannot block an idle instance, so nothing
+                // in the queue is admissible yet: every queued request is a
+                // parked one whose ready time lies ahead of this clock.
+                // Jump to the earliest wake-up (a parked request becoming
+                // ready, or the next arrival) so the loop always advances.
+                let next_ready = queue
+                    .iter()
+                    .map(|r| r.ready_ms)
+                    .fold(f64::INFINITY, f64::min);
+                let next_arr = pending
+                    .get(next_arrival)
+                    .map(|r| r.arrival_ms)
+                    .unwrap_or(f64::INFINITY);
+                // The queue is non-empty here (the empty case jumped above),
+                // so the wake target is finite and strictly ahead.
+                let wake = next_ready.min(next_arr);
+                debug_assert!(wake > instances[i].now_ms, "idle wake must advance");
+                instances[i].now_ms = instances[i].now_ms.max(wake);
                 continue;
             }
-            completions.extend(instances[i].execute_iteration(&mut self.cost, &|k| {
-                *configs
-                    .get(&k)
-                    .expect("every traced model kind is precomputed")
-            }));
+            completions.extend(instances[i].execute_iteration(&mut self.cost, &ctx));
         }
 
         completions.sort_by_key(|c| c.id);
@@ -298,7 +348,18 @@ impl ServeSimulator {
             },
             mean_queue_depth,
             peak_queue_depth,
-            cold_switches: per_instance.iter().map(|s| s.cold_switches).sum(),
+            preemptions: per_instance.iter().map(|s| s.preemptions).sum(),
+            latent_spills: per_instance.iter().map(|s| s.latent_spills).sum(),
+            weight_refill_bytes: per_instance.iter().map(|s| s.weight_refill_bytes).sum(),
+            residency_hit_rate: {
+                let hit: u64 = per_instance.iter().map(|s| s.weight_hit_bytes).sum();
+                let refill: u64 = per_instance.iter().map(|s| s.weight_refill_bytes).sum();
+                if hit + refill > 0 {
+                    hit as f64 / (hit + refill) as f64
+                } else {
+                    1.0
+                }
+            },
             per_instance,
             completions,
         }

@@ -1,9 +1,13 @@
 //! Cached per-iteration cost lookups against the cycle-level simulator.
 //!
-//! The scheduler prices every (model, batch size, FFN-Reuse phase, warm/cold)
-//! combination it executes through [`exion_sim::simulate_iteration`] and
-//! memoizes the result, so a serving run of tens of thousands of iterations
-//! costs only a handful of one-iteration cycle simulations.
+//! The scheduler prices every (model, batch size, FFN-Reuse phase, weight
+//! residency) combination it executes through
+//! [`exion_sim::simulate_iteration`] and memoizes the result, so a serving
+//! run of tens of thousands of iterations costs only a handful of
+//! one-iteration cycle simulations. Residency is a *fraction* of the
+//! model's weight working set held by the GSC — quantized to 1/32nds for
+//! memoization — not a warm/cold flag; partially resident tenants price a
+//! partial refill.
 
 use std::collections::HashMap;
 
@@ -12,13 +16,20 @@ use exion_sim::config::HwConfig;
 use exion_sim::perf::{simulate_iteration, IterationCost, SimAblation, SimError};
 use exion_sim::workload::SparsityProfile;
 
+/// Residency-fraction quantization for memo keys (1/32 ≈ 3% granularity —
+/// finer than any latency effect the DRAM model resolves).
+const RESIDENCY_QUANTA: f64 = 32.0;
+
 /// Memoized iteration-cost oracle for one hardware instance type.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     hw: HwConfig,
     ablation: SimAblation,
-    cache: HashMap<(ModelKind, u64, IterationPhase, bool), IterationCost>,
+    cache: HashMap<(ModelKind, u64, IterationPhase, u32), IterationCost>,
     isolated: HashMap<ModelKind, f64>,
+    /// Measured per-model profiles (e.g. `exion-bench::profiles`) override
+    /// the analytic closed form when present.
+    profiles: HashMap<ModelKind, SparsityProfile>,
 }
 
 impl CostModel {
@@ -29,6 +40,7 @@ impl CostModel {
             ablation,
             cache: HashMap::new(),
             isolated: HashMap::new(),
+            profiles: HashMap::new(),
         }
     }
 
@@ -44,12 +56,31 @@ impl CostModel {
 
     /// The analytic sparsity profile of `model` (same closed form the
     /// Fig. 18/19 experiments use when functional measurements are absent).
-    pub fn profile(model: &ModelConfig) -> SparsityProfile {
+    pub fn analytic_profile(model: &ModelConfig) -> SparsityProfile {
         SparsityProfile::analytic(
             model.ffn_reuse.target_sparsity,
             model.ep.paper_sparsity_pct / 100.0,
             16,
         )
+    }
+
+    /// Installs a measured sparsity profile for `kind` (from
+    /// `exion-bench::profiles` functional runs), replacing the analytic
+    /// closed form for all subsequent pricing. Cached costs of that model
+    /// are invalidated.
+    pub fn set_profile(&mut self, kind: ModelKind, profile: SparsityProfile) {
+        self.profiles.insert(kind, profile);
+        self.cache.retain(|(k, _, _, _), _| *k != kind);
+        self.isolated.remove(&kind);
+    }
+
+    /// The profile `model` is priced under: the measured override when
+    /// installed, else the analytic closed form.
+    pub fn profile_for(&self, model: &ModelConfig) -> SparsityProfile {
+        self.profiles
+            .get(&model.kind)
+            .copied()
+            .unwrap_or_else(|| Self::analytic_profile(model))
     }
 
     /// The scheduling period of `model` under this ablation: the FFN-Reuse
@@ -63,13 +94,14 @@ impl CostModel {
     }
 
     /// Cost of one denoising iteration of `model` at `batch` rows in
-    /// `phase`, with weights GSC-resident iff `warm`.
+    /// `phase`, with `resident_frac` of the weight working set GSC-resident
+    /// (1.0 = steady-state warm, 0.0 = fully cold switch).
     pub fn iteration(
         &mut self,
         model: &ModelConfig,
         batch: u64,
         phase: IterationPhase,
-        warm: bool,
+        resident_frac: f64,
     ) -> Result<IterationCost, SimError> {
         // Without FFN-Reuse every step prices as a dense boundary step.
         let phase = if self.ablation.ffn_reuse() {
@@ -77,7 +109,8 @@ impl CostModel {
         } else {
             IterationPhase::Dense
         };
-        let key = (model.kind, batch, phase, warm);
+        let frac_q = (resident_frac.clamp(0.0, 1.0) * RESIDENCY_QUANTA).round() as u32;
+        let key = (model.kind, batch, phase, frac_q);
         if let Some(&cost) = self.cache.get(&key) {
             return Ok(cost);
         }
@@ -90,11 +123,11 @@ impl CostModel {
         let cost = simulate_iteration(
             &self.hw,
             model,
-            &Self::profile(model),
+            &self.profile_for(model),
             self.ablation,
             batch,
             step,
-            warm,
+            frac_q as f64 / RESIDENCY_QUANTA,
         )?;
         self.cache.insert(key, cost);
         Ok(cost)
@@ -112,11 +145,32 @@ impl CostModel {
                 IterationPhase::Dense
             };
             let cost = self
-                .iteration(model, batch, phase, true)
+                .iteration(model, batch, phase, 1.0)
                 .expect("positive batch and in-range steps cannot fail");
             total += cost.latency_ms;
         }
         total
+    }
+
+    /// Wall-clock cost (ms) per byte moved across this hardware's DRAM
+    /// interface — the single pricing rule every serve-layer transfer
+    /// estimate (weight refills, latent spills and reloads) derives from.
+    pub fn dram_ms_per_byte(&self) -> f64 {
+        1.0 / (self.hw.dram_gbps * 1e6)
+    }
+
+    /// Transfer energy (mJ) per byte moved across the DRAM interface, from
+    /// the device's read/write energy (`DramTiming::rw_pj_per_bit`).
+    pub fn dram_mj_per_byte(&self) -> f64 {
+        8.0 * self.hw.dram_timing().rw_pj_per_bit * 1e-9
+    }
+
+    /// Estimated wall-clock cost (ms) of streaming the *entire* weight
+    /// working set of `model` from DRAM: the upper bound a fully cold
+    /// switch adds to the first iteration, and the refill currency
+    /// residency-aware routing and cost-aware eviction rank tenants by.
+    pub fn full_refill_ms(&self, weight_bytes: u64) -> f64 {
+        weight_bytes as f64 * self.dram_ms_per_byte()
     }
 
     /// Isolated batch-1 generation latency of `model` on this hardware
@@ -129,10 +183,10 @@ impl CostModel {
         }
         let cold_extra = {
             let cold = self
-                .iteration(model, 1, IterationPhase::Dense, false)
+                .iteration(model, 1, IterationPhase::Dense, 0.0)
                 .expect("batch 1 cannot fail");
             let warm = self
-                .iteration(model, 1, IterationPhase::Dense, true)
+                .iteration(model, 1, IterationPhase::Dense, 1.0)
                 .expect("batch 1 cannot fail");
             cold.latency_ms - warm.latency_ms
         };
@@ -151,25 +205,28 @@ mod tests {
         let mut cm = CostModel::new(HwConfig::exion4(), SimAblation::All);
         let model = ModelConfig::for_kind(ModelKind::Mld);
         let a = cm
-            .iteration(&model, 4, IterationPhase::Sparse, true)
+            .iteration(&model, 4, IterationPhase::Sparse, 1.0)
             .unwrap();
         let b = cm
-            .iteration(&model, 4, IterationPhase::Sparse, true)
+            .iteration(&model, 4, IterationPhase::Sparse, 1.0)
             .unwrap();
         assert_eq!(a, b);
         assert_eq!(cm.cache.len(), 1);
+        // Nearby fractions share a residency quantum; distant ones do not.
+        cm.iteration(&model, 4, IterationPhase::Sparse, 0.999)
+            .unwrap();
+        assert_eq!(cm.cache.len(), 1);
+        cm.iteration(&model, 4, IterationPhase::Sparse, 0.5)
+            .unwrap();
+        assert_eq!(cm.cache.len(), 2);
     }
 
     #[test]
     fn batching_amortizes_per_request_cost() {
         let mut cm = CostModel::new(HwConfig::exion24(), SimAblation::All);
         let model = ModelConfig::for_kind(ModelKind::StableDiffusion);
-        let b1 = cm
-            .iteration(&model, 1, IterationPhase::Dense, true)
-            .unwrap();
-        let b8 = cm
-            .iteration(&model, 8, IterationPhase::Dense, true)
-            .unwrap();
+        let b1 = cm.iteration(&model, 1, IterationPhase::Dense, 1.0).unwrap();
+        let b8 = cm.iteration(&model, 8, IterationPhase::Dense, 1.0).unwrap();
         assert!(b8.latency_ms < 8.0 * b1.latency_ms);
         assert!(b8.latency_ms > b1.latency_ms);
     }
@@ -180,12 +237,47 @@ mod tests {
         let model = ModelConfig::for_kind(ModelKind::Mdm);
         assert_eq!(cm.period(&model), 1);
         let s = cm
-            .iteration(&model, 2, IterationPhase::Sparse, true)
+            .iteration(&model, 2, IterationPhase::Sparse, 1.0)
             .unwrap();
-        let d = cm
-            .iteration(&model, 2, IterationPhase::Dense, true)
-            .unwrap();
+        let d = cm.iteration(&model, 2, IterationPhase::Dense, 1.0).unwrap();
         assert_eq!(s, d);
+    }
+
+    #[test]
+    fn partial_residency_prices_between_cold_and_warm() {
+        let mut cm = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let model = ModelConfig::for_kind(ModelKind::Mdm);
+        let cold = cm.iteration(&model, 1, IterationPhase::Dense, 0.0).unwrap();
+        let half = cm.iteration(&model, 1, IterationPhase::Dense, 0.5).unwrap();
+        let warm = cm.iteration(&model, 1, IterationPhase::Dense, 1.0).unwrap();
+        assert!(cold.latency_ms > half.latency_ms);
+        assert!(half.latency_ms >= warm.latency_ms);
+    }
+
+    #[test]
+    fn measured_profile_override_changes_pricing() {
+        let mut cm = CostModel::new(HwConfig::exion24(), SimAblation::All);
+        let model = ModelConfig::for_kind(ModelKind::Mdm);
+        let analytic = cm
+            .iteration(&model, 4, IterationPhase::Sparse, 1.0)
+            .unwrap();
+        // A deliberately denser measured profile must re-price the model.
+        let mut measured = CostModel::analytic_profile(&model);
+        measured.inter_sparsity *= 0.5;
+        measured.ffn_block_frac = (measured.ffn_block_frac * 2.0).min(1.0);
+        cm.set_profile(ModelKind::Mdm, measured);
+        let overridden = cm
+            .iteration(&model, 4, IterationPhase::Sparse, 1.0)
+            .unwrap();
+        assert!(
+            overridden.latency_ms > analytic.latency_ms,
+            "denser profile must price slower: {} vs {}",
+            overridden.latency_ms,
+            analytic.latency_ms
+        );
+        // Other models keep their analytic pricing.
+        let mld = ModelConfig::for_kind(ModelKind::Mld);
+        assert_eq!(cm.profile_for(&mld), CostModel::analytic_profile(&mld));
     }
 
     #[test]
@@ -196,7 +288,7 @@ mod tests {
         let full = exion_sim::perf::simulate_model(
             &HwConfig::exion4(),
             &model,
-            &CostModel::profile(&model),
+            &CostModel::analytic_profile(&model),
             SimAblation::All,
             1,
         );

@@ -13,16 +13,24 @@
 //! * [`scheduler`] / [`cluster`] — a continuous batcher that exploits the
 //!   iterative structure of DDIM denoising: requests join and leave running
 //!   batches at *iteration boundaries* rather than waiting for a full batch
-//!   drain, across one or more hardware instances;
-//! * [`policy`] — admission policies: FCFS, SLO-aware EDF, and a
-//!   sparsity-aware policy that only admits at FFN-Reuse dense boundaries so
-//!   co-batched requests stay phase-aligned and sparse iterations are never
-//!   forfeited to a straggler;
+//!   drain, across one or more hardware instances; each instance carries a
+//!   byte-accounted [`exion_sim::residency::GscCache`] of weight shards and
+//!   parked request latents, and idle instances seed the tenant whose
+//!   refill-adjusted urgency wins (residency-aware routing);
+//! * [`policy`] — admission policies: FCFS, SLO-aware EDF, *preemptive* EDF
+//!   (parks a running batch's denoising latents at an iteration boundary
+//!   when a queued deadline beats every running one), and a sparsity-aware
+//!   policy that only admits at FFN-Reuse dense boundaries so co-batched
+//!   requests stay phase-aligned and sparse iterations are never forfeited
+//!   to a straggler;
 //! * [`cost`] — memoized per-iteration pricing through
-//!   [`exion_sim::simulate_iteration`], including cold (weight-streaming)
-//!   model switches vs GSC-resident warm iterations;
+//!   [`exion_sim::simulate_iteration`]: each iteration is priced by the
+//!   *fraction* of the model's weight working set GSC-resident (partial
+//!   refills, not a warm/cold flag), under the analytic sparsity profile or
+//!   a measured override (`exion-bench::profiles`);
 //! * [`metrics`] — p50/p95/p99 latency, goodput, SLO attainment,
-//!   utilization, queue depth, and joules per request.
+//!   utilization, queue depth, joules per request, preemption counts,
+//!   residency hit-rate, and refill bytes.
 //!
 //! # Example
 //!
@@ -55,7 +63,9 @@ pub mod trace;
 
 pub use cluster::{ServeConfig, ServeSimulator};
 pub use cost::CostModel;
+pub use exion_sim::residency::EvictionPolicy;
 pub use metrics::{InstanceStats, LatencyStats, ServeReport};
 pub use policy::Policy;
 pub use request::{Completion, Request, RequestId};
+pub use scheduler::{AdmitOutcome, Instance, ModelInfo, SchedContext};
 pub use trace::{Arrival, TraceConfig, TrafficPattern, WorkloadMix};

@@ -47,7 +47,7 @@ impl LatencyStats {
             p95: percentile(&samples, 0.95),
             p99: percentile(&samples, 0.99),
             mean,
-            max: *samples.last().unwrap(),
+            max: *samples.last().expect("non-empty after the early return"),
         }
     }
 }
@@ -63,10 +63,25 @@ pub struct InstanceStats {
     pub sparse_iteration_frac: f64,
     /// Mean batch occupancy over executed iterations (rows/iteration).
     pub mean_batch: f64,
+    /// Exact request-iterations executed (rows summed over iterations) —
+    /// conservation accounting: equals the summed step demand of every
+    /// request this instance completed work for.
+    pub rows_executed: u64,
     /// Energy consumed (mJ).
     pub energy_mj: f64,
-    /// Cold model switches (weight re-fetch from DRAM).
-    pub cold_switches: u64,
+    /// Requests parked at iteration boundaries (preemptions performed).
+    pub preemptions: u64,
+    /// Parked latents written back to DRAM (no GSC room, or evicted).
+    pub latent_spills: u64,
+    /// Iterations that streamed any weight bytes from DRAM (partial or
+    /// full refills — the residency-aware replacement for "cold switches").
+    pub weight_refill_iterations: u64,
+    /// Weight bytes served from the GSC.
+    pub weight_hit_bytes: u64,
+    /// Weight bytes streamed from DRAM.
+    pub weight_refill_bytes: u64,
+    /// GSC residency hit-rate over weight traffic (1.0 = fully resident).
+    pub residency_hit_rate: f64,
 }
 
 /// The full report of one serving simulation.
@@ -114,8 +129,14 @@ pub struct ServeReport {
     pub mean_queue_depth: f64,
     /// Peak queue depth.
     pub peak_queue_depth: usize,
-    /// Total cold model switches.
-    pub cold_switches: u64,
+    /// Total preemptions (requests parked at iteration boundaries).
+    pub preemptions: u64,
+    /// Total parked latents spilled to DRAM.
+    pub latent_spills: u64,
+    /// Total weight bytes streamed from DRAM (refills).
+    pub weight_refill_bytes: u64,
+    /// Cluster-wide GSC residency hit-rate over weight traffic.
+    pub residency_hit_rate: f64,
     /// Per-instance accounting.
     pub per_instance: Vec<InstanceStats>,
     /// Every completion record (tests and downstream analysis).
@@ -123,6 +144,19 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// End-to-end latency distribution of one tenant class (all zeros when
+    /// the class completed nothing) — the per-tenant tail view preemption
+    /// experiments compare.
+    pub fn class_latency(&self, kind: exion_model::config::ModelKind) -> LatencyStats {
+        LatencyStats::from_unsorted(
+            self.completions
+                .iter()
+                .filter(|c| c.model == kind)
+                .map(|c| c.latency_ms())
+                .collect(),
+        )
+    }
+
     /// One-line summary for sweeps.
     pub fn summary_line(&self) -> String {
         format!(

@@ -1,17 +1,26 @@
-//! Admission-ordering policies of the continuous batcher.
+//! Admission-ordering (and preemption) policies of the continuous batcher.
 
 use serde::{Deserialize, Serialize};
 
 use crate::request::Request;
 
 /// How queued requests are ordered (and gated) for admission into running
-/// batches at iteration boundaries.
+/// batches at iteration boundaries — and whether the batcher may *preempt*
+/// running requests at those boundaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Policy {
     /// First-come-first-served on arrival time.
     Fcfs,
-    /// SLO-aware earliest-deadline-first.
+    /// SLO-aware earliest-deadline-first, non-preemptive: an urgent request
+    /// still waits for the running batch to drain before the instance can
+    /// switch models.
     Edf,
+    /// EDF with iteration-boundary preemption: when a queued request's
+    /// deadline beats every running member's, the batcher parks the running
+    /// requests' denoising latents in the GSC (or spills them to DRAM at a
+    /// priced penalty) and switches immediately, resuming the parked
+    /// requests later with their DDIM step counts conserved.
+    PreemptiveEdf,
     /// FCFS ordering, but admission into a non-empty batch waits for the
     /// batch's FFN-Reuse dense boundary, so every member stays in the same
     /// dense/sparse phase and sparse iterations are never forfeited to a
@@ -21,15 +30,26 @@ pub enum Policy {
 
 impl Policy {
     /// All policies in presentation order.
-    pub const ALL: [Policy; 3] = [Policy::Fcfs, Policy::Edf, Policy::SparsityAware];
+    pub const ALL: [Policy; 4] = [
+        Policy::Fcfs,
+        Policy::Edf,
+        Policy::PreemptiveEdf,
+        Policy::SparsityAware,
+    ];
 
     /// Short name for reports.
     pub fn name(&self) -> &'static str {
         match self {
             Policy::Fcfs => "fcfs",
             Policy::Edf => "edf",
+            Policy::PreemptiveEdf => "preemptive-edf",
             Policy::SparsityAware => "sparsity-aware",
         }
+    }
+
+    /// Whether the policy may park running requests at iteration boundaries.
+    pub fn preemptive(&self) -> bool {
+        matches!(self, Policy::PreemptiveEdf)
     }
 
     /// Sort key: smaller is admitted first. The id tie-break keeps the
@@ -37,7 +57,7 @@ impl Policy {
     pub(crate) fn key(&self, r: &Request) -> (f64, u64) {
         match self {
             Policy::Fcfs | Policy::SparsityAware => (r.arrival_ms, r.id),
-            Policy::Edf => (r.deadline_ms(), r.id),
+            Policy::Edf | Policy::PreemptiveEdf => (r.deadline_ms(), r.id),
         }
     }
 
@@ -45,7 +65,7 @@ impl Policy {
     /// steps past the last dense boundary is allowed.
     pub(crate) fn admits_mid_period(&self, steps_into_period: usize) -> bool {
         match self {
-            Policy::Fcfs | Policy::Edf => true,
+            Policy::Fcfs | Policy::Edf | Policy::PreemptiveEdf => true,
             Policy::SparsityAware => steps_into_period == 0,
         }
     }
@@ -62,6 +82,7 @@ mod tests {
         let urgent = Request::new(1, ModelKind::Mld, 10.0, 20.0, 50);
         assert!(Policy::Fcfs.key(&early_arrival) < Policy::Fcfs.key(&urgent));
         assert!(Policy::Edf.key(&urgent) < Policy::Edf.key(&early_arrival));
+        assert_eq!(Policy::PreemptiveEdf.key(&urgent), Policy::Edf.key(&urgent));
     }
 
     #[test]
@@ -70,5 +91,13 @@ mod tests {
         assert!(!Policy::SparsityAware.admits_mid_period(3));
         assert!(Policy::Fcfs.admits_mid_period(3));
         assert!(Policy::Edf.admits_mid_period(3));
+        assert!(Policy::PreemptiveEdf.admits_mid_period(3));
+    }
+
+    #[test]
+    fn only_preemptive_edf_preempts() {
+        for p in Policy::ALL {
+            assert_eq!(p.preemptive(), p == Policy::PreemptiveEdf, "{}", p.name());
+        }
     }
 }

@@ -22,8 +22,17 @@ pub struct Request {
     /// Denoising steps already executed.
     pub steps_done: usize,
     /// When the request was first admitted into a running batch (ms);
-    /// `None` while queued.
+    /// `None` while queued (or parked after a preemption, in which case
+    /// the first-admission stamp is retained).
     pub admitted_ms: Option<f64>,
+    /// Times the request was preempted (parked at an iteration boundary).
+    pub preemptions: u32,
+    /// Earliest time the request may (re-)enter a batch (ms): the arrival
+    /// time for fresh requests, the park-completion time after a
+    /// preemption. Keeps multi-instance admission causal — an instance
+    /// whose clock trails the parking instance's cannot resume a request
+    /// before it was parked.
+    pub ready_ms: f64,
 }
 
 impl Request {
@@ -43,6 +52,8 @@ impl Request {
             total_steps,
             steps_done: 0,
             admitted_ms: None,
+            preemptions: 0,
+            ready_ms: arrival_ms,
         }
     }
 
@@ -77,8 +88,10 @@ pub struct Completion {
     pub finished_ms: f64,
     /// Latency SLO from arrival (ms).
     pub slo_ms: f64,
-    /// Index of the hardware instance that served the request.
+    /// Index of the hardware instance that completed the request.
     pub instance: usize,
+    /// Times the request was preempted over its lifetime.
+    pub preemptions: u32,
 }
 
 impl Completion {
@@ -123,6 +136,7 @@ mod tests {
             finished_ms: 30.0,
             slo_ms: 26.0,
             instance: 0,
+            preemptions: 0,
         };
         assert_eq!(c.latency_ms(), 25.0);
         assert_eq!(c.queue_ms(), 4.0);

@@ -1,19 +1,127 @@
-//! The per-instance continuous batcher.
+//! The per-instance continuous batcher, residency-aware and preemptible.
 //!
 //! DDIM denoising is an iterative loop, so a running batch reaches a
 //! scheduling point at every iteration boundary: finished requests leave,
-//! and queued requests are admitted into the freed slots without waiting for
-//! the whole batch to drain (continuous batching at iteration granularity).
-//! An instance executes one model at a time — its weights are the ones
-//! GSC-resident — and switching models costs a cold (weight-streaming)
-//! iteration.
+//! queued requests are admitted into the freed slots without waiting for
+//! the whole batch to drain (continuous batching at iteration granularity),
+//! and — under a preemptive policy — running requests can be *parked*: their
+//! denoising latent is stashed in the GSC (or spilled to DRAM at a priced
+//! penalty) and they re-enter the queue with their step count intact.
+//!
+//! An instance executes one model at a time; how much of that model's
+//! weight working set is GSC-resident is tracked byte-accurately by a
+//! [`GscCache`], and each iteration is priced by the resident *fraction*
+//! rather than a warm/cold flag. Multi-tenant traffic therefore pays real
+//! partial refills instead of fictitious full cold switches.
+
+use std::collections::HashMap;
 
 use exion_model::config::{IterationPhase, ModelConfig, ModelKind};
+use exion_sim::config::HwConfig;
+use exion_sim::residency::{
+    latent_state_bytes, model_weight_bytes, EvictionPolicy, GscCache, GscObject,
+};
 
 use crate::cost::CostModel;
 use crate::metrics::InstanceStats;
 use crate::policy::Policy;
 use crate::request::{Completion, Request};
+
+/// Precomputed per-model scheduling constants.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// The model configuration requests of this kind execute.
+    pub config: ModelConfig,
+    /// FFN-Reuse scheduling period under the active ablation.
+    pub period: usize,
+    /// DRAM weight working set of one iteration (bytes) — the GSC
+    /// residency footprint.
+    pub weight_bytes: u64,
+    /// Parked denoising-latent state per request (bytes).
+    pub latent_bytes: u64,
+    /// Wall-clock cost of a full cold weight refill (ms) — the currency
+    /// residency-aware seeding and cost-aware eviction rank tenants by.
+    pub full_refill_ms: f64,
+}
+
+/// Everything an [`Instance`] needs to make scheduling decisions: the
+/// policy, the batch bound, and the per-model constant tables.
+#[derive(Debug, Clone)]
+pub struct SchedContext {
+    /// Admission/preemption policy.
+    pub policy: Policy,
+    /// Maximum batch rows per instance.
+    pub max_batch: usize,
+    /// Wall-clock per byte over the DRAM interface (latent spill/reload
+    /// pricing; from [`CostModel::dram_ms_per_byte`]).
+    dram_ms_per_byte: f64,
+    /// Transfer energy per byte over the DRAM interface (mJ).
+    dram_mj_per_byte: f64,
+    models: HashMap<ModelKind, ModelInfo>,
+}
+
+impl SchedContext {
+    /// Builds the context for `kinds`, pricing refills against `cost`'s
+    /// hardware. `config_of` supplies each kind's model configuration
+    /// (shrunk configs in tests, the real zoo in production runs).
+    pub fn build(
+        policy: Policy,
+        max_batch: usize,
+        kinds: &[ModelKind],
+        cost: &CostModel,
+        config_of: impl Fn(ModelKind) -> ModelConfig,
+    ) -> Self {
+        let operand_bytes = cost.hw().operand_bytes();
+        let models = kinds
+            .iter()
+            .map(|&k| {
+                let config = config_of(k);
+                let weight_bytes = model_weight_bytes(&config, operand_bytes);
+                (
+                    k,
+                    ModelInfo {
+                        config,
+                        period: cost.period(&config),
+                        weight_bytes,
+                        latent_bytes: latent_state_bytes(&config, operand_bytes),
+                        full_refill_ms: cost.full_refill_ms(weight_bytes),
+                    },
+                )
+            })
+            .collect();
+        Self {
+            policy,
+            max_batch,
+            dram_ms_per_byte: cost.dram_ms_per_byte(),
+            dram_mj_per_byte: cost.dram_mj_per_byte(),
+            models,
+        }
+    }
+
+    /// The constants of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not in the `kinds` the context was built for —
+    /// the cluster builds the context from the trace's model mix, so every
+    /// kind a request can carry is present by construction.
+    pub fn info(&self, kind: ModelKind) -> &ModelInfo {
+        self.models
+            .get(&kind)
+            .expect("scheduling context covers every traced model kind")
+    }
+}
+
+/// What one admission pass did: requests admitted into the batch and
+/// requests parked (preempted) back into the queue, each stamped with the
+/// boundary time. The cluster uses both for queue-depth accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdmitOutcome {
+    /// `(request id, boundary ms)` per admitted request.
+    pub admitted: Vec<(u64, f64)>,
+    /// `(request id, boundary ms)` per parked request.
+    pub parked: Vec<(u64, f64)>,
+}
 
 /// One accelerator instance's scheduler state.
 #[derive(Debug, Clone)]
@@ -24,39 +132,63 @@ pub struct Instance {
     pub now_ms: f64,
     /// The model whose batch is currently running (sticky after drain).
     pub active_model: Option<ModelKind>,
-    /// The model whose weights are GSC-resident, if any.
-    resident_model: Option<ModelKind>,
     /// The running batch.
     pub running: Vec<Request>,
+    /// Byte-accounted GSC residency of weight shards and parked latents.
+    gsc: GscCache,
     busy_ms: f64,
     energy_mj: f64,
     iterations: u64,
     sparse_iterations: u64,
     batch_rows: u64,
-    cold_switches: u64,
+    preemptions: u64,
+    latent_spills: u64,
+    weight_refill_iterations: u64,
+    weight_hit_bytes: u64,
+    weight_refill_bytes: u64,
 }
 
 impl Instance {
-    /// A fresh idle instance.
-    pub fn new(id: usize) -> Self {
+    /// A fresh idle instance backed by `hw`'s GSC under `eviction`.
+    pub fn new(id: usize, hw: &HwConfig, eviction: EvictionPolicy) -> Self {
         Self {
             id,
             now_ms: 0.0,
             active_model: None,
-            resident_model: None,
             running: Vec::new(),
+            gsc: GscCache::new(hw.gsc_bytes() as u64, eviction),
             busy_ms: 0.0,
             energy_mj: 0.0,
             iterations: 0,
             sparse_iterations: 0,
             batch_rows: 0,
-            cold_switches: 0,
+            preemptions: 0,
+            latent_spills: 0,
+            weight_refill_iterations: 0,
+            weight_hit_bytes: 0,
+            weight_refill_bytes: 0,
         }
     }
 
     /// Whether the instance has no running batch.
     pub fn is_idle(&self) -> bool {
         self.running.is_empty()
+    }
+
+    /// Resident fraction of `kind`'s weight shards in this instance's GSC.
+    pub fn weight_residency(&self, kind: ModelKind) -> f64 {
+        self.gsc.resident_fraction(GscObject::Weights(kind))
+    }
+
+    /// Moves `bytes` of latent state across the DRAM interface (one way):
+    /// the transfer occupies the instance, so it counts toward the busy
+    /// time and energy the report compares across policies — not just the
+    /// clock.
+    fn latent_transfer(&mut self, bytes: u64, ctx: &SchedContext) {
+        let ms = bytes as f64 * ctx.dram_ms_per_byte;
+        self.now_ms += ms;
+        self.busy_ms += ms;
+        self.energy_mj += bytes as f64 * ctx.dram_mj_per_byte;
     }
 
     /// Steps the running members sit past their last dense boundary.
@@ -70,78 +202,253 @@ impl Instance {
             .unwrap_or(0)
     }
 
-    /// Admits queued requests into free slots at this iteration boundary.
-    /// Returns the ids admitted (their `admitted_ms` is stamped).
-    ///
-    /// An idle instance may seed a batch of any queued model (switching the
-    /// active model); a busy one only tops up with its active model, gated
-    /// by the policy's phase-boundary rule.
-    pub fn admit(
-        &mut self,
-        queue: &mut Vec<Request>,
-        policy: Policy,
-        max_batch: usize,
-        period: impl Fn(ModelKind) -> usize,
-    ) -> Vec<(u64, f64)> {
-        let mut admitted = Vec::new();
-        if queue.is_empty() {
-            return admitted;
+    /// Makes `model` the active one, moving the weight-shard pin.
+    fn set_active(&mut self, model: ModelKind) {
+        if let Some(old) = self.active_model {
+            if old != model {
+                self.gsc.set_pinned(GscObject::Weights(old), false);
+            }
         }
+        self.active_model = Some(model);
+    }
 
-        // The policy's most urgent queued request.
-        let urgent_idx = (0..queue.len())
-            .min_by(|&a, &b| {
-                policy
-                    .key(&queue[a])
-                    .partial_cmp(&policy.key(&queue[b]))
-                    .unwrap()
-            })
-            .unwrap();
-        if self.running.is_empty() {
-            // Seed: the most urgent request picks the model.
-            self.active_model = Some(queue[urgent_idx].model);
+    /// Prices the eviction fallout of a GSC request: parked latents pushed
+    /// out are dirty state and must be written back to DRAM now; weight
+    /// shards are clean and simply re-stream on their next use.
+    fn price_evictions(&mut self, evicted: &[(GscObject, u64)], ctx: &SchedContext) {
+        for &(obj, bytes) in evicted {
+            if obj.is_latent() {
+                self.latent_transfer(bytes, ctx);
+                self.latent_spills += 1;
+            }
+        }
+    }
+
+    /// Parks one running request at this iteration boundary: its denoising
+    /// latent goes to the GSC if it fits (to DRAM at a priced write-back
+    /// otherwise) and the request re-enters `queue` with `steps_done`
+    /// intact — preempt/resume conserves DDIM iterations by construction,
+    /// since the step counter travels with the request.
+    fn park(&mut self, mut r: Request, queue: &mut Vec<Request>, ctx: &SchedContext) -> (u64, f64) {
+        let info = ctx.info(r.model);
+        r.preemptions += 1;
+        self.preemptions += 1;
+        let latent = GscObject::Latent(r.id);
+        // Admission pre-check: when even evicting every unpinned entry
+        // could not house the latent, spill straight to DRAM rather than
+        // uselessly pushing other tenants out first.
+        if info.latent_bytes > self.gsc.evictable_bytes() {
+            self.latent_transfer(info.latent_bytes, ctx);
+            self.latent_spills += 1;
         } else {
-            let model = self.active_model.expect("running batch has a model");
-            // Anti-starvation: when the most urgent request targets another
-            // model, stop topping up and let the batch drain so the
-            // instance can switch. Without this, continuous top-up under
-            // backlog lets the first-seeded model monopolize the instance.
-            if queue[urgent_idx].model != model {
-                return admitted;
+            let out = self.gsc.request(
+                latent,
+                info.latent_bytes,
+                info.latent_bytes as f64 * ctx.dram_ms_per_byte,
+                false,
+            );
+            self.price_evictions(&out.evicted, ctx);
+            debug_assert_eq!(
+                out.resident_bytes, info.latent_bytes,
+                "pre-checked latent must fit after eviction"
+            );
+        }
+        // The request becomes admissible again only once the park (and any
+        // spill it priced) has finished on this instance's clock.
+        r.ready_ms = self.now_ms;
+        let stamp = (r.id, self.now_ms);
+        queue.push(r);
+        stamp
+    }
+
+    /// Re-establishes a previously parked request's latent when it re-enters
+    /// a batch: a GSC hit is free; a DRAM-spilled (or evicted, or
+    /// cross-instance migrated) latent pays the read back.
+    fn resume(&mut self, r: &Request, ctx: &SchedContext) {
+        let latent = GscObject::Latent(r.id);
+        let resident = self.gsc.resident_fraction(latent) >= 1.0;
+        self.gsc.remove(latent);
+        if !resident {
+            self.latent_transfer(ctx.info(r.model).latent_bytes, ctx);
+        }
+    }
+
+    /// Releases a parked-latent copy after the request resumed on *another*
+    /// instance. If this instance still held the latent on chip, the
+    /// migration physically required writing it back to DRAM for the
+    /// resuming instance to read — bill that write here (the read was
+    /// billed by the resumer). Either way the entry is dropped so it
+    /// neither depresses this instance's weight residency nor is mispriced
+    /// as a dirty spill when eviction eventually finds it.
+    pub fn discard_latent(&mut self, id: u64, ctx: &SchedContext) {
+        let bytes = self.gsc.remove(GscObject::Latent(id));
+        if bytes > 0 {
+            self.latent_transfer(bytes, ctx);
+            self.latent_spills += 1;
+        }
+    }
+
+    /// Residency-aware seed choice for an idle instance: among the queued
+    /// models, pick the one minimizing the policy key *adjusted by the
+    /// refill cost of its non-resident weight fraction*. A tenant whose
+    /// shards this instance already holds wins unless another model's most
+    /// urgent request beats it by more than the switch actually costs.
+    fn seed_model(&self, queue: &[Request], ctx: &SchedContext) -> ModelKind {
+        let mut best: Option<(f64, (f64, u64), ModelKind)> = None;
+        let mut seen: Vec<ModelKind> = Vec::new();
+        for r in queue.iter().filter(|r| r.ready_ms <= self.now_ms) {
+            if seen.contains(&r.model) {
+                continue;
             }
-            if !policy.admits_mid_period(self.steps_into_period(period(model))) {
-                return admitted;
+            seen.push(r.model);
+            let key = queue
+                .iter()
+                .filter(|q| q.model == r.model && q.ready_ms <= self.now_ms)
+                .map(|q| ctx.policy.key(q))
+                .min_by(|a, b| a.partial_cmp(b).expect("policy keys are finite"))
+                .expect("model taken from a visible queue member");
+            let info = ctx.info(r.model);
+            let refill = (1.0 - self.weight_residency(r.model)) * info.full_refill_ms;
+            let score = key.0 + refill;
+            let better = match &best {
+                None => true,
+                Some((s, k, _)) => (score, key) < (*s, *k),
+            };
+            if better {
+                best = Some((score, key, r.model));
+            }
+        }
+        best.expect("seed_model called with a non-empty queue").2
+    }
+
+    /// Admits queued requests into free slots at this iteration boundary,
+    /// preempting running ones first when the policy allows and deadlines
+    /// demand it.
+    ///
+    /// An idle instance seeds a batch of the residency-adjusted most urgent
+    /// queued model; a busy one tops up with its active model, gated by the
+    /// policy's phase-boundary rule. Under [`Policy::PreemptiveEdf`] a
+    /// queued request whose deadline beats *every* running member's parks
+    /// the whole batch (cross-model switch), and a same-model request
+    /// beating the *worst* member swaps into a full batch.
+    pub fn admit(&mut self, queue: &mut Vec<Request>, ctx: &SchedContext) -> AdmitOutcome {
+        let mut outcome = AdmitOutcome::default();
+        // Only *ready* requests are admissible: a request parked on another
+        // instance at a later clock must not be resumed before its park
+        // happened.
+        let now = self.now_ms;
+        let visible = |r: &Request| r.ready_ms <= now;
+        // The policy's most urgent visible queued request.
+        let Some(urgent_idx) = (0..queue.len())
+            .filter(|&i| visible(&queue[i]))
+            .min_by(|&a, &b| {
+                ctx.policy
+                    .key(&queue[a])
+                    .partial_cmp(&ctx.policy.key(&queue[b]))
+                    .expect("policy keys are finite")
+            })
+        else {
+            return outcome;
+        };
+
+        if self.running.is_empty() {
+            let model = self.seed_model(queue, ctx);
+            self.set_active(model);
+        } else {
+            let model = self
+                .active_model
+                .expect("a non-empty batch always has an active model");
+            let urgent_model = queue[urgent_idx].model;
+            let urgent_deadline = queue[urgent_idx].deadline_ms();
+            if urgent_model != model {
+                let earliest_running = self
+                    .running
+                    .iter()
+                    .map(Request::deadline_ms)
+                    .fold(f64::INFINITY, f64::min);
+                if ctx.policy.preemptive() && urgent_deadline < earliest_running {
+                    // Iteration-boundary preemption: park the whole batch
+                    // and switch to the urgent tenant immediately instead
+                    // of head-of-line blocking it for a full generation.
+                    // Unpin the outgoing shards first — they are clean and
+                    // about to lose the instance anyway, so the parked
+                    // latents may claim their space instead of being forced
+                    // into DRAM spills.
+                    self.gsc.set_pinned(GscObject::Weights(model), false);
+                    for r in std::mem::take(&mut self.running) {
+                        outcome.parked.push(self.park(r, queue, ctx));
+                    }
+                    self.set_active(urgent_model);
+                } else {
+                    // Anti-starvation drain: stop topping up so the batch
+                    // can empty and the instance can switch.
+                    return outcome;
+                }
+            } else {
+                if ctx.policy.preemptive() && self.running.len() >= ctx.max_batch {
+                    // Same-model swap: a full batch yields its worst member
+                    // to a strictly more urgent request.
+                    let worst = (0..self.running.len())
+                        .max_by(|&a, &b| {
+                            self.running[a]
+                                .deadline_ms()
+                                .total_cmp(&self.running[b].deadline_ms())
+                        })
+                        .expect("non-empty running batch");
+                    if urgent_deadline < self.running[worst].deadline_ms() {
+                        let victim = self.running.swap_remove(worst);
+                        outcome.parked.push(self.park(victim, queue, ctx));
+                    } else {
+                        return outcome;
+                    }
+                }
+                if !ctx
+                    .policy
+                    .admits_mid_period(self.steps_into_period(ctx.info(model).period))
+                {
+                    return outcome;
+                }
             }
         }
 
-        let model = self.active_model.unwrap();
-        let free = max_batch.saturating_sub(self.running.len());
+        let model = self
+            .active_model
+            .expect("seeding or the running batch set the active model above");
+        let free = ctx.max_batch.saturating_sub(self.running.len());
         let mut candidates: Vec<usize> = (0..queue.len())
-            .filter(|&i| queue[i].model == model)
+            .filter(|&i| queue[i].model == model && visible(&queue[i]))
             .collect();
         candidates.sort_by(|&a, &b| {
-            policy
+            ctx.policy
                 .key(&queue[a])
-                .partial_cmp(&policy.key(&queue[b]))
-                .unwrap()
+                .partial_cmp(&ctx.policy.key(&queue[b]))
+                .expect("policy keys are finite")
         });
         candidates.truncate(free);
         // Remove back-to-front so earlier indices stay valid.
         candidates.sort_unstable_by(|a, b| b.cmp(a));
         for idx in candidates {
             let mut r = queue.swap_remove(idx);
-            r.admitted_ms = Some(self.now_ms);
-            admitted.push((r.id, self.now_ms));
+            if r.steps_done > 0 {
+                self.resume(&r, ctx);
+            }
+            if r.admitted_ms.is_none() {
+                r.admitted_ms = Some(self.now_ms);
+            }
+            outcome.admitted.push((r.id, self.now_ms));
             self.running.push(r);
         }
         // Keep the batch in deterministic id order regardless of removal
         // order above.
         self.running.sort_by_key(|r| r.id);
-        admitted
+        outcome
     }
 
     /// Executes one denoising iteration for the running batch, advancing the
-    /// local clock and returning the completions it produced.
+    /// local clock and returning the completions it produced. The active
+    /// model's weight shards are touched (and refilled as far as capacity
+    /// allows) in the GSC, and the iteration is priced by the fraction that
+    /// was already resident.
     ///
     /// # Panics
     ///
@@ -149,30 +456,41 @@ impl Instance {
     pub fn execute_iteration(
         &mut self,
         cost: &mut CostModel,
-        configs: &dyn Fn(ModelKind) -> ModelConfig,
+        ctx: &SchedContext,
     ) -> Vec<Completion> {
         assert!(!self.running.is_empty(), "executing an empty batch");
-        let model = self.active_model.expect("running batch has a model");
-        let config = configs(model);
-        let period = cost.period(&config);
+        let model = self
+            .active_model
+            .expect("a non-empty batch always has an active model");
+        let info = ctx.info(model).clone();
 
         // The iteration runs sparse only when every member is in its sparse
         // phase; one member at a dense boundary forces a dense (bitmask
         // regenerating) pass for the whole batch.
-        let all_sparse = self.running.iter().all(|r| r.steps_done % period != 0);
+        let all_sparse = self.running.iter().all(|r| r.steps_done % info.period != 0);
         let phase = if all_sparse {
             IterationPhase::Sparse
         } else {
             IterationPhase::Dense
         };
 
-        let warm = self.resident_model == Some(model);
-        if !warm {
-            self.cold_switches += 1;
+        let out = self.gsc.request(
+            GscObject::Weights(model),
+            info.weight_bytes,
+            info.full_refill_ms,
+            true,
+        );
+        self.price_evictions(&out.evicted, ctx);
+        let warm_frac = out.prior_fraction(info.weight_bytes);
+        self.weight_hit_bytes += out.prior_bytes;
+        self.weight_refill_bytes += out.refilled_bytes;
+        if out.refilled_bytes > 0 {
+            self.weight_refill_iterations += 1;
         }
+
         let batch = self.running.len() as u64;
         let c = cost
-            .iteration(&config, batch, phase, warm)
+            .iteration(&info.config, batch, phase, warm_frac)
             .expect("non-empty batch and in-range step");
 
         self.now_ms += c.latency_ms;
@@ -183,7 +501,6 @@ impl Instance {
             self.sparse_iterations += 1;
         }
         self.batch_rows += batch;
-        self.resident_model = Some(model);
 
         let mut done = Vec::new();
         let now = self.now_ms;
@@ -195,10 +512,13 @@ impl Instance {
                     id: r.id,
                     model: r.model,
                     arrival_ms: r.arrival_ms,
-                    admitted_ms: r.admitted_ms.expect("running request was admitted"),
+                    admitted_ms: r
+                        .admitted_ms
+                        .expect("a running request was stamped at first admission"),
                     finished_ms: now,
                     slo_ms: r.slo_ms,
                     instance: id,
+                    preemptions: r.preemptions,
                 });
                 false
             } else {
@@ -210,6 +530,7 @@ impl Instance {
 
     /// Final accounting over a makespan.
     pub fn stats(&self, makespan_ms: f64) -> InstanceStats {
+        let weight_traffic = self.weight_hit_bytes + self.weight_refill_bytes;
         InstanceStats {
             utilization: if makespan_ms > 0.0 {
                 self.busy_ms / makespan_ms
@@ -227,8 +548,18 @@ impl Instance {
             } else {
                 0.0
             },
+            rows_executed: self.batch_rows,
             energy_mj: self.energy_mj,
-            cold_switches: self.cold_switches,
+            preemptions: self.preemptions,
+            latent_spills: self.latent_spills,
+            weight_refill_iterations: self.weight_refill_iterations,
+            weight_hit_bytes: self.weight_hit_bytes,
+            weight_refill_bytes: self.weight_refill_bytes,
+            residency_hit_rate: if weight_traffic > 0 {
+                self.weight_hit_bytes as f64 / weight_traffic as f64
+            } else {
+                1.0
+            },
         }
     }
 }
@@ -236,28 +567,47 @@ impl Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exion_sim::config::HwConfig;
     use exion_sim::perf::SimAblation;
 
     fn tiny(kind: ModelKind) -> ModelConfig {
         ModelConfig::for_kind(kind).shrunk(1, 12)
     }
 
+    fn ctx_for(policy: Policy, max_batch: usize, cost: &CostModel) -> SchedContext {
+        SchedContext::build(
+            policy,
+            max_batch,
+            &[ModelKind::Mld, ModelKind::Mdm, ModelKind::StableDiffusion],
+            cost,
+            tiny,
+        )
+    }
+
+    // Already-released requests (arrival 0, so all visible at clock 0);
+    // FCFS ordering falls to the id tie-break, which follows slice order.
     fn queue_of(kinds: &[ModelKind]) -> Vec<Request> {
         kinds
             .iter()
             .enumerate()
-            .map(|(i, &k)| Request::new(i as u64, k, i as f64, 1e9, tiny(k).iterations))
+            .map(|(i, &k)| Request::new(i as u64, k, 0.0, 1e9, tiny(k).iterations))
             .collect()
+    }
+
+    fn instance() -> Instance {
+        Instance::new(0, &HwConfig::exion4(), EvictionPolicy::Lru)
     }
 
     #[test]
     fn admission_fills_slots_with_one_model() {
-        let mut inst = Instance::new(0);
+        let cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::Fcfs, 8, &cost);
+        let mut inst = instance();
         let mut queue = queue_of(&[ModelKind::Mld, ModelKind::Mdm, ModelKind::Mld]);
-        let admitted = inst.admit(&mut queue, Policy::Fcfs, 8, |_| 5);
-        // Seeded with MLD (earliest arrival), so both MLD requests join.
-        assert_eq!(admitted.len(), 2);
+        let out = inst.admit(&mut queue, &ctx);
+        // Seeded with MLD (first by FCFS tie-break and cheapest refill), so
+        // both MLD requests join.
+        assert_eq!(out.admitted.len(), 2);
+        assert!(out.parked.is_empty());
         assert_eq!(inst.active_model, Some(ModelKind::Mld));
         assert_eq!(queue.len(), 1);
         assert_eq!(queue[0].model, ModelKind::Mdm);
@@ -265,10 +615,12 @@ mod tests {
 
     #[test]
     fn max_batch_bounds_admission() {
-        let mut inst = Instance::new(0);
+        let cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::Fcfs, 4, &cost);
+        let mut inst = instance();
         let mut queue = queue_of(&[ModelKind::Mld; 12]);
-        let admitted = inst.admit(&mut queue, Policy::Fcfs, 4, |_| 5);
-        assert_eq!(admitted.len(), 4);
+        let out = inst.admit(&mut queue, &ctx);
+        assert_eq!(out.admitted.len(), 4);
         // Earliest arrivals won the slots.
         let ids: Vec<u64> = inst.running.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
@@ -276,37 +628,212 @@ mod tests {
 
     #[test]
     fn sparsity_aware_waits_for_boundary() {
-        let mut inst = Instance::new(0);
-        let mut queue = queue_of(&[ModelKind::Mld; 4]);
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        inst.admit(&mut queue, Policy::SparsityAware, 2, |_| 5);
+        let sparsity_ctx = ctx_for(Policy::SparsityAware, 2, &cost);
+        let mut inst = instance();
+        let mut queue = queue_of(&[ModelKind::Mld; 4]);
+        inst.admit(&mut queue, &sparsity_ctx);
         assert_eq!(inst.running.len(), 2);
         // One step in: mid-period, so the gate closes.
-        inst.execute_iteration(&mut cost, &|k| tiny(k));
-        let admitted = inst.admit(&mut queue, Policy::SparsityAware, 4, |_| 5);
-        assert!(admitted.is_empty());
+        inst.execute_iteration(&mut cost, &sparsity_ctx);
+        let wider = ctx_for(Policy::SparsityAware, 4, &cost);
+        assert!(inst.admit(&mut queue, &wider).admitted.is_empty());
         // FCFS would have admitted immediately.
-        let admitted = inst.admit(&mut queue, Policy::Fcfs, 4, |_| 5);
-        assert_eq!(admitted.len(), 2);
+        let fcfs = ctx_for(Policy::Fcfs, 4, &cost);
+        assert_eq!(inst.admit(&mut queue, &fcfs).admitted.len(), 2);
     }
 
     #[test]
     fn completions_carry_timing() {
-        let mut inst = Instance::new(3);
-        let mut queue = queue_of(&[ModelKind::Mld]);
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        inst.admit(&mut queue, Policy::Fcfs, 8, |_| 5);
+        let ctx = ctx_for(Policy::Fcfs, 8, &cost);
+        let mut inst = Instance::new(3, &HwConfig::exion4(), EvictionPolicy::Lru);
+        let mut queue = queue_of(&[ModelKind::Mld]);
+        inst.admit(&mut queue, &ctx);
         let total = tiny(ModelKind::Mld).iterations;
         let mut done = Vec::new();
         for _ in 0..total {
-            done.extend(inst.execute_iteration(&mut cost, &|k| tiny(k)));
+            done.extend(inst.execute_iteration(&mut cost, &ctx));
         }
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].instance, 3);
+        assert_eq!(done[0].preemptions, 0);
         assert!(done[0].finished_ms > 0.0);
         assert!(inst.is_idle());
         let stats = inst.stats(inst.now_ms);
         assert_eq!(stats.iterations, total as u64);
+        assert_eq!(stats.rows_executed, total as u64);
         assert!(stats.utilization > 0.99);
+        // The first iteration streamed weights; later ones hit the GSC.
+        assert!(stats.residency_hit_rate > 0.5);
+        assert!(stats.weight_refill_iterations >= 1);
+    }
+
+    #[test]
+    fn preemptive_edf_parks_for_an_urgent_tenant() {
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &cost);
+        let mut inst = instance();
+        // A relaxed-deadline SD batch is running...
+        let mut queue = vec![Request::new(
+            0,
+            ModelKind::StableDiffusion,
+            0.0,
+            1e6,
+            tiny(ModelKind::StableDiffusion).iterations,
+        )];
+        inst.admit(&mut queue, &ctx);
+        inst.execute_iteration(&mut cost, &ctx);
+        assert_eq!(inst.active_model, Some(ModelKind::StableDiffusion));
+        // ...when an urgent MLD request arrives.
+        queue.push(Request::new(
+            1,
+            ModelKind::Mld,
+            1.0,
+            10.0,
+            tiny(ModelKind::Mld).iterations,
+        ));
+        let out = inst.admit(&mut queue, &ctx);
+        assert_eq!(out.parked.len(), 1, "SD batch must be parked");
+        assert_eq!(out.admitted.len(), 1);
+        assert_eq!(inst.active_model, Some(ModelKind::Mld));
+        assert_eq!(inst.running[0].model, ModelKind::Mld);
+        // The parked request kept its progress and counts its preemption.
+        let parked = queue
+            .iter()
+            .find(|r| r.id == 0)
+            .expect("parked back into queue");
+        assert_eq!(parked.steps_done, 1);
+        assert_eq!(parked.preemptions, 1);
+        assert_eq!(inst.stats(1.0).preemptions, 1);
+    }
+
+    #[test]
+    fn non_preemptive_edf_drains_instead() {
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::Edf, 8, &cost);
+        let mut inst = instance();
+        let mut queue = vec![Request::new(
+            0,
+            ModelKind::StableDiffusion,
+            0.0,
+            1e6,
+            tiny(ModelKind::StableDiffusion).iterations,
+        )];
+        inst.admit(&mut queue, &ctx);
+        inst.execute_iteration(&mut cost, &ctx);
+        queue.push(Request::new(
+            1,
+            ModelKind::Mld,
+            1.0,
+            10.0,
+            tiny(ModelKind::Mld).iterations,
+        ));
+        let out = inst.admit(&mut queue, &ctx);
+        assert!(out.parked.is_empty());
+        assert!(out.admitted.is_empty());
+        assert_eq!(inst.active_model, Some(ModelKind::StableDiffusion));
+    }
+
+    #[test]
+    fn same_model_swap_evicts_the_worst_deadline() {
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::PreemptiveEdf, 2, &cost);
+        let mut inst = instance();
+        let steps = tiny(ModelKind::Mld).iterations;
+        let mut queue = vec![
+            Request::new(0, ModelKind::Mld, 0.0, 500.0, steps),
+            Request::new(1, ModelKind::Mld, 0.0, 900.0, steps),
+        ];
+        inst.admit(&mut queue, &ctx);
+        inst.execute_iteration(&mut cost, &ctx);
+        // A tighter-deadline request displaces id 1 (deadline 900).
+        queue.push(Request::new(2, ModelKind::Mld, 0.0, 50.0, steps));
+        let out = inst.admit(&mut queue, &ctx);
+        assert_eq!(out.parked.len(), 1);
+        assert_eq!(out.parked[0].0, 1);
+        let ids: Vec<u64> = inst.running.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn resumed_requests_finish_with_all_steps() {
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &cost);
+        let mut inst = instance();
+        let sd_steps = tiny(ModelKind::StableDiffusion).iterations;
+        let mut queue = vec![Request::new(
+            0,
+            ModelKind::StableDiffusion,
+            0.0,
+            1e6,
+            sd_steps,
+        )];
+        inst.admit(&mut queue, &ctx);
+        inst.execute_iteration(&mut cost, &ctx);
+        queue.push(Request::new(
+            1,
+            ModelKind::Mld,
+            1.0,
+            10.0,
+            tiny(ModelKind::Mld).iterations,
+        ));
+        inst.admit(&mut queue, &ctx); // parks SD, runs MLD
+        let mut done = Vec::new();
+        let mut guard = 0;
+        while done.len() < 2 {
+            if inst.is_idle() {
+                inst.admit(&mut queue, &ctx);
+            }
+            done.extend(inst.execute_iteration(&mut cost, &ctx));
+            guard += 1;
+            assert!(guard < 10 * (sd_steps as u32 + 12), "scheduler livelock");
+        }
+        let sd = done.iter().find(|c| c.id == 0).expect("SD completed");
+        assert_eq!(sd.preemptions, 1);
+        // Total executed rows equal total requested steps: conservation.
+        let stats = inst.stats(inst.now_ms);
+        let requested = (sd_steps + tiny(ModelKind::Mld).iterations) as u64;
+        assert_eq!(stats.rows_executed, requested);
+    }
+
+    #[test]
+    fn idle_seeding_prefers_the_resident_tenant() {
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::Fcfs, 8, &cost);
+        let mut inst = instance();
+        // Run an MDM generation to make its shards resident.
+        let mut queue = vec![Request::new(
+            0,
+            ModelKind::Mdm,
+            0.0,
+            1e9,
+            tiny(ModelKind::Mdm).iterations,
+        )];
+        inst.admit(&mut queue, &ctx);
+        while !inst.is_idle() {
+            inst.execute_iteration(&mut cost, &ctx);
+        }
+        assert_eq!(inst.weight_residency(ModelKind::Mdm), 1.0);
+        // Two simultaneous arrivals: FCFS alone would seed SD (lower id
+        // wins the tie-break), but its cold refill tips the residency-
+        // adjusted score toward the already-resident MDM.
+        let now = inst.now_ms;
+        queue.push(Request::new(
+            1,
+            ModelKind::StableDiffusion,
+            now,
+            1e9,
+            tiny(ModelKind::StableDiffusion).iterations,
+        ));
+        queue.push(Request::new(
+            2,
+            ModelKind::Mdm,
+            now,
+            1e9,
+            tiny(ModelKind::Mdm).iterations,
+        ));
+        inst.admit(&mut queue, &ctx);
+        assert_eq!(inst.active_model, Some(ModelKind::Mdm));
     }
 }

@@ -26,6 +26,9 @@
 //! * [`energy`] — the Table-III power/area model with clock gating,
 //! * [`workload`] — descriptor builder from benchmark configs and sparsity
 //!   profiles,
+//! * [`residency`] — the capacity-aware GSC cache model ([`GscCache`]):
+//!   byte-accounted weight-shard and parked-latent entries with pluggable
+//!   eviction, shared by the serving layer's schedulers,
 //! * [`dsc`] — the diffusion-sparsity-aware core timeline (engine overlap,
 //!   DMA double-buffering),
 //! * [`perf`] — end-to-end model simulation entry points.
@@ -38,6 +41,7 @@ pub mod energy;
 pub mod epre;
 pub mod isa;
 pub mod perf;
+pub mod residency;
 pub mod sdue;
 pub mod sram;
 pub mod workload;
@@ -46,4 +50,5 @@ pub use config::HwConfig;
 pub use perf::{
     simulate_iteration, simulate_model, try_simulate_model, IterationCost, PerfReport, SimError,
 };
+pub use residency::{EvictionPolicy, GscCache, GscObject, ResidencyOutcome};
 pub use workload::SparsityProfile;

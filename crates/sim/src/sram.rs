@@ -74,9 +74,18 @@ impl BankedMemory {
         self.buffer_bytes() * self.buffering.copies()
     }
 
-    /// Whether one tile of `bytes` fits a single buffer copy.
+    /// Whether one tile of `bytes` fits a single buffer copy — i.e. its
+    /// [`Self::capacity_fraction`] reaches 1.0.
     pub fn tile_fits(&self, bytes: usize) -> bool {
-        bytes <= self.buffer_bytes()
+        self.capacity_fraction(bytes) >= 1.0
+    }
+
+    /// Fraction of a `working_set_bytes` object one buffer copy can hold —
+    /// the same byte-proportional partial-residency rule the GSC model uses
+    /// ([`crate::residency::partial_residency`]); tiles larger than a buffer
+    /// stream the remainder rather than refusing outright.
+    pub fn capacity_fraction(&self, working_set_bytes: usize) -> f64 {
+        crate::residency::partial_residency(self.buffer_bytes() as f64, working_set_bytes as f64)
     }
 
     /// Largest tile rows that fit given `bytes_per_row` (per-bank row
@@ -126,6 +135,14 @@ mod tests {
         let m = BankedMemory::new("IMEM", 16, 1536, Buffering::Double);
         assert!(m.tile_fits(24 * 1024));
         assert!(!m.tile_fits(24 * 1024 + 1));
+    }
+
+    #[test]
+    fn capacity_fraction_is_partial_not_binary() {
+        let m = BankedMemory::new("IMEM", 16, 1536, Buffering::Double);
+        assert_eq!(m.capacity_fraction(12 * 1024), 1.0);
+        assert_eq!(m.capacity_fraction(48 * 1024), 0.5);
+        assert_eq!(m.capacity_fraction(0), 1.0);
     }
 
     #[test]

@@ -121,7 +121,7 @@ fn serve_sweep_knee_and_policies() {
     }
     let policies =
         serve_sweep::compare_policies(&exion::sim::config::HwConfig::exion4(), Some(600.0));
-    assert_eq!(policies.len(), 3);
+    assert_eq!(policies.len(), exion::serve::Policy::ALL.len());
     for (policy, report) in &policies {
         assert_eq!(report.completed, report.arrivals, "{}", policy.name());
     }

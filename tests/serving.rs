@@ -1,12 +1,20 @@
-//! Scheduler invariants of the serving simulator: conservation (every
-//! admitted request completes exactly once), monotonicity (mean latency is
-//! non-decreasing in offered load), and determinism (identical seeds give
-//! identical traces and reports).
+//! Scheduler and residency invariants of the serving simulator:
+//! conservation (every admitted request completes exactly once; preempt/
+//! resume never loses or duplicates a DDIM step), monotonicity (mean
+//! latency is non-decreasing in offered load), determinism (identical seeds
+//! give identical traces and reports), GSC capacity safety (occupancy never
+//! exceeds capacity under any op sequence), and the preemption win (the
+//! urgent tenant class's p95 under preemptive EDF beats non-preemptive EDF
+//! and FCFS on the seeded bursty trace).
 
 use std::collections::HashSet;
 
+use exion::model::config::{ModelConfig, ModelKind};
 use exion::serve::{Policy, ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix};
 use exion::sim::config::HwConfig;
+use exion::sim::residency::{EvictionPolicy, GscCache, GscObject};
+use exion_bench::experiments::serve_sweep::bursty_trace;
+use proptest::prelude::*;
 
 fn motion_trace(rate_rps: f64, seed: u64) -> TraceConfig {
     TraceConfig {
@@ -102,6 +110,153 @@ fn sparsity_aware_preserves_sparse_iterations() {
         aligned.sparse_iteration_frac,
         fcfs.sparse_iteration_frac
     );
+}
+
+/// Runs the seeded bursty-MMPP multi-tenant trace (the acceptance trace of
+/// the preemption work) under `policy` on EXION24 at 85% load.
+fn bursty_run(policy: Policy) -> exion::serve::ServeReport {
+    let mut sim = ServeSimulator::new(ServeConfig::new(HwConfig::exion24()).with_policy(policy));
+    let capacity = sim.capacity_estimate_rps(&WorkloadMix::multi_tenant());
+    sim.run(&bursty_trace(capacity, 0.85, 2_000.0))
+}
+
+#[test]
+fn preemption_conserves_ddim_steps() {
+    let report = bursty_run(Policy::PreemptiveEdf);
+    assert_eq!(report.completed, report.arrivals, "dropped or duplicated");
+    assert!(report.preemptions > 0, "the bursty trace must preempt");
+    // Every executed batch row is one DDIM step of one request; park/resume
+    // must neither lose nor duplicate any: the rows the cluster executed
+    // equal exactly the steps the completed requests demanded.
+    let demanded: u64 = report
+        .completions
+        .iter()
+        .map(|c| ModelConfig::for_kind(c.model).iterations as u64)
+        .sum();
+    let executed: u64 = report.per_instance.iter().map(|s| s.rows_executed).sum();
+    assert_eq!(demanded, executed, "DDIM steps not conserved");
+    // Preempted requests really resumed rather than restarting.
+    assert!(report.completions.iter().any(|c| c.preemptions > 0));
+}
+
+#[test]
+fn preemptive_edf_protects_the_urgent_class() {
+    let fcfs = bursty_run(Policy::Fcfs);
+    let edf = bursty_run(Policy::Edf);
+    let preemptive = bursty_run(Policy::PreemptiveEdf);
+    assert!(preemptive.preemptions > 0);
+    assert_eq!(edf.preemptions, 0, "non-preemptive EDF must not park");
+    // The urgent (3x-SLO) tenants' p95 must strictly improve over
+    // non-preemptive EDF, and never regress against FCFS.
+    for kind in [ModelKind::Mld, ModelKind::Mdm] {
+        let pre = preemptive.class_latency(kind).p95;
+        let non = edf.class_latency(kind).p95;
+        let base = fcfs.class_latency(kind).p95;
+        assert!(
+            pre < non,
+            "{}: preemptive p95 {pre} vs edf {non}",
+            kind.name()
+        );
+        assert!(
+            pre <= base,
+            "{}: preemptive p95 {pre} vs fcfs {base}",
+            kind.name()
+        );
+    }
+    // Residency accounting is live and reported.
+    assert!(preemptive.residency_hit_rate > 0.0 && preemptive.residency_hit_rate < 1.0);
+    assert!(preemptive.weight_refill_bytes > 0);
+}
+
+#[test]
+fn eviction_policies_preserve_conservation() {
+    // Two instances: parked requests may migrate across GSCs on resume.
+    for eviction in [EvictionPolicy::Lru, EvictionPolicy::CostAware] {
+        let mut sim = ServeSimulator::new(
+            ServeConfig::new(HwConfig::exion4())
+                .with_policy(Policy::PreemptiveEdf)
+                .with_eviction(eviction)
+                .with_instances(2),
+        );
+        let capacity = sim.capacity_estimate_rps(&WorkloadMix::multi_tenant());
+        let report = sim.run(&bursty_trace(capacity, 1.7, 1_200.0));
+        assert_eq!(report.completed, report.arrivals, "{}", eviction.name());
+        let demanded: u64 = report
+            .completions
+            .iter()
+            .map(|c| ModelConfig::for_kind(c.model).iterations as u64)
+            .sum();
+        let executed: u64 = report.per_instance.iter().map(|s| s.rows_executed).sum();
+        assert_eq!(demanded, executed, "{}", eviction.name());
+    }
+}
+
+/// Tiny deterministic generator for the cache op fuzzer (the vendored
+/// proptest has no collection strategies, so the op stream derives from a
+/// sampled seed).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The GSC invariant: whatever sequence of requests (pinned or not),
+    /// removals, and pin flips runs against the cache, occupancy never
+    /// exceeds capacity and resident fractions stay in [0, 1].
+    #[test]
+    fn gsc_occupancy_never_exceeds_capacity(
+        seed in 0u64..100_000,
+        capacity_mib in 1u64..96,
+        ops in 16usize..120,
+    ) {
+        const MIB: u64 = 1024 * 1024;
+        let mut rng = XorShift(seed);
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::CostAware] {
+            let mut gsc = GscCache::new(capacity_mib * MIB, policy);
+            for _ in 0..ops {
+                let obj = if rng.next().is_multiple_of(2) {
+                    GscObject::Weights(ModelKind::ALL[(rng.next() % 7) as usize])
+                } else {
+                    GscObject::Latent(rng.next() % 12)
+                };
+                match rng.next() % 8 {
+                    0 => {
+                        gsc.remove(obj);
+                    }
+                    1 => gsc.set_pinned(obj, rng.next().is_multiple_of(2)),
+                    _ => {
+                        // Footprints up to 2x capacity exercise the
+                        // partial-residency truncation path.
+                        let bytes = rng.next() % (2 * capacity_mib * MIB);
+                        let cost = (rng.next() % 1000) as f64 / 100.0;
+                        let pinned = rng.next().is_multiple_of(4);
+                        let out = gsc.request(obj, bytes, cost, pinned);
+                        prop_assert!(out.resident_bytes <= bytes);
+                        prop_assert!(out.prior_bytes + out.refilled_bytes == bytes);
+                    }
+                }
+                prop_assert!(
+                    gsc.occupancy_bytes() <= gsc.capacity_bytes(),
+                    "occupancy {} over capacity {} under {}",
+                    gsc.occupancy_bytes(),
+                    gsc.capacity_bytes(),
+                    policy.name()
+                );
+                let frac = gsc.resident_fraction(obj);
+                prop_assert!((0.0..=1.0).contains(&frac));
+            }
+        }
+    }
 }
 
 #[test]
