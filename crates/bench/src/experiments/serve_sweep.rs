@@ -24,9 +24,11 @@
 
 use exion_model::config::{ModelConfig, ModelKind};
 use exion_serve::{
-    Policy, ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+    Placement, Policy, ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern,
+    WorkloadMix,
 };
 use exion_sim::config::HwConfig;
+use exion_sim::partition::PartitionStrategy;
 
 use crate::fmt::{pct, render_table};
 use crate::profiles::measure_profile;
@@ -229,6 +231,100 @@ pub fn autoscaling_frontier(
         .collect()
 }
 
+/// One placement's load sweep in the replicated-vs-sharded comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementSweep {
+    /// Placement label (`replicated x2`, `tp2 gang`, `pp2 gang`).
+    pub label: String,
+    /// The placement swept.
+    pub placement: Placement,
+    /// Reports per load fraction, ascending.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The load fractions the sharding comparison visits (fractions of the
+/// *replicated* capacity, so every placement sees identical traces).
+pub const SHARDING_LOAD_FRACTIONS: [f64; 4] = [0.3, 0.6, 0.9, 1.2];
+
+/// Replicated-vs-sharded comparison on a two-instance hardware budget
+/// serving the working-set-exceeding text-to-video mix (VideoCrafter2's
+/// per-iteration weight footprint is far past one instance's GSC): two
+/// whole-model replicas vs one TP=2 gang vs one PP=2 gang, swept across
+/// offered load. Identical traces per load fraction (anchored on the
+/// replicated capacity estimate), identical SLOs (scaled from the replica
+/// service time), so every delta is attributable to the placement.
+pub fn sharding_comparison(hw: &HwConfig, horizon_cap_ms: Option<f64>) -> Vec<PlacementSweep> {
+    let horizon_ms = horizon_cap_ms.unwrap_or(4_000.0).max(100.0);
+    let mix = WorkloadMix::text_to_video();
+    let capacity =
+        ServeSimulator::new(ServeConfig::new(*hw).with_instances(2)).capacity_estimate_rps(&mix);
+    [
+        ("replicated x2", Placement::replicated(2)),
+        (
+            "tp2 gang",
+            Placement::sharded(1, PartitionStrategy::Tensor { ways: 2 }),
+        ),
+        (
+            "pp2 gang",
+            Placement::sharded(1, PartitionStrategy::Pipeline { stages: 2 }),
+        ),
+    ]
+    .iter()
+    .map(|(label, placement)| {
+        let mut sim = ServeSimulator::new(ServeConfig::new(*hw).with_placement(*placement));
+        let points = SHARDING_LOAD_FRACTIONS
+            .iter()
+            .map(|&frac| SweepPoint {
+                load_frac: frac,
+                report: sim.run(&TraceConfig {
+                    pattern: TrafficPattern::Poisson {
+                        rate_rps: frac * capacity,
+                    },
+                    horizon_ms,
+                    seed: SWEEP_SEED,
+                    mix: mix.clone(),
+                }),
+            })
+            .collect();
+        PlacementSweep {
+            label: label.to_string(),
+            placement: *placement,
+            points,
+        }
+    })
+    .collect()
+}
+
+/// The latency/goodput crossover of two placement sweeps over identical
+/// traces: the first load fraction at which the goodput leader flips away
+/// from the lighter-load leader (`None` when one placement dominates the
+/// whole swept range). Below the crossover the sharded gang's shorter
+/// generations win the tail; past it the replicas' independent queues win
+/// throughput.
+pub fn goodput_crossover(a: &PlacementSweep, b: &PlacementSweep) -> Option<f64> {
+    let lead = |p: &SweepPoint, q: &SweepPoint| {
+        let (gp, gq) = (p.report.goodput_rps, q.report.goodput_rps);
+        // Ties within 2% count as the standing order, not a flip.
+        if (gp - gq).abs() <= 0.02 * gp.max(gq) {
+            0
+        } else if gp > gq {
+            1
+        } else {
+            -1
+        }
+    };
+    let mut initial = 0;
+    for (p, q) in a.points.iter().zip(&b.points) {
+        let l = lead(p, q);
+        if initial == 0 {
+            initial = l;
+        } else if l != 0 && l != initial {
+            return Some(p.load_frac);
+        }
+    }
+    None
+}
+
 /// Prices the text-to-motion mix under measured (functional) sparsity
 /// profiles instead of the analytic closed form and reports both runs:
 /// `(analytic, measured)`. `iteration_cap` bounds the instrumented
@@ -381,6 +477,55 @@ pub fn run() -> String {
         &rows,
     ));
 
+    out.push_str(
+        "\nReplicated vs sharded on a 2-instance budget (EXION4, text-to-video):\n\
+         (VideoCrafter2's weight working set exceeds one instance's GSC; \
+         loads are fractions of the replicated capacity)\n",
+    );
+    let sharding = sharding_comparison(&HwConfig::exion4(), None);
+    let rows: Vec<Vec<String>> = sharding
+        .iter()
+        .flat_map(|sweep| {
+            sweep.points.iter().map(|p| {
+                let r = &p.report;
+                vec![
+                    sweep.label.clone(),
+                    format!("{:.0}%", 100.0 * p.load_frac),
+                    format!("{:.0}", r.latency.p50),
+                    format!("{:.0}", r.latency.p95),
+                    format!("{:.2}", r.goodput_rps),
+                    pct(r.residency_hit_rate),
+                    format!("{:.1}", r.collective_ms),
+                ]
+            })
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "placement",
+            "load",
+            "p50 ms",
+            "p95 ms",
+            "goodput",
+            "GSC hit",
+            "coll ms",
+        ],
+        &rows,
+    ));
+    for sharded in &sharding[1..] {
+        match goodput_crossover(&sharding[0], sharded) {
+            Some(frac) => out.push_str(&format!(
+                "{} vs replicated: goodput leader flips at {:.0}% load\n",
+                sharded.label,
+                100.0 * frac
+            )),
+            None => out.push_str(&format!(
+                "{} vs replicated: one placement leads across the swept range\n",
+                sharded.label
+            )),
+        }
+    }
+
     out.push_str("\nMeasured vs analytic sparsity profiles (EXION4, text-to-motion):\n");
     let (analytic, measured) = measured_profile_comparison(&HwConfig::exion4(), 8, None);
     let rows: Vec<Vec<String>> = [("analytic", &analytic), ("measured", &measured)]
@@ -486,6 +631,50 @@ mod tests {
                 assert_eq!(f.points.last().unwrap().0, n);
             }
         }
+    }
+
+    #[test]
+    fn sharding_comparison_accounts_shard_residency_per_member() {
+        let sweeps = sharding_comparison(&HwConfig::exion4(), Some(1_500.0));
+        assert_eq!(sweeps.len(), 3);
+        let rep = &sweeps[0];
+        let tp = &sweeps[1];
+        let pp = &sweeps[2];
+        for sweep in &sweeps {
+            assert_eq!(sweep.points.len(), SHARDING_LOAD_FRACTIONS.len());
+            for p in &sweep.points {
+                let r = &p.report;
+                assert_eq!(r.completed, r.arrivals, "{} dropped requests", sweep.label);
+                assert!(r.arrivals > 0, "{}", sweep.label);
+            }
+        }
+        let light_rep = &rep.points[0].report;
+        let light_tp = &tp.points[0].report;
+        let light_pp = &pp.points[0].report;
+        // Each TP member holds only its half-shard, so its GSC covers about
+        // twice the fraction a whole-model replica manages — residency is
+        // accounted per member, per shard.
+        assert!(
+            light_tp.residency_hit_rate > 1.5 * light_rep.residency_hit_rate,
+            "tp {} vs replicated {}",
+            light_tp.residency_hit_rate,
+            light_rep.residency_hit_rate
+        );
+        assert!(light_pp.residency_hit_rate > 1.5 * light_rep.residency_hit_rate);
+        // Gangs pay the interconnect; replicas do not.
+        assert!(light_tp.collective_bytes > 0);
+        assert!(light_pp.collective_bytes > 0);
+        assert_eq!(light_rep.collective_bytes, 0);
+        assert_eq!(light_tp.gangs, 1);
+        assert_eq!(light_tp.per_gang.len(), 1);
+        assert_eq!(light_tp.per_instance.len(), 2);
+        // A TP=2 gang halves the generation critical path at light load.
+        assert!(
+            light_tp.latency.p50 < light_rep.latency.p50,
+            "tp p50 {} vs replicated {}",
+            light_tp.latency.p50,
+            light_rep.latency.p50
+        );
     }
 
     #[test]

@@ -1,23 +1,26 @@
-//! Cluster-level serving simulation: arrivals → queue → instances → report.
+//! Cluster-level serving simulation: arrivals → queue → units → report.
 //!
-//! Instances pull work from one shared queue (central scheduler, instance
-//! pull), each advancing its own clock one denoising iteration at a time.
-//! The event loop always steps the instance with the smallest local clock,
-//! which keeps arrival release causal across instances and makes the whole
-//! simulation deterministic for a fixed trace.
+//! Scheduling units (whole-model replicas and sharded TP/PP gangs — see
+//! [`crate::placement`]) pull work from one shared queue (central
+//! scheduler, unit pull), each advancing its own clock one denoising
+//! iteration at a time. The event loop always steps the unit with the
+//! smallest local clock, which keeps arrival release causal across units
+//! and makes the whole simulation deterministic for a fixed trace.
 
 use std::collections::HashMap;
 
 use exion_model::config::{ModelConfig, ModelKind};
 use exion_sim::config::HwConfig;
+use exion_sim::partition::PartitionStrategy;
 use exion_sim::perf::SimAblation;
 use exion_sim::residency::EvictionPolicy;
 
 use crate::cost::CostModel;
 use crate::metrics::{queue_depth_stats, LatencyStats, ServeReport};
+use crate::placement::{Gang, Placement};
 use crate::policy::Policy;
 use crate::request::{Completion, Request};
-use crate::scheduler::{Instance, SchedContext};
+use crate::scheduler::SchedContext;
 use crate::trace::{generate, TraceConfig};
 
 /// Serving-cluster configuration.
@@ -25,9 +28,9 @@ use crate::trace::{generate, TraceConfig};
 pub struct ServeConfig {
     /// The accelerator instance type.
     pub hw: HwConfig,
-    /// How many instances serve the queue.
-    pub instances: usize,
-    /// Maximum batch rows per instance.
+    /// How instances are grouped into replicas and sharded gangs.
+    pub placement: Placement,
+    /// Maximum batch rows per unit.
     pub max_batch: usize,
     /// Which EXION optimizations are active.
     pub ablation: SimAblation,
@@ -38,11 +41,11 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// One instance, batch 8, all optimizations, FCFS, LRU eviction.
+    /// One replica, batch 8, all optimizations, FCFS, LRU eviction.
     pub fn new(hw: HwConfig) -> Self {
         Self {
             hw,
-            instances: 1,
+            placement: Placement::replicated(1),
             max_batch: 8,
             ablation: SimAblation::All,
             policy: Policy::Fcfs,
@@ -50,9 +53,15 @@ impl ServeConfig {
         }
     }
 
-    /// Replaces the instance count.
+    /// Replaces the placement with `instances` whole-model replicas.
     pub fn with_instances(mut self, instances: usize) -> Self {
-        self.instances = instances.max(1);
+        self.placement = Placement::replicated(instances);
+        self
+    }
+
+    /// Replaces the placement (replicas, sharded gangs, or a mix).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -62,7 +71,7 @@ impl ServeConfig {
         self
     }
 
-    /// Replaces the per-instance batch bound.
+    /// Replaces the per-unit batch bound.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch.max(1);
         self
@@ -87,6 +96,7 @@ pub struct ServeSimulator {
     config: ServeConfig,
     cost: CostModel,
     model_configs: HashMap<ModelKind, ModelConfig>,
+    partition_plans: HashMap<ModelKind, exion_sim::partition::PartitionPlan>,
 }
 
 impl ServeSimulator {
@@ -97,6 +107,7 @@ impl ServeSimulator {
             config,
             cost: CostModel::new(config.hw, config.ablation),
             model_configs: HashMap::new(),
+            partition_plans: HashMap::new(),
         }
     }
 
@@ -124,31 +135,92 @@ impl ServeSimulator {
             .or_insert_with(|| ModelConfig::for_kind(kind))
     }
 
+    /// The gang partition plan of `kind` under this cluster's strategy,
+    /// built once per simulator (pipeline plans walk per-stage op lists).
+    fn partition_plan(&mut self, kind: ModelKind) -> exion_sim::partition::PartitionPlan {
+        let config = self.model_config(kind);
+        let placement = self.config.placement;
+        let operand_bytes = self.config.hw.operand_bytes();
+        self.partition_plans
+            .entry(kind)
+            .or_insert_with(|| {
+                exion_sim::partition::PartitionPlan::new(
+                    &config,
+                    placement.strategy,
+                    placement.interconnect,
+                    operand_bytes,
+                )
+            })
+            .clone()
+    }
+
+    /// Builds the scheduling context for the traced `kinds` under this
+    /// cluster's placement, reusing the simulator's memoized partition
+    /// plans.
+    fn sched_context(&mut self, kinds: &[ModelKind]) -> SchedContext {
+        let configs: HashMap<ModelKind, ModelConfig> =
+            kinds.iter().map(|&k| (k, self.model_config(k))).collect();
+        let sharded = self.config.placement.gangs > 0
+            && self.config.placement.strategy != PartitionStrategy::Replicated;
+        let plans: HashMap<ModelKind, exion_sim::partition::PartitionPlan> = if sharded {
+            kinds.iter().map(|&k| (k, self.partition_plan(k))).collect()
+        } else {
+            HashMap::new()
+        };
+        SchedContext::build(
+            self.config.policy,
+            self.config.max_batch,
+            kinds,
+            &mut self.cost,
+            |k| {
+                *configs
+                    .get(&k)
+                    .expect("every traced model kind is precomputed")
+            },
+            |k| plans.get(&k).cloned(),
+        )
+    }
+
     /// Analytic saturation-throughput estimate (requests/s) for `mix`:
-    /// each model's full-batch steady-state throughput, weighted by its
-    /// traffic share. Arrival-rate sweeps anchor on this to place the
+    /// each unit's full-batch steady-state throughput (whole-model service
+    /// time for replicas, gang-combined shard time plus collectives for
+    /// sharded gangs), weighted by the mix's traffic shares and summed
+    /// across units. Arrival-rate sweeps anchor on this to place the
     /// saturation knee without hand-tuning per hardware instance.
     pub fn capacity_estimate_rps(&mut self, mix: &crate::trace::WorkloadMix) -> f64 {
         let batch = self.config.max_batch as u64;
-        let instances = self.config.instances as f64;
+        let placement = self.config.placement;
         let total_w: f64 = mix.entries.iter().map(|&(_, w, _)| w).sum();
-        // Weighted harmonic mean: a fraction w_k of requests each occupying
-        // 1/r_k of an instance-second gives 1 / Σ (w_k / r_k) requests/s.
-        let mut seconds_per_request = 0.0;
+        // Weighted harmonic mean per unit type: a fraction w_k of requests
+        // each occupying 1/r_k of a unit-second gives 1 / Σ (w_k / r_k)
+        // requests/s per unit.
+        let mut replica_spr = 0.0;
+        let mut gang_spr = 0.0;
         for &(kind, w, _) in &mix.entries {
             let config = self.model_config(kind);
+            let share = w / total_w;
             let gen_ms = self.cost.generation_latency_ms(&config, batch);
-            let per_instance_rps = batch as f64 / (gen_ms / 1000.0);
-            seconds_per_request += (w / total_w) / per_instance_rps;
+            replica_spr += share / (batch as f64 / (gen_ms / 1000.0));
+            if placement.gangs > 0 {
+                let plan = self.partition_plan(kind);
+                let gang_ms = self.cost.gang_generation_latency_ms(&config, &plan, batch);
+                gang_spr += share / (batch as f64 / (gang_ms / 1000.0));
+            }
         }
-        instances / seconds_per_request
+        let mut capacity = placement.replicas as f64 / replica_spr;
+        if placement.gangs > 0 {
+            capacity += placement.gangs as f64 / gang_spr;
+        }
+        capacity
     }
 
     /// Runs the trace to completion and reports serving metrics.
     ///
-    /// Every arrival is eventually admitted and completed (no drops, no
-    /// preemption), so saturation shows up as unbounded queueing delay
-    /// rather than lost requests.
+    /// Every arrival is eventually admitted and completed (no drops), so
+    /// saturation shows up as unbounded queueing delay rather than lost
+    /// requests. SLOs scale the *replica* full-batch service time
+    /// regardless of placement, so goodput is comparable across replicated
+    /// and sharded deployments of the same trace.
     pub fn run(&mut self, trace: &TraceConfig) -> ServeReport {
         let arrivals = generate(trace);
         let max_batch = self.config.max_batch as u64;
@@ -169,48 +241,52 @@ impl ServeSimulator {
             ));
         }
 
-        let mut instances: Vec<Instance> = (0..self.config.instances)
-            .map(|i| Instance::new(i, &self.config.hw, self.config.eviction))
-            .collect();
+        let placement = self.config.placement;
+        let mut units: Vec<Gang> = Vec::with_capacity(placement.units());
+        let mut next_id = 0usize;
+        for _ in 0..placement.replicas {
+            units.push(Gang::replica(
+                next_id,
+                &self.config.hw,
+                self.config.eviction,
+            ));
+            next_id += 1;
+        }
+        for _ in 0..placement.gangs {
+            units.push(Gang::sharded(
+                next_id,
+                &self.config.hw,
+                self.config.eviction,
+                placement.strategy,
+            ));
+            next_id += placement.strategy.degree();
+        }
         let mut queue: Vec<Request> = Vec::new();
         let mut completions: Vec<Completion> = Vec::new();
         let mut depth_events: Vec<(f64, i64)> = Vec::new();
         let mut next_arrival = 0usize;
 
         // Per-model scheduling constants (periods, weight/latent footprints,
-        // refill costs) are computed once per traced kind.
-        let kinds: Vec<ModelKind> = trace.mix.kinds();
-        let configs: HashMap<ModelKind, ModelConfig> =
-            kinds.iter().map(|&k| (k, self.model_config(k))).collect();
-        let ctx = SchedContext::build(
-            self.config.policy,
-            self.config.max_batch,
-            &kinds,
-            &self.cost,
-            |k| {
-                *configs
-                    .get(&k)
-                    .expect("every traced model kind is precomputed")
-            },
-        );
+        // refill costs, partition plans) are computed once per traced kind.
+        let ctx = self.sched_context(&trace.mix.kinds());
 
         loop {
-            // Step the instance with the smallest clock (ties by id).
-            let i = (0..instances.len())
+            // Step the unit with the smallest clock (ties by index).
+            let i = (0..units.len())
                 .min_by(|&a, &b| {
-                    instances[a]
-                        .now_ms
-                        .total_cmp(&instances[b].now_ms)
+                    units[a]
+                        .now_ms()
+                        .total_cmp(&units[b].now_ms())
                         .then(a.cmp(&b))
                 })
-                .expect("at least one instance");
-            if instances[i].now_ms.is_infinite() {
-                break; // every instance is drained
+                .expect("at least one unit");
+            if units[i].now_ms().is_infinite() {
+                break; // every unit is drained
             }
 
-            // Release arrivals up to this instance's clock.
+            // Release arrivals up to this unit's clock.
             while next_arrival < pending.len()
-                && pending[next_arrival].arrival_ms <= instances[i].now_ms
+                && pending[next_arrival].arrival_ms <= units[i].now_ms()
             {
                 let r = pending[next_arrival];
                 depth_events.push((r.arrival_ms, 1));
@@ -218,38 +294,45 @@ impl ServeSimulator {
                 next_arrival += 1;
             }
 
-            if instances[i].is_idle() && queue.is_empty() {
+            if units[i].is_idle() && queue.is_empty() {
                 if next_arrival < pending.len() {
                     // Jump the idle clock to the next arrival.
-                    let at = pending[next_arrival].arrival_ms;
-                    instances[i].now_ms = instances[i].now_ms.max(at);
+                    units[i].jump_to(pending[next_arrival].arrival_ms);
                 } else {
-                    instances[i].now_ms = f64::INFINITY;
+                    units[i].jump_to(f64::INFINITY);
                 }
                 continue;
             }
 
             // Iteration boundary: admit (possibly preempting), then execute
             // one iteration.
-            let outcome = instances[i].admit(&mut queue, &ctx);
+            let outcome = units[i].admit(&mut queue, &ctx);
             for &(_, at_ms) in &outcome.parked {
                 depth_events.push((at_ms, 1));
             }
             for &(id, at_ms) in &outcome.admitted {
                 depth_events.push((at_ms, -1));
-                // A request parked on one instance may resume on another;
-                // release any latent copy the parking instance still holds
+                // A request parked on one unit may resume on another;
+                // release any latent copy the parking unit still holds
                 // (billing the migration write-back there) so it neither
-                // depresses that instance's weight residency nor is later
+                // depresses that unit's weight residency nor is later
                 // mispriced as a dirty spill.
-                for (j, other) in instances.iter_mut().enumerate() {
+                for (j, other) in units.iter_mut().enumerate() {
                     if j != i {
                         other.discard_latent(id, &ctx);
                     }
                 }
             }
-            if instances[i].is_idle() {
-                // A sparsity gate cannot block an idle instance, so nothing
+            // Parks can evict other parked latents; their queued requests'
+            // resume-affinity hints are now stale (the latent is in DRAM,
+            // no instance is preferable) and must not keep deferring them.
+            for id in units[i].take_evicted_latents() {
+                for r in queue.iter_mut().filter(|r| r.id == id) {
+                    r.parked_on = None;
+                }
+            }
+            if units[i].is_idle() {
+                // A sparsity gate cannot block an idle unit, so nothing
                 // in the queue is admissible yet: every queued request is a
                 // parked one whose ready time lies ahead of this clock.
                 // Jump to the earliest wake-up (a parked request becoming
@@ -265,15 +348,21 @@ impl ServeSimulator {
                 // The queue is non-empty here (the empty case jumped above),
                 // so the wake target is finite and strictly ahead.
                 let wake = next_ready.min(next_arr);
-                debug_assert!(wake > instances[i].now_ms, "idle wake must advance");
-                instances[i].now_ms = instances[i].now_ms.max(wake);
+                debug_assert!(wake > units[i].now_ms(), "idle wake must advance");
+                units[i].jump_to(wake);
                 continue;
             }
-            completions.extend(instances[i].execute_iteration(&mut self.cost, &ctx));
+            completions.extend(units[i].execute_iteration(&mut self.cost, &ctx));
+            // Weight refills can evict parked latents too.
+            for id in units[i].take_evicted_latents() {
+                for r in queue.iter_mut().filter(|r| r.id == id) {
+                    r.parked_on = None;
+                }
+            }
         }
 
         completions.sort_by_key(|c| c.id);
-        self.report(trace, &arrivals, completions, &mut depth_events, &instances)
+        self.report(trace, &arrivals, completions, &mut depth_events, &units)
     }
 
     fn report(
@@ -282,7 +371,7 @@ impl ServeSimulator {
         arrivals: &[crate::trace::Arrival],
         completions: Vec<Completion>,
         depth_events: &mut [(f64, i64)],
-        instances: &[Instance],
+        units: &[Gang],
     ) -> ServeReport {
         let makespan_ms = completions
             .iter()
@@ -295,8 +384,15 @@ impl ServeSimulator {
         let queue_delay =
             LatencyStats::from_unsorted(completions.iter().map(|c| c.queue_ms()).collect());
         let (mean_queue_depth, peak_queue_depth) = queue_depth_stats(depth_events, makespan_ms);
-        let per_instance: Vec<_> = instances.iter().map(|i| i.stats(makespan_ms)).collect();
+        let per_gang: Vec<_> = units.iter().map(|u| u.stats(makespan_ms)).collect();
+        let per_instance: Vec<_> = units
+            .iter()
+            .flat_map(|u| u.member_stats(makespan_ms))
+            .collect();
         let energy_mj: f64 = per_instance.iter().map(|s| s.energy_mj).sum();
+        // Iterations, batch occupancy, and executed rows are gang-level
+        // quantities (a gang iteration occupies every member once), so the
+        // leader-recorded per-instance counters sum correctly.
         let total_iters: u64 = per_instance.iter().map(|s| s.iterations).sum();
         let sparse_iters: f64 = per_instance
             .iter()
@@ -310,7 +406,7 @@ impl ServeSimulator {
             hw_name: self.config.hw.name.to_string(),
             policy: self.config.policy.name().to_string(),
             pattern: trace.pattern.name().to_string(),
-            instances: instances.len(),
+            instances: self.config.placement.total_instances(),
             arrivals: arrivals.len(),
             completed: completions.len(),
             offered_rps: arrivals.len() as f64 / (trace.horizon_ms / 1000.0).max(1e-9),
@@ -360,6 +456,10 @@ impl ServeSimulator {
                     1.0
                 }
             },
+            gangs: self.config.placement.gangs,
+            collective_ms: per_gang.iter().map(|g| g.collective_ms).sum(),
+            collective_bytes: per_gang.iter().map(|g| g.collective_bytes).sum(),
+            per_gang,
             per_instance,
             completions,
         }

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use exion_model::config::{IterationPhase, ModelConfig, ModelKind};
 use exion_sim::config::HwConfig;
+use exion_sim::partition::{simulate_iteration_shard, PartitionPlan, PartitionStrategy};
 use exion_sim::perf::{simulate_iteration, IterationCost, SimAblation, SimError};
 use exion_sim::workload::SparsityProfile;
 
@@ -20,12 +21,28 @@ use exion_sim::workload::SparsityProfile;
 /// finer than any latency effect the DRAM model resolves).
 const RESIDENCY_QUANTA: f64 = 32.0;
 
+/// Memo key of one shard's iteration cost: `(strategy tag, degree, shard)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ShardKey(u8, u8, u8);
+
+impl ShardKey {
+    fn new(strategy: PartitionStrategy, shard: usize) -> Self {
+        let (tag, degree) = match strategy {
+            PartitionStrategy::Replicated => (0, 1),
+            PartitionStrategy::Tensor { ways } => (1, ways),
+            PartitionStrategy::Pipeline { stages } => (2, stages),
+        };
+        Self(tag, degree as u8, shard as u8)
+    }
+}
+
 /// Memoized iteration-cost oracle for one hardware instance type.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     hw: HwConfig,
     ablation: SimAblation,
     cache: HashMap<(ModelKind, u64, IterationPhase, u32), IterationCost>,
+    shard_cache: HashMap<(ModelKind, ShardKey, u64, IterationPhase, u32), IterationCost>,
     isolated: HashMap<ModelKind, f64>,
     /// Measured per-model profiles (e.g. `exion-bench::profiles`) override
     /// the analytic closed form when present.
@@ -39,6 +56,7 @@ impl CostModel {
             hw,
             ablation,
             cache: HashMap::new(),
+            shard_cache: HashMap::new(),
             isolated: HashMap::new(),
             profiles: HashMap::new(),
         }
@@ -71,6 +89,7 @@ impl CostModel {
     pub fn set_profile(&mut self, kind: ModelKind, profile: SparsityProfile) {
         self.profiles.insert(kind, profile);
         self.cache.retain(|(k, _, _, _), _| *k != kind);
+        self.shard_cache.retain(|(k, _, _, _, _), _| *k != kind);
         self.isolated.remove(&kind);
     }
 
@@ -131,6 +150,97 @@ impl CostModel {
         )?;
         self.cache.insert(key, cost);
         Ok(cost)
+    }
+
+    /// Cost of one *shard's* share of a denoising iteration under `plan`,
+    /// with `resident_frac` of the shard's own weight working set
+    /// GSC-resident on its member instance. Pure shard compute — the gang
+    /// collective term is added by [`PartitionPlan::combine`].
+    pub fn iteration_shard(
+        &mut self,
+        model: &ModelConfig,
+        plan: &PartitionPlan,
+        shard: usize,
+        batch: u64,
+        phase: IterationPhase,
+        resident_frac: f64,
+    ) -> Result<IterationCost, SimError> {
+        let phase = if self.ablation.ffn_reuse() {
+            phase
+        } else {
+            IterationPhase::Dense
+        };
+        let frac_q = (resident_frac.clamp(0.0, 1.0) * RESIDENCY_QUANTA).round() as u32;
+        let key = (
+            model.kind,
+            ShardKey::new(plan.strategy(), shard),
+            batch,
+            phase,
+            frac_q,
+        );
+        if let Some(&cost) = self.shard_cache.get(&key) {
+            return Ok(cost);
+        }
+        let step = match phase {
+            IterationPhase::Dense => 0,
+            IterationPhase::Sparse => 1,
+        };
+        let cost = simulate_iteration_shard(
+            &self.hw,
+            model,
+            plan,
+            shard,
+            &self.profile_for(model),
+            self.ablation,
+            batch,
+            step,
+            frac_q as f64 / RESIDENCY_QUANTA,
+        )?;
+        self.shard_cache.insert(key, cost);
+        Ok(cost)
+    }
+
+    /// Warm gang-level iteration cost under `plan` at `batch` rows in
+    /// `phase`: every shard priced fully resident, combined with the
+    /// collective term.
+    pub fn gang_iteration_warm(
+        &mut self,
+        model: &ModelConfig,
+        plan: &PartitionPlan,
+        batch: u64,
+        phase: IterationPhase,
+    ) -> IterationCost {
+        let shards: Vec<IterationCost> = (0..plan.num_shards())
+            .map(|s| {
+                self.iteration_shard(model, plan, s, batch, phase, 1.0)
+                    .expect("positive batch and in-range steps cannot fail")
+            })
+            .collect();
+        plan.combine(&shards, batch)
+    }
+
+    /// Warm full-generation latency of one gang serving `model` under
+    /// `plan` at `batch` rows — the sharded analogue of
+    /// [`Self::generation_latency_ms`], anchoring capacity estimates for
+    /// sharded placements.
+    pub fn gang_generation_latency_ms(
+        &mut self,
+        model: &ModelConfig,
+        plan: &PartitionPlan,
+        batch: u64,
+    ) -> f64 {
+        let mut total = 0.0;
+        for step in 0..model.iterations {
+            let phase = if self.ablation.ffn_reuse() {
+                model.ffn_reuse.phase_of_step(step)
+            } else {
+                IterationPhase::Dense
+            };
+            total += self
+                .gang_iteration_warm(model, plan, batch, phase)
+                .latency_ms;
+        }
+        total
     }
 
     /// Warm full-generation latency of `model` at `batch` rows: the sum of

@@ -16,7 +16,15 @@
 //!   drain, across one or more hardware instances; each instance carries a
 //!   byte-accounted [`exion_sim::residency::GscCache`] of weight shards and
 //!   parked request latents, and idle instances seed the tenant whose
-//!   refill-adjusted urgency wins (residency-aware routing);
+//!   refill-adjusted urgency wins (residency-aware routing, with a
+//!   resume-affinity hint that steers parked requests back to the instance
+//!   still holding their latent);
+//! * [`placement`] — groups instances into whole-model replicas and
+//!   tensor/pipeline-parallel *gangs* ([`exion_sim::partition`]): a gang
+//!   serves models whose weight working set exceeds one instance's GSC by
+//!   giving each member its own shard (and shard-granular residency),
+//!   advancing a sharded batch only when every member is done and pricing
+//!   the interconnect collectives;
 //! * [`policy`] — admission policies: FCFS, SLO-aware EDF, *preemptive* EDF
 //!   (parks a running batch's denoising latents at an iteration boundary
 //!   when a queued deadline beats every running one), and a sparsity-aware
@@ -56,6 +64,7 @@
 pub mod cluster;
 pub mod cost;
 pub mod metrics;
+pub mod placement;
 pub mod policy;
 pub mod request;
 pub mod scheduler;
@@ -63,8 +72,10 @@ pub mod trace;
 
 pub use cluster::{ServeConfig, ServeSimulator};
 pub use cost::CostModel;
+pub use exion_sim::partition::{Interconnect, PartitionPlan, PartitionStrategy};
 pub use exion_sim::residency::EvictionPolicy;
-pub use metrics::{InstanceStats, LatencyStats, ServeReport};
+pub use metrics::{GangStats, InstanceStats, LatencyStats, ServeReport};
+pub use placement::{Gang, Placement};
 pub use policy::Policy;
 pub use request::{Completion, Request, RequestId};
 pub use scheduler::{AdmitOutcome, Instance, ModelInfo, SchedContext};

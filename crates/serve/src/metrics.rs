@@ -84,6 +84,24 @@ pub struct InstanceStats {
     pub residency_hit_rate: f64,
 }
 
+/// Per-gang accounting: one row per scheduling unit (replica or sharded
+/// gang).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GangStats {
+    /// Partition strategy label (`replicated`, `tp2`, `pp2`, …).
+    pub strategy: String,
+    /// Member instances in the unit.
+    pub members: usize,
+    /// Gang-level iterations executed (each occupies every member).
+    pub iterations: u64,
+    /// Busy fraction of the makespan (lockstep across members).
+    pub utilization: f64,
+    /// Wall-clock spent in interconnect collectives (ms).
+    pub collective_ms: f64,
+    /// Per-member interconnect bytes moved by collectives.
+    pub collective_bytes: u64,
+}
+
 /// The full report of one serving simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -137,7 +155,15 @@ pub struct ServeReport {
     pub weight_refill_bytes: u64,
     /// Cluster-wide GSC residency hit-rate over weight traffic.
     pub residency_hit_rate: f64,
-    /// Per-instance accounting.
+    /// Sharded gangs in the placement (0 = replica-only cluster).
+    pub gangs: usize,
+    /// Total wall-clock spent in gang collectives (ms, summed over gangs).
+    pub collective_ms: f64,
+    /// Total per-member interconnect bytes moved by gang collectives.
+    pub collective_bytes: u64,
+    /// Per-unit accounting (replicas and gangs alike).
+    pub per_gang: Vec<GangStats>,
+    /// Per-instance accounting (gang members flattened in unit order).
     pub per_instance: Vec<InstanceStats>,
     /// Every completion record (tests and downstream analysis).
     pub completions: Vec<Completion>,

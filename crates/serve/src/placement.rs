@@ -1,0 +1,379 @@
+//! Placement: grouping instances into whole-model replicas and sharded
+//! TP/PP gangs.
+//!
+//! A [`Gang`] is the cluster's unit of execution. A replica gang has one
+//! member running the whole model; a sharded gang has
+//! [`PartitionStrategy::degree`] members, each holding *its own shard* of
+//! every served model in *its own* GSC ([`GscObject::WeightShard`] entries
+//! priced per member). Gangs are iteration-synchronous: a sharded batch
+//! advances only when every member has finished its shard (tensor ranks run
+//! concurrently, pipeline stages sequentially), so the gang keeps one
+//! logical clock — the leader's — and followers advance in lockstep.
+//!
+//! Scheduling stays on the leader: the shared queue, continuous batching,
+//! preemption, and latent parking all act on `members[0]`, which also hosts
+//! the parked latents (activations are gathered at iteration boundaries, so
+//! the preempted state is materialized whole on the leader). Followers
+//! contribute their shard's residency, compute time, and energy.
+
+use exion_model::config::ModelKind;
+use exion_sim::config::HwConfig;
+use exion_sim::partition::{Interconnect, PartitionStrategy};
+use exion_sim::perf::IterationCost;
+use exion_sim::residency::EvictionPolicy;
+
+use crate::cost::CostModel;
+use crate::metrics::{GangStats, InstanceStats};
+use crate::request::{Completion, Request};
+use crate::scheduler::{AdmitOutcome, Instance, SchedContext};
+
+/// How a cluster's instances are grouped: `replicas` single-instance
+/// whole-model units plus `gangs` sharded units of `strategy.degree()`
+/// members each, all pulling from one shared queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Whole-model single-instance units.
+    pub replicas: usize,
+    /// Sharded gangs.
+    pub gangs: usize,
+    /// How each gang cuts its models.
+    pub strategy: PartitionStrategy,
+    /// The link between gang members.
+    pub interconnect: Interconnect,
+}
+
+impl Placement {
+    /// `n` whole-model replicas (the classic cluster).
+    pub fn replicated(n: usize) -> Self {
+        Self {
+            replicas: n.max(1),
+            gangs: 0,
+            strategy: PartitionStrategy::Replicated,
+            interconnect: Interconnect::default(),
+        }
+    }
+
+    /// `gangs` sharded gangs under `strategy`, no replicas.
+    pub fn sharded(gangs: usize, strategy: PartitionStrategy) -> Self {
+        Self {
+            replicas: 0,
+            gangs: gangs.max(1),
+            strategy,
+            interconnect: Interconnect::default(),
+        }
+    }
+
+    /// A mixed cluster: replicas and sharded gangs side by side (the
+    /// scheduler routes requests to whichever unit frees up first, with
+    /// residency-aware seeding per unit). A placement needs at least one
+    /// unit, so zero-everything falls back to one replica.
+    pub fn mixed(replicas: usize, gangs: usize, strategy: PartitionStrategy) -> Self {
+        Self {
+            replicas: if replicas + gangs == 0 { 1 } else { replicas },
+            gangs,
+            strategy,
+            interconnect: Interconnect::default(),
+        }
+    }
+
+    /// Replaces the gang interconnect.
+    pub fn with_interconnect(mut self, interconnect: Interconnect) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Scheduling units (replicas + gangs).
+    pub fn units(&self) -> usize {
+        self.replicas + self.gangs
+    }
+
+    /// Hardware instances the placement occupies in total.
+    pub fn total_instances(&self) -> usize {
+        self.replicas + self.gangs * self.strategy.degree()
+    }
+}
+
+/// One scheduling unit: a single whole-model replica or an
+/// iteration-synchronous sharded gang. `members[0]` is the leader — it owns
+/// the clock, the running batch, and the parked latents.
+#[derive(Debug, Clone)]
+pub struct Gang {
+    /// Member instances; length 1 for replicas, `strategy.degree()` for
+    /// sharded gangs.
+    pub members: Vec<Instance>,
+    strategy: PartitionStrategy,
+    /// The model whose shard pins the followers currently hold.
+    last_model: Option<ModelKind>,
+    collective_ms: f64,
+    collective_bytes: u64,
+}
+
+impl Gang {
+    /// A whole-model replica unit over instance id `id`.
+    pub fn replica(id: usize, hw: &HwConfig, eviction: EvictionPolicy) -> Self {
+        Self {
+            members: vec![Instance::new(id, hw, eviction)],
+            strategy: PartitionStrategy::Replicated,
+            last_model: None,
+            collective_ms: 0.0,
+            collective_bytes: 0,
+        }
+    }
+
+    /// A sharded gang whose members take instance ids `first_id..`, shard
+    /// `s` to member `s`. A degenerate [`PartitionStrategy::Replicated`]
+    /// "gang" is just a replica (whole-model member, replica execution
+    /// path).
+    pub fn sharded(
+        first_id: usize,
+        hw: &HwConfig,
+        eviction: EvictionPolicy,
+        strategy: PartitionStrategy,
+    ) -> Self {
+        if strategy == PartitionStrategy::Replicated {
+            return Self::replica(first_id, hw, eviction);
+        }
+        let members = (0..strategy.degree())
+            .map(|s| Instance::new_shard(first_id + s, hw, eviction, s as u8))
+            .collect();
+        Self {
+            members,
+            strategy,
+            last_model: None,
+            collective_ms: 0.0,
+            collective_bytes: 0,
+        }
+    }
+
+    /// Whether this unit shards its models.
+    pub fn is_sharded(&self) -> bool {
+        self.strategy != PartitionStrategy::Replicated
+    }
+
+    /// The unit's partition strategy.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// The unit's logical clock (the leader's).
+    pub fn now_ms(&self) -> f64 {
+        self.members[0].now_ms
+    }
+
+    /// Jumps an idle unit's clock forward to `at_ms` (never backward).
+    pub fn jump_to(&mut self, at_ms: f64) {
+        let to = self.members[0].now_ms.max(at_ms);
+        for m in &mut self.members {
+            m.now_ms = to;
+        }
+    }
+
+    /// Whether the unit has no running batch.
+    pub fn is_idle(&self) -> bool {
+        self.members[0].is_idle()
+    }
+
+    /// The leader instance (batch owner).
+    pub fn leader(&self) -> &Instance {
+        &self.members[0]
+    }
+
+    /// Admits queued requests at this iteration boundary — the leader's
+    /// continuous-batching logic (seeding, preemption, same-model swaps) —
+    /// and keeps follower clocks in lockstep past any latent transfers the
+    /// admission priced.
+    pub fn admit(&mut self, queue: &mut Vec<Request>, ctx: &SchedContext) -> AdmitOutcome {
+        let out = self.members[0].admit(queue, ctx);
+        self.sync_follower_clocks();
+        out
+    }
+
+    /// Releases a parked-latent copy after its request resumed on another
+    /// unit (latents live on the leader).
+    pub fn discard_latent(&mut self, id: u64, ctx: &SchedContext) {
+        self.members[0].discard_latent(id, ctx);
+        self.sync_follower_clocks();
+    }
+
+    fn sync_follower_clocks(&mut self) {
+        let now = self.members[0].now_ms;
+        for m in &mut self.members[1..] {
+            m.now_ms = now;
+        }
+    }
+
+    /// Drains the ids of latents this unit evicted since the last call
+    /// (latents live on the leader, but draining every member keeps the
+    /// invariant local).
+    pub fn take_evicted_latents(&mut self) -> Vec<u64> {
+        self.members
+            .iter_mut()
+            .flat_map(Instance::take_evicted_latents)
+            .collect()
+    }
+
+    /// Executes one denoising iteration of the unit's running batch.
+    ///
+    /// Replicas delegate to [`Instance::execute_iteration`]. A sharded gang
+    /// gang-schedules the boundary: every member touches *its shard's*
+    /// residency in *its own* GSC, prices its shard's compute at its warm
+    /// fraction, and the batch advances only when all members are done —
+    /// max-composed for tensor ranks, sum-composed for pipeline stages,
+    /// plus the interconnect collective term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty.
+    pub fn execute_iteration(
+        &mut self,
+        cost: &mut CostModel,
+        ctx: &SchedContext,
+    ) -> Vec<Completion> {
+        if !self.is_sharded() {
+            return self.members[0].execute_iteration(cost, ctx);
+        }
+        let model = self.members[0]
+            .active_model
+            .expect("a non-empty batch always has an active model");
+        let info = ctx.info(model).clone();
+        let plan = info
+            .partition
+            .as_ref()
+            .expect("sharded units exist only when the context carries plans");
+
+        // Moving to a new tenant releases the followers' old shard pins
+        // (the leader moved its own pin during admission seeding).
+        if self.last_model != Some(model) {
+            if let Some(old) = self.last_model {
+                for m in &mut self.members[1..] {
+                    m.unpin_weights(old);
+                }
+            }
+            self.last_model = Some(model);
+        }
+
+        let phase = self.members[0].batch_phase(info.period);
+        let batch = self.members[0].running.len() as u64;
+        let mut shard_costs: Vec<IterationCost> = Vec::with_capacity(self.members.len());
+        for member in &mut self.members {
+            let obj = member.weight_obj(model);
+            let bytes = member.weight_footprint(&info);
+            let warm = member.touch_weights(obj, bytes, ctx.transfer_ms(bytes), ctx);
+            let c = cost
+                .iteration_shard(&info.config, plan, shard_costs.len(), batch, phase, warm)
+                .expect("non-empty batch and in-range step");
+            shard_costs.push(c);
+        }
+        let gang_cost = plan.combine(&shard_costs, batch);
+        self.collective_ms += plan.collective_ms(batch);
+        self.collective_bytes += plan.collective_bytes(batch);
+
+        // The link energy is booked on the leader along with its shard; the
+        // whole gang is occupied for the combined latency (lockstep).
+        let link_energy =
+            gang_cost.energy_mj - shard_costs.iter().map(|c| c.energy_mj).sum::<f64>();
+        let done = self.members[0].finish_iteration(
+            gang_cost.latency_ms,
+            shard_costs[0].energy_mj + link_energy,
+            phase,
+        );
+        let now = self.members[0].now_ms;
+        for (member, c) in self.members[1..].iter_mut().zip(&shard_costs[1..]) {
+            member.advance_lockstep(now, gang_cost.latency_ms, c.energy_mj);
+        }
+        done
+    }
+
+    /// Per-member accounting over a makespan.
+    pub fn member_stats(&self, makespan_ms: f64) -> Vec<InstanceStats> {
+        self.members.iter().map(|m| m.stats(makespan_ms)).collect()
+    }
+
+    /// Gang-level accounting over a makespan.
+    pub fn stats(&self, makespan_ms: f64) -> GangStats {
+        let leader = self.members[0].stats(makespan_ms);
+        GangStats {
+            strategy: self.strategy.label(),
+            members: self.members.len(),
+            iterations: leader.iterations,
+            utilization: leader.utilization,
+            collective_ms: self.collective_ms,
+            collective_bytes: self.collective_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use exion_model::config::ModelConfig;
+    use exion_sim::perf::SimAblation;
+
+    fn tiny(kind: ModelKind) -> ModelConfig {
+        ModelConfig::for_kind(kind).shrunk(1, 12)
+    }
+
+    #[test]
+    fn placement_shapes() {
+        let rep = Placement::replicated(3);
+        assert_eq!(rep.units(), 3);
+        assert_eq!(rep.total_instances(), 3);
+        let tp = Placement::sharded(2, PartitionStrategy::Tensor { ways: 2 });
+        assert_eq!(tp.units(), 2);
+        assert_eq!(tp.total_instances(), 4);
+        let mixed = Placement::mixed(1, 1, PartitionStrategy::Pipeline { stages: 3 });
+        assert_eq!(mixed.units(), 2);
+        assert_eq!(mixed.total_instances(), 4);
+    }
+
+    #[test]
+    fn sharded_gang_runs_a_batch_with_per_member_residency() {
+        let hw = HwConfig::exion4();
+        let mut cost = CostModel::new(hw, SimAblation::All);
+        let strategy = PartitionStrategy::Tensor { ways: 2 };
+        let operand_bytes = hw.operand_bytes();
+        let ctx = SchedContext::build(
+            Policy::Fcfs,
+            4,
+            &[ModelKind::VideoCrafter2],
+            &mut cost,
+            tiny,
+            |k| {
+                Some(exion_sim::partition::PartitionPlan::new(
+                    &tiny(k),
+                    strategy,
+                    Interconnect::default(),
+                    operand_bytes,
+                ))
+            },
+        );
+        let mut gang = Gang::sharded(0, &hw, EvictionPolicy::Lru, strategy);
+        assert!(gang.is_sharded());
+        let steps = tiny(ModelKind::VideoCrafter2).iterations;
+        let mut queue = vec![Request::new(0, ModelKind::VideoCrafter2, 0.0, 1e9, steps)];
+        gang.admit(&mut queue, &ctx);
+        let mut done = Vec::new();
+        while !gang.is_idle() {
+            done.extend(gang.execute_iteration(&mut cost, &ctx));
+        }
+        assert_eq!(done.len(), 1);
+        // Both members carried weight traffic for their own shard, priced
+        // in their own GSC.
+        let stats = gang.member_stats(gang.now_ms());
+        for (i, s) in stats.iter().enumerate() {
+            assert!(
+                s.weight_hit_bytes + s.weight_refill_bytes > 0,
+                "member {i} saw no weight traffic"
+            );
+        }
+        // Lockstep: every member was busy for the same wall-clock span.
+        assert!((stats[0].utilization - stats[1].utilization).abs() < 1e-9);
+        // The gang accrued interconnect traffic.
+        let g = gang.stats(gang.now_ms());
+        assert!(g.collective_bytes > 0);
+        assert!(g.collective_ms > 0.0);
+        assert_eq!(g.members, 2);
+        assert_eq!(g.strategy, "tp2");
+    }
+}

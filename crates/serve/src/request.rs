@@ -33,6 +33,12 @@ pub struct Request {
     /// whose clock trails the parking instance's cannot resume a request
     /// before it was parked.
     pub ready_ms: f64,
+    /// The instance whose GSC holds this request's parked latent (`None`
+    /// for fresh requests or DRAM-spilled parks). Resume-affinity hint:
+    /// scheduling on the parking instance reloads the latent for free,
+    /// anywhere else pays a DRAM migration read — so foreign instances
+    /// deprioritize the request by exactly that cost.
+    pub parked_on: Option<usize>,
 }
 
 impl Request {
@@ -54,6 +60,7 @@ impl Request {
             admitted_ms: None,
             preemptions: 0,
             ready_ms: arrival_ms,
+            parked_on: None,
         }
     }
 

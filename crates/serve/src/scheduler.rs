@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use exion_model::config::{IterationPhase, ModelConfig, ModelKind};
 use exion_sim::config::HwConfig;
+use exion_sim::partition::PartitionPlan;
 use exion_sim::residency::{
     latent_state_bytes, model_weight_bytes, EvictionPolicy, GscCache, GscObject,
 };
@@ -42,6 +43,15 @@ pub struct ModelInfo {
     /// Wall-clock cost of a full cold weight refill (ms) — the currency
     /// residency-aware seeding and cost-aware eviction rank tenants by.
     pub full_refill_ms: f64,
+    /// Mean warm per-iteration latency at batch 1 (ms): the fastest rate
+    /// the instance could possibly serve one request at — the feasibility
+    /// currency of the preemption thrash guard (optimistic by design, so
+    /// the guard only blocks requests that cannot make their deadline even
+    /// with dedicated service).
+    pub warm_step_ms: f64,
+    /// How this model is cut across a gang (`None` when the cluster runs
+    /// whole-model replicas only).
+    pub partition: Option<PartitionPlan>,
 }
 
 /// Everything an [`Instance`] needs to make scheduling decisions: the
@@ -63,13 +73,17 @@ pub struct SchedContext {
 impl SchedContext {
     /// Builds the context for `kinds`, pricing refills against `cost`'s
     /// hardware. `config_of` supplies each kind's model configuration
-    /// (shrunk configs in tests, the real zoo in production runs).
+    /// (shrunk configs in tests, the real zoo in production runs);
+    /// `plan_of` supplies each kind's gang partition plan (`None` for a
+    /// replica-only cluster — the cluster passes its memoized plans so the
+    /// pipeline op walks run once per simulator).
     pub fn build(
         policy: Policy,
         max_batch: usize,
         kinds: &[ModelKind],
-        cost: &CostModel,
+        cost: &mut CostModel,
         config_of: impl Fn(ModelKind) -> ModelConfig,
+        plan_of: impl Fn(ModelKind) -> Option<PartitionPlan>,
     ) -> Self {
         let operand_bytes = cost.hw().operand_bytes();
         let models = kinds
@@ -77,6 +91,16 @@ impl SchedContext {
             .map(|&k| {
                 let config = config_of(k);
                 let weight_bytes = model_weight_bytes(&config, operand_bytes);
+                let partition = plan_of(k);
+                let iters = config.iterations.max(1) as f64;
+                // The fastest rate any unit in this placement could serve
+                // one request at: a TP gang's combined step undercuts the
+                // replica step, so a mixed cluster takes the minimum.
+                let mut warm_step_ms = cost.generation_latency_ms(&config, 1) / iters;
+                if let Some(plan) = &partition {
+                    warm_step_ms =
+                        warm_step_ms.min(cost.gang_generation_latency_ms(&config, plan, 1) / iters);
+                }
                 (
                     k,
                     ModelInfo {
@@ -85,6 +109,8 @@ impl SchedContext {
                         weight_bytes,
                         latent_bytes: latent_state_bytes(&config, operand_bytes),
                         full_refill_ms: cost.full_refill_ms(weight_bytes),
+                        warm_step_ms,
+                        partition,
                     },
                 )
             })
@@ -110,6 +136,32 @@ impl SchedContext {
             .get(&kind)
             .expect("scheduling context covers every traced model kind")
     }
+
+    /// Wall-clock cost (ms) of moving `bytes` across the DRAM interface.
+    pub(crate) fn transfer_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.dram_ms_per_byte
+    }
+
+    /// The admission-key penalty unit `home` (the parking instance) spares:
+    /// a request whose latent still sits on another instance's GSC costs a
+    /// DRAM migration read everywhere else, so foreign schedulers defer it
+    /// by exactly that reload time (resume affinity).
+    pub(crate) fn migration_penalty_ms(&self, r: &Request, here: usize) -> f64 {
+        match r.parked_on {
+            Some(home) if home != here && r.steps_done > 0 => {
+                self.transfer_ms(self.info(r.model).latent_bytes)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Whether `r` can still meet its deadline if it starts now and runs
+    /// uninterrupted at the warm per-step rate — the preemption thrash
+    /// guard: parking a running batch for a request that will blow its
+    /// deadline anyway only churns the GSC.
+    pub(crate) fn deadline_feasible(&self, r: &Request, now_ms: f64) -> bool {
+        now_ms + r.steps_left() as f64 * self.info(r.model).warm_step_ms <= r.deadline_ms()
+    }
 }
 
 /// What one admission pass did: requests admitted into the batch and
@@ -134,6 +186,10 @@ pub struct Instance {
     pub active_model: Option<ModelKind>,
     /// The running batch.
     pub running: Vec<Request>,
+    /// The partition shard this instance holds when it is a sharded-gang
+    /// member (`None` for whole-model replicas); selects which
+    /// [`GscObject`] keys its weight residency.
+    shard: Option<u8>,
     /// Byte-accounted GSC residency of weight shards and parked latents.
     gsc: GscCache,
     busy_ms: f64,
@@ -146,6 +202,10 @@ pub struct Instance {
     weight_refill_iterations: u64,
     weight_hit_bytes: u64,
     weight_refill_bytes: u64,
+    /// Latents eviction pushed out since the last drain: the cluster clears
+    /// those requests' `parked_on` affinity hints (their latent now lives
+    /// in DRAM, so no instance is preferable anymore).
+    evicted_latents: Vec<u64>,
 }
 
 impl Instance {
@@ -156,6 +216,7 @@ impl Instance {
             now_ms: 0.0,
             active_model: None,
             running: Vec::new(),
+            shard: None,
             gsc: GscCache::new(hw.gsc_bytes() as u64, eviction),
             busy_ms: 0.0,
             energy_mj: 0.0,
@@ -167,6 +228,16 @@ impl Instance {
             weight_refill_iterations: 0,
             weight_hit_bytes: 0,
             weight_refill_bytes: 0,
+            evicted_latents: Vec::new(),
+        }
+    }
+
+    /// A fresh gang-member instance holding partition shard `shard` of
+    /// every model it serves.
+    pub fn new_shard(id: usize, hw: &HwConfig, eviction: EvictionPolicy, shard: u8) -> Self {
+        Self {
+            shard: Some(shard),
+            ..Self::new(id, hw, eviction)
         }
     }
 
@@ -175,9 +246,34 @@ impl Instance {
         self.running.is_empty()
     }
 
-    /// Resident fraction of `kind`'s weight shards in this instance's GSC.
+    /// The GSC key of the weights this instance holds for `kind`: the
+    /// whole model for replicas, this member's shard for gang members.
+    pub fn weight_obj(&self, kind: ModelKind) -> GscObject {
+        match self.shard {
+            None => GscObject::Weights(kind),
+            Some(s) => GscObject::WeightShard {
+                model: kind,
+                shard: s,
+            },
+        }
+    }
+
+    /// The weight working-set bytes this instance is responsible for.
+    pub(crate) fn weight_footprint(&self, info: &ModelInfo) -> u64 {
+        match self.shard {
+            None => info.weight_bytes,
+            Some(s) => info
+                .partition
+                .as_ref()
+                .expect("sharded members exist only when the context carries plans")
+                .shard_weight_bytes(s as usize),
+        }
+    }
+
+    /// Resident fraction of `kind`'s weight working set (whole model or
+    /// this member's shard) in this instance's GSC.
     pub fn weight_residency(&self, kind: ModelKind) -> f64 {
-        self.gsc.resident_fraction(GscObject::Weights(kind))
+        self.gsc.resident_fraction(self.weight_obj(kind))
     }
 
     /// Moves `bytes` of latent state across the DRAM interface (one way):
@@ -202,26 +298,40 @@ impl Instance {
             .unwrap_or(0)
     }
 
-    /// Makes `model` the active one, moving the weight-shard pin.
+    /// Makes `model` the active one, moving the weight pin.
     fn set_active(&mut self, model: ModelKind) {
         if let Some(old) = self.active_model {
             if old != model {
-                self.gsc.set_pinned(GscObject::Weights(old), false);
+                self.gsc.set_pinned(self.weight_obj(old), false);
             }
         }
         self.active_model = Some(model);
     }
 
+    /// Releases the weight pin of `kind` (gangs unpin follower shards on a
+    /// model switch; the leader unpins itself through [`Self::set_active`]).
+    pub(crate) fn unpin_weights(&mut self, kind: ModelKind) {
+        self.gsc.set_pinned(self.weight_obj(kind), false);
+    }
+
     /// Prices the eviction fallout of a GSC request: parked latents pushed
-    /// out are dirty state and must be written back to DRAM now; weight
-    /// shards are clean and simply re-stream on their next use.
+    /// out are dirty state and must be written back to DRAM now (and their
+    /// requests' resume-affinity hints become stale); weight shards are
+    /// clean and simply re-stream on their next use.
     fn price_evictions(&mut self, evicted: &[(GscObject, u64)], ctx: &SchedContext) {
         for &(obj, bytes) in evicted {
-            if obj.is_latent() {
+            if let GscObject::Latent(id) = obj {
                 self.latent_transfer(bytes, ctx);
                 self.latent_spills += 1;
+                self.evicted_latents.push(id);
             }
         }
+    }
+
+    /// Drains the ids of latents evicted since the last call (the cluster
+    /// uses them to clear stale `parked_on` hints in the shared queue).
+    pub(crate) fn take_evicted_latents(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.evicted_latents)
     }
 
     /// Parks one running request at this iteration boundary: its denoising
@@ -240,6 +350,7 @@ impl Instance {
         if info.latent_bytes > self.gsc.evictable_bytes() {
             self.latent_transfer(info.latent_bytes, ctx);
             self.latent_spills += 1;
+            r.parked_on = None;
         } else {
             let out = self.gsc.request(
                 latent,
@@ -252,6 +363,7 @@ impl Instance {
                 out.resident_bytes, info.latent_bytes,
                 "pre-checked latent must fit after eviction"
             );
+            r.parked_on = Some(self.id);
         }
         // The request becomes admissible again only once the park (and any
         // spill it priced) has finished on this instance's clock.
@@ -264,13 +376,14 @@ impl Instance {
     /// Re-establishes a previously parked request's latent when it re-enters
     /// a batch: a GSC hit is free; a DRAM-spilled (or evicted, or
     /// cross-instance migrated) latent pays the read back.
-    fn resume(&mut self, r: &Request, ctx: &SchedContext) {
+    fn resume(&mut self, r: &mut Request, ctx: &SchedContext) {
         let latent = GscObject::Latent(r.id);
         let resident = self.gsc.resident_fraction(latent) >= 1.0;
         self.gsc.remove(latent);
         if !resident {
             self.latent_transfer(ctx.info(r.model).latent_bytes, ctx);
         }
+        r.parked_on = None;
     }
 
     /// Releases a parked-latent copy after the request resumed on *another*
@@ -288,11 +401,21 @@ impl Instance {
         }
     }
 
+    /// The admission-ordering key of `r` on *this* instance: the policy key
+    /// shifted by the latent-migration penalty when the request's parked
+    /// latent lives on another instance's GSC (resume affinity — the
+    /// parking instance sees the unshifted key and wins ties).
+    fn local_key(&self, r: &Request, ctx: &SchedContext) -> (f64, u64) {
+        let (primary, id) = ctx.policy.key(r);
+        (primary + ctx.migration_penalty_ms(r, self.id), id)
+    }
+
     /// Residency-aware seed choice for an idle instance: among the queued
     /// models, pick the one minimizing the policy key *adjusted by the
-    /// refill cost of its non-resident weight fraction*. A tenant whose
-    /// shards this instance already holds wins unless another model's most
-    /// urgent request beats it by more than the switch actually costs.
+    /// refill cost of its non-resident weight fraction* (of this member's
+    /// shard, for gang members). A tenant whose shards this instance
+    /// already holds wins unless another model's most urgent request beats
+    /// it by more than the switch actually costs.
     fn seed_model(&self, queue: &[Request], ctx: &SchedContext) -> ModelKind {
         let mut best: Option<(f64, (f64, u64), ModelKind)> = None;
         let mut seen: Vec<ModelKind> = Vec::new();
@@ -304,11 +427,12 @@ impl Instance {
             let key = queue
                 .iter()
                 .filter(|q| q.model == r.model && q.ready_ms <= self.now_ms)
-                .map(|q| ctx.policy.key(q))
+                .map(|q| self.local_key(q, ctx))
                 .min_by(|a, b| a.partial_cmp(b).expect("policy keys are finite"))
                 .expect("model taken from a visible queue member");
             let info = ctx.info(r.model);
-            let refill = (1.0 - self.weight_residency(r.model)) * info.full_refill_ms;
+            let refill = (1.0 - self.weight_residency(r.model))
+                * ctx.transfer_ms(self.weight_footprint(info));
             let score = key.0 + refill;
             let better = match &best {
                 None => true,
@@ -338,13 +462,13 @@ impl Instance {
         // happened.
         let now = self.now_ms;
         let visible = |r: &Request| r.ready_ms <= now;
-        // The policy's most urgent visible queued request.
+        // The policy's most urgent visible queued request (keys shifted by
+        // the resume-affinity migration penalty on foreign instances).
         let Some(urgent_idx) = (0..queue.len())
             .filter(|&i| visible(&queue[i]))
             .min_by(|&a, &b| {
-                ctx.policy
-                    .key(&queue[a])
-                    .partial_cmp(&ctx.policy.key(&queue[b]))
+                self.local_key(&queue[a], ctx)
+                    .partial_cmp(&self.local_key(&queue[b], ctx))
                     .expect("policy keys are finite")
             })
         else {
@@ -359,14 +483,33 @@ impl Instance {
                 .active_model
                 .expect("a non-empty batch always has an active model");
             let urgent_model = queue[urgent_idx].model;
-            let urgent_deadline = queue[urgent_idx].deadline_ms();
             if urgent_model != model {
                 let earliest_running = self
                     .running
                     .iter()
                     .map(Request::deadline_ms)
                     .fold(f64::INFINITY, f64::min);
-                if ctx.policy.preemptive() && urgent_deadline < earliest_running {
+                // The preemption trigger is the most urgent *feasible*
+                // cross-model request beating every running deadline: a
+                // doomed request cannot justify a park (thrash guard — past
+                // saturation every deadline is blown and parks stop paying
+                // for themselves), but neither may it shadow a feasible
+                // request queued behind it.
+                let now = self.now_ms;
+                let trigger = (0..queue.len())
+                    .filter(|&i| {
+                        let r = &queue[i];
+                        r.model != model
+                            && visible(r)
+                            && r.deadline_ms() < earliest_running
+                            && ctx.deadline_feasible(r, now)
+                    })
+                    .min_by(|&a, &b| {
+                        self.local_key(&queue[a], ctx)
+                            .partial_cmp(&self.local_key(&queue[b], ctx))
+                            .expect("policy keys are finite")
+                    });
+                if let (true, Some(t)) = (ctx.policy.preemptive(), trigger) {
                     // Iteration-boundary preemption: park the whole batch
                     // and switch to the urgent tenant immediately instead
                     // of head-of-line blocking it for a full generation.
@@ -374,11 +517,12 @@ impl Instance {
                     // about to lose the instance anyway, so the parked
                     // latents may claim their space instead of being forced
                     // into DRAM spills.
-                    self.gsc.set_pinned(GscObject::Weights(model), false);
+                    let switch_to = queue[t].model;
+                    self.gsc.set_pinned(self.weight_obj(model), false);
                     for r in std::mem::take(&mut self.running) {
                         outcome.parked.push(self.park(r, queue, ctx));
                     }
-                    self.set_active(urgent_model);
+                    self.set_active(switch_to);
                 } else {
                     // Anti-starvation drain: stop topping up so the batch
                     // can empty and the instance can switch.
@@ -387,7 +531,7 @@ impl Instance {
             } else {
                 if ctx.policy.preemptive() && self.running.len() >= ctx.max_batch {
                     // Same-model swap: a full batch yields its worst member
-                    // to a strictly more urgent request.
+                    // to a strictly more urgent feasible request.
                     let worst = (0..self.running.len())
                         .max_by(|&a, &b| {
                             self.running[a]
@@ -395,7 +539,15 @@ impl Instance {
                                 .total_cmp(&self.running[b].deadline_ms())
                         })
                         .expect("non-empty running batch");
-                    if urgent_deadline < self.running[worst].deadline_ms() {
+                    let worst_deadline = self.running[worst].deadline_ms();
+                    let now = self.now_ms;
+                    let swap = queue.iter().any(|r| {
+                        r.model == model
+                            && visible(r)
+                            && r.deadline_ms() < worst_deadline
+                            && ctx.deadline_feasible(r, now)
+                    });
+                    if swap {
                         let victim = self.running.swap_remove(worst);
                         outcome.parked.push(self.park(victim, queue, ctx));
                     } else {
@@ -419,9 +571,8 @@ impl Instance {
             .filter(|&i| queue[i].model == model && visible(&queue[i]))
             .collect();
         candidates.sort_by(|&a, &b| {
-            ctx.policy
-                .key(&queue[a])
-                .partial_cmp(&ctx.policy.key(&queue[b]))
+            self.local_key(&queue[a], ctx)
+                .partial_cmp(&self.local_key(&queue[b], ctx))
                 .expect("policy keys are finite")
         });
         candidates.truncate(free);
@@ -430,7 +581,7 @@ impl Instance {
         for idx in candidates {
             let mut r = queue.swap_remove(idx);
             if r.steps_done > 0 {
-                self.resume(&r, ctx);
+                self.resume(&mut r, ctx);
             }
             if r.admitted_ms.is_none() {
                 r.admitted_ms = Some(self.now_ms);
@@ -444,58 +595,54 @@ impl Instance {
         outcome
     }
 
-    /// Executes one denoising iteration for the running batch, advancing the
-    /// local clock and returning the completions it produced. The active
-    /// model's weight shards are touched (and refilled as far as capacity
-    /// allows) in the GSC, and the iteration is priced by the fraction that
-    /// was already resident.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the batch is empty.
-    pub fn execute_iteration(
-        &mut self,
-        cost: &mut CostModel,
-        ctx: &SchedContext,
-    ) -> Vec<Completion> {
-        assert!(!self.running.is_empty(), "executing an empty batch");
-        let model = self
-            .active_model
-            .expect("a non-empty batch always has an active model");
-        let info = ctx.info(model).clone();
-
-        // The iteration runs sparse only when every member is in its sparse
-        // phase; one member at a dense boundary forces a dense (bitmask
-        // regenerating) pass for the whole batch.
-        let all_sparse = self.running.iter().all(|r| r.steps_done % info.period != 0);
-        let phase = if all_sparse {
+    /// The FFN-Reuse phase the running batch executes next: sparse only
+    /// when every member is in its sparse phase; one member at a dense
+    /// boundary forces a dense (bitmask regenerating) pass for the whole
+    /// batch.
+    pub(crate) fn batch_phase(&self, period: usize) -> IterationPhase {
+        let all_sparse = self.running.iter().all(|r| r.steps_done % period != 0);
+        if all_sparse {
             IterationPhase::Sparse
         } else {
             IterationPhase::Dense
-        };
+        }
+    }
 
-        let out = self.gsc.request(
-            GscObject::Weights(model),
-            info.weight_bytes,
-            info.full_refill_ms,
-            true,
-        );
+    /// Touches (and refills toward full residency) this instance's weight
+    /// entry `obj` of footprint `full_bytes`, pricing eviction fallout, and
+    /// returns the warm fraction found resident — the residency step every
+    /// executed iteration starts with, shared by replicas (whole model) and
+    /// gang members (their shard).
+    pub(crate) fn touch_weights(
+        &mut self,
+        obj: GscObject,
+        full_bytes: u64,
+        refill_cost_ms: f64,
+        ctx: &SchedContext,
+    ) -> f64 {
+        let out = self.gsc.request(obj, full_bytes, refill_cost_ms, true);
         self.price_evictions(&out.evicted, ctx);
-        let warm_frac = out.prior_fraction(info.weight_bytes);
         self.weight_hit_bytes += out.prior_bytes;
         self.weight_refill_bytes += out.refilled_bytes;
         if out.refilled_bytes > 0 {
             self.weight_refill_iterations += 1;
         }
+        out.prior_fraction(full_bytes)
+    }
 
+    /// Advances this instance past one externally priced iteration of the
+    /// running batch: clock, busy time, energy, batch accounting, and the
+    /// completions the step produced.
+    pub(crate) fn finish_iteration(
+        &mut self,
+        latency_ms: f64,
+        energy_mj: f64,
+        phase: IterationPhase,
+    ) -> Vec<Completion> {
         let batch = self.running.len() as u64;
-        let c = cost
-            .iteration(&info.config, batch, phase, warm_frac)
-            .expect("non-empty batch and in-range step");
-
-        self.now_ms += c.latency_ms;
-        self.busy_ms += c.latency_ms;
-        self.energy_mj += c.energy_mj;
+        self.now_ms += latency_ms;
+        self.busy_ms += latency_ms;
+        self.energy_mj += energy_mj;
         self.iterations += 1;
         if phase.is_sparse() {
             self.sparse_iterations += 1;
@@ -526,6 +673,54 @@ impl Instance {
             }
         });
         done
+    }
+
+    /// Advances a gang follower in lockstep with its leader: the member is
+    /// occupied for the whole gang iteration (it cannot serve anything
+    /// else), burns its own shard's energy, and keeps its clock mirrored.
+    pub(crate) fn advance_lockstep(&mut self, to_ms: f64, busy_ms: f64, energy_mj: f64) {
+        self.now_ms = to_ms;
+        self.busy_ms += busy_ms;
+        self.energy_mj += energy_mj;
+    }
+
+    /// Executes one denoising iteration for the running batch of a
+    /// whole-model replica, advancing the local clock and returning the
+    /// completions it produced. The active model's weights are touched (and
+    /// refilled as far as capacity allows) in the GSC, and the iteration is
+    /// priced by the fraction that was already resident. Sharded gang
+    /// members are instead driven by
+    /// [`crate::placement::Gang::execute_iteration`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or the instance is a gang shard member.
+    pub fn execute_iteration(
+        &mut self,
+        cost: &mut CostModel,
+        ctx: &SchedContext,
+    ) -> Vec<Completion> {
+        assert!(!self.running.is_empty(), "executing an empty batch");
+        assert!(
+            self.shard.is_none(),
+            "sharded members execute through their gang"
+        );
+        let model = self
+            .active_model
+            .expect("a non-empty batch always has an active model");
+        let info = ctx.info(model).clone();
+        let phase = self.batch_phase(info.period);
+        let warm_frac = self.touch_weights(
+            GscObject::Weights(model),
+            info.weight_bytes,
+            info.full_refill_ms,
+            ctx,
+        );
+        let batch = self.running.len() as u64;
+        let c = cost
+            .iteration(&info.config, batch, phase, warm_frac)
+            .expect("non-empty batch and in-range step");
+        self.finish_iteration(c.latency_ms, c.energy_mj, phase)
     }
 
     /// Final accounting over a makespan.
@@ -573,13 +768,14 @@ mod tests {
         ModelConfig::for_kind(kind).shrunk(1, 12)
     }
 
-    fn ctx_for(policy: Policy, max_batch: usize, cost: &CostModel) -> SchedContext {
+    fn ctx_for(policy: Policy, max_batch: usize, cost: &mut CostModel) -> SchedContext {
         SchedContext::build(
             policy,
             max_batch,
             &[ModelKind::Mld, ModelKind::Mdm, ModelKind::StableDiffusion],
             cost,
             tiny,
+            |_| None,
         )
     }
 
@@ -599,8 +795,8 @@ mod tests {
 
     #[test]
     fn admission_fills_slots_with_one_model() {
-        let cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Fcfs, 8, &cost);
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::Fcfs, 8, &mut cost);
         let mut inst = instance();
         let mut queue = queue_of(&[ModelKind::Mld, ModelKind::Mdm, ModelKind::Mld]);
         let out = inst.admit(&mut queue, &ctx);
@@ -615,8 +811,8 @@ mod tests {
 
     #[test]
     fn max_batch_bounds_admission() {
-        let cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Fcfs, 4, &cost);
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::Fcfs, 4, &mut cost);
         let mut inst = instance();
         let mut queue = queue_of(&[ModelKind::Mld; 12]);
         let out = inst.admit(&mut queue, &ctx);
@@ -629,24 +825,24 @@ mod tests {
     #[test]
     fn sparsity_aware_waits_for_boundary() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let sparsity_ctx = ctx_for(Policy::SparsityAware, 2, &cost);
+        let sparsity_ctx = ctx_for(Policy::SparsityAware, 2, &mut cost);
         let mut inst = instance();
         let mut queue = queue_of(&[ModelKind::Mld; 4]);
         inst.admit(&mut queue, &sparsity_ctx);
         assert_eq!(inst.running.len(), 2);
         // One step in: mid-period, so the gate closes.
         inst.execute_iteration(&mut cost, &sparsity_ctx);
-        let wider = ctx_for(Policy::SparsityAware, 4, &cost);
+        let wider = ctx_for(Policy::SparsityAware, 4, &mut cost);
         assert!(inst.admit(&mut queue, &wider).admitted.is_empty());
         // FCFS would have admitted immediately.
-        let fcfs = ctx_for(Policy::Fcfs, 4, &cost);
+        let fcfs = ctx_for(Policy::Fcfs, 4, &mut cost);
         assert_eq!(inst.admit(&mut queue, &fcfs).admitted.len(), 2);
     }
 
     #[test]
     fn completions_carry_timing() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Fcfs, 8, &cost);
+        let ctx = ctx_for(Policy::Fcfs, 8, &mut cost);
         let mut inst = Instance::new(3, &HwConfig::exion4(), EvictionPolicy::Lru);
         let mut queue = queue_of(&[ModelKind::Mld]);
         inst.admit(&mut queue, &ctx);
@@ -672,7 +868,7 @@ mod tests {
     #[test]
     fn preemptive_edf_parks_for_an_urgent_tenant() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &cost);
+        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &mut cost);
         let mut inst = instance();
         // A relaxed-deadline SD batch is running...
         let mut queue = vec![Request::new(
@@ -711,7 +907,7 @@ mod tests {
     #[test]
     fn non_preemptive_edf_drains_instead() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Edf, 8, &cost);
+        let ctx = ctx_for(Policy::Edf, 8, &mut cost);
         let mut inst = instance();
         let mut queue = vec![Request::new(
             0,
@@ -738,7 +934,7 @@ mod tests {
     #[test]
     fn same_model_swap_evicts_the_worst_deadline() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::PreemptiveEdf, 2, &cost);
+        let ctx = ctx_for(Policy::PreemptiveEdf, 2, &mut cost);
         let mut inst = instance();
         let steps = tiny(ModelKind::Mld).iterations;
         let mut queue = vec![
@@ -759,7 +955,7 @@ mod tests {
     #[test]
     fn resumed_requests_finish_with_all_steps() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &cost);
+        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &mut cost);
         let mut inst = instance();
         let sd_steps = tiny(ModelKind::StableDiffusion).iterations;
         let mut queue = vec![Request::new(
@@ -798,9 +994,71 @@ mod tests {
     }
 
     #[test]
+    fn resume_affinity_prefers_the_parking_instance() {
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        // Batch bound 1: only the best-ranked candidate wins the slot.
+        let ctx = ctx_for(Policy::Fcfs, 1, &mut cost);
+        let mut inst = instance(); // id 0
+        let steps = tiny(ModelKind::Mld).iterations;
+        // Two parked requests, identical arrivals: FCFS would tie-break by
+        // id toward request 0, but its latent lives on instance 1, so the
+        // migration penalty defers it behind the locally parked request 1.
+        let mut foreign = Request::new(0, ModelKind::Mld, 0.0, 1e9, steps);
+        foreign.steps_done = 1;
+        foreign.parked_on = Some(1);
+        let mut local = Request::new(1, ModelKind::Mld, 0.0, 1e9, steps);
+        local.steps_done = 1;
+        local.parked_on = Some(0);
+        let mut queue = vec![foreign, local];
+        let out = inst.admit(&mut queue, &ctx);
+        assert_eq!(out.admitted.len(), 1);
+        assert_eq!(out.admitted[0].0, 1, "locally parked request must win");
+        assert_eq!(queue[0].id, 0);
+        // The admitted request's affinity hint is consumed.
+        assert_eq!(inst.running[0].parked_on, None);
+        // A fresh (never-parked) request carries no penalty anywhere.
+        let fresh = Request::new(2, ModelKind::Mld, 0.0, 1e9, steps);
+        assert_eq!(ctx.migration_penalty_ms(&fresh, 5), 0.0);
+        assert!(ctx.migration_penalty_ms(&queue[0], 0) > 0.0);
+        assert_eq!(ctx.migration_penalty_ms(&queue[0], 1), 0.0);
+    }
+
+    #[test]
+    fn doomed_requests_do_not_trigger_preemption() {
+        let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &mut cost);
+        let mut inst = instance();
+        // A relaxed-deadline SD batch is running...
+        let mut queue = vec![Request::new(
+            0,
+            ModelKind::StableDiffusion,
+            0.0,
+            1e6,
+            tiny(ModelKind::StableDiffusion).iterations,
+        )];
+        inst.admit(&mut queue, &ctx);
+        inst.execute_iteration(&mut cost, &ctx);
+        // ...when an MLD request arrives whose deadline has already passed:
+        // its EDF key beats every running member, but parking the batch for
+        // a request that cannot finish in time only churns the GSC.
+        queue.push(Request::new(
+            1,
+            ModelKind::Mld,
+            0.0,
+            0.0,
+            tiny(ModelKind::Mld).iterations,
+        ));
+        assert!(!ctx.deadline_feasible(&queue[0], inst.now_ms));
+        let out = inst.admit(&mut queue, &ctx);
+        assert!(out.parked.is_empty(), "thrash guard must block the park");
+        assert_eq!(inst.active_model, Some(ModelKind::StableDiffusion));
+        assert_eq!(inst.stats(1.0).preemptions, 0);
+    }
+
+    #[test]
     fn idle_seeding_prefers_the_resident_tenant() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Fcfs, 8, &cost);
+        let ctx = ctx_for(Policy::Fcfs, 8, &mut cost);
         let mut inst = instance();
         // Run an MDM generation to make its shards resident.
         let mut queue = vec![Request::new(

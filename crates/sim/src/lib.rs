@@ -25,7 +25,10 @@
 //! * [`sram`] — banked on-chip memories with double/triple buffering,
 //! * [`energy`] — the Table-III power/area model with clock gating,
 //! * [`workload`] — descriptor builder from benchmark configs and sparsity
-//!   profiles,
+//!   profiles (shard-sliceable via [`workload::ShardSpec`]),
+//! * [`partition`] — tensor/pipeline model cuts across instance gangs:
+//!   exact per-shard working-set byte partitions, shard iteration costs,
+//!   and the interconnect collective term,
 //! * [`residency`] — the capacity-aware GSC cache model ([`GscCache`]):
 //!   byte-accounted weight-shard and parked-latent entries with pluggable
 //!   eviction, shared by the serving layer's schedulers,
@@ -40,6 +43,7 @@ pub mod dsc;
 pub mod energy;
 pub mod epre;
 pub mod isa;
+pub mod partition;
 pub mod perf;
 pub mod residency;
 pub mod sdue;
@@ -47,6 +51,7 @@ pub mod sram;
 pub mod workload;
 
 pub use config::HwConfig;
+pub use partition::{simulate_iteration_shard, Interconnect, PartitionPlan, PartitionStrategy};
 pub use perf::{
     simulate_iteration, simulate_model, try_simulate_model, IterationCost, PerfReport, SimError,
 };

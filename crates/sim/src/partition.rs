@@ -1,0 +1,509 @@
+//! Model partitioning across accelerator instances (tensor / pipeline
+//! parallel).
+//!
+//! A VideoCrafter2-class backbone streams hundreds of megabytes of weights
+//! per denoising iteration — far past one instance's GSC — so a replicated
+//! deployment re-reads most of the working set from DRAM every iteration.
+//! Sharding cuts the model across a *gang* of instances instead:
+//! tensor-parallel ranks take column/row slices of every projection (whole
+//! attention heads per rank) and pay a per-block all-reduce; pipeline stages
+//! take contiguous block ranges and pay activation hand-offs. Either way,
+//! each member instance holds only its shard's working set, so per-shard
+//! GSC residency ([`crate::residency::GscObject::WeightShard`]) recovers
+//! what whole-model residency cannot.
+//!
+//! [`PartitionPlan`] is the per-model description of one such cut: the
+//! exact byte partition of the weight working set (shard bytes *sum to the
+//! whole-model bytes by construction* — a cumulative integer split for TP,
+//! disjoint op assignment for PP), the [`ShardSpec`] each member executes,
+//! and the interconnect collective term. [`simulate_iteration_shard`]
+//! prices one shard's compute; [`PartitionPlan::combine`] folds the shard
+//! costs into the gang-level iteration cost (max + all-reduce for TP, sum +
+//! hand-offs for PP).
+
+use exion_model::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::config::HwConfig;
+use crate::perf::{flags_for_step, IterationCost, SimAblation, SimError};
+use crate::residency::model_weight_bytes;
+use crate::workload::{build_iteration_shard, DscOp, ShardSpec, SparsityProfile};
+
+/// How a model is cut across the member instances of one serving gang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// No cut: one instance holds (and executes) the whole model.
+    Replicated,
+    /// Tensor parallel: every projection is column/row-split `ways` ways,
+    /// whole attention heads per rank; two all-reduces per transformer
+    /// block per iteration.
+    Tensor {
+        /// Parallel ways (gang size).
+        ways: u32,
+    },
+    /// Pipeline parallel: contiguous transformer-block ranges per stage;
+    /// one activation hand-off per stage boundary per iteration.
+    Pipeline {
+        /// Pipeline depth (gang size).
+        stages: u32,
+    },
+}
+
+impl PartitionStrategy {
+    /// Instances one gang of this strategy occupies.
+    pub fn degree(&self) -> usize {
+        match *self {
+            PartitionStrategy::Replicated => 1,
+            PartitionStrategy::Tensor { ways } => ways.max(1) as usize,
+            PartitionStrategy::Pipeline { stages } => stages.max(1) as usize,
+        }
+    }
+
+    /// Short label for reports (`replicated`, `tp2`, `pp4`, …).
+    pub fn label(&self) -> String {
+        match *self {
+            PartitionStrategy::Replicated => "replicated".to_string(),
+            PartitionStrategy::Tensor { ways } => format!("tp{}", ways.max(1)),
+            PartitionStrategy::Pipeline { stages } => format!("pp{}", stages.max(1)),
+        }
+    }
+}
+
+/// The link between gang members (board-level die-to-die interconnect).
+///
+/// The paper's instances scale DSC count within one chip; a multi-instance
+/// gang crosses a board-level link, slower than DRAM bandwidth but cheap in
+/// energy relative to DRAM refills — the trade sharding monetizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Link bandwidth per direction (GB/s).
+    pub link_gbps: f64,
+    /// Per-collective launch latency (µs).
+    pub latency_us: f64,
+    /// Transfer energy (pJ/bit) — below DRAM's ~15–20 pJ/bit.
+    pub pj_per_bit: f64,
+}
+
+impl Default for Interconnect {
+    fn default() -> Self {
+        Self {
+            link_gbps: 64.0,
+            latency_us: 2.0,
+            pj_per_bit: 4.0,
+        }
+    }
+}
+
+/// One model's cut across a gang: per-shard execution specs, the exact
+/// byte partition of the weight working set, and the collective term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    strategy: PartitionStrategy,
+    interconnect: Interconnect,
+    specs: Vec<ShardSpec>,
+    shard_bytes: Vec<u64>,
+    total_bytes: u64,
+    /// Per-member interconnect bytes of one iteration at batch 1 (scales
+    /// linearly with batch rows).
+    collective_bytes_b1: u64,
+    /// Collective launches per iteration (all-reduces or hand-offs).
+    collective_ops: u64,
+}
+
+impl PartitionPlan {
+    /// Plans `model` under `strategy` over `interconnect`, with weights at
+    /// `bytes_per_operand`.
+    pub fn new(
+        model: &ModelConfig,
+        strategy: PartitionStrategy,
+        interconnect: Interconnect,
+        bytes_per_operand: f64,
+    ) -> Self {
+        let n = strategy.degree();
+        let params = &model.paper;
+        let specs: Vec<ShardSpec> = (0..n as u32)
+            .map(|i| match strategy {
+                PartitionStrategy::Replicated => ShardSpec::full(params),
+                PartitionStrategy::Tensor { ways } => ShardSpec::tensor(params, ways, i),
+                PartitionStrategy::Pipeline { stages } => ShardSpec::pipeline(params, stages, i),
+            })
+            .collect();
+        let total_bytes = model_weight_bytes(model, bytes_per_operand);
+        let shard_bytes: Vec<u64> = match strategy {
+            // Column/row splits slice every weight matrix proportionally;
+            // the cumulative integer split partitions the byte total
+            // exactly.
+            PartitionStrategy::Tensor { .. } => (0..n as u64)
+                .map(|r| total_bytes * (r + 1) / n as u64 - total_bytes * r / n as u64)
+                .collect(),
+            // Stages own disjoint op subsets of the full plan, so summing
+            // their dense per-op weight bytes partitions the total exactly.
+            _ => specs
+                .iter()
+                .map(|spec| dense_shard_weight_bytes(model, spec, bytes_per_operand))
+                .collect(),
+        };
+
+        // Activation rows one transformer block emits per sample (UNet
+        // topologies run their blocks downsampled).
+        let m = match model.network {
+            exion_model::config::NetworkType::TransformerOnly => params.tokens as u64,
+            _ => (params.tokens as u64 / 2).max(1),
+        };
+        let act_bytes =
+            |rows: u64| (rows as f64 * params.d_model as f64 * bytes_per_operand) as u64;
+        let (collective_bytes_b1, collective_ops) = match strategy {
+            PartitionStrategy::Replicated => (0, 0),
+            PartitionStrategy::Tensor { ways } => {
+                let w = ways.max(1) as u64;
+                // Two all-reduces per transformer block (post-attention,
+                // post-FFN) and one per ResBlock pass; a ring moves
+                // 2·(w−1)/w of the payload per member.
+                let resblocks = if model.network == exion_model::config::NetworkType::UNetRes {
+                    crate::workload::RESBLOCKS_PER_ITERATION as u64
+                } else {
+                    0
+                };
+                let launches = 2 * params.blocks as u64 + resblocks;
+                let payload = params.blocks as u64 * 2 * act_bytes(m)
+                    + resblocks * act_bytes(params.tokens as u64);
+                let per_member = (payload as f64 * 2.0 * (w - 1) as f64 / w as f64) as u64;
+                (per_member, launches)
+            }
+            PartitionStrategy::Pipeline { stages } => {
+                let s = stages.max(1) as u64;
+                // One activation hand-off per stage boundary.
+                ((s - 1) * act_bytes(m), s - 1)
+            }
+        };
+
+        Self {
+            strategy,
+            interconnect,
+            specs,
+            shard_bytes,
+            total_bytes,
+            collective_bytes_b1,
+            collective_ops,
+        }
+    }
+
+    /// The strategy this plan realizes.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Gang size (shards in the plan).
+    pub fn num_shards(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The iteration slice shard `shard` executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn spec(&self, shard: usize) -> &ShardSpec {
+        &self.specs[shard]
+    }
+
+    /// The weight working-set bytes shard `shard` is responsible for — its
+    /// GSC residency footprint. Shards partition
+    /// [`Self::total_weight_bytes`] exactly (property-tested in
+    /// `tests/serving.rs`).
+    pub fn shard_weight_bytes(&self, shard: usize) -> u64 {
+        self.shard_bytes[shard]
+    }
+
+    /// The whole model's weight working-set bytes.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Per-member interconnect bytes of one iteration at `batch` rows.
+    pub fn collective_bytes(&self, batch: u64) -> u64 {
+        self.collective_bytes_b1 * batch.max(1)
+    }
+
+    /// Wall-clock cost (ms) of one iteration's collectives at `batch` rows:
+    /// payload over the link plus per-launch latency.
+    pub fn collective_ms(&self, batch: u64) -> f64 {
+        self.collective_bytes(batch) as f64 / (self.interconnect.link_gbps * 1e6)
+            + self.collective_ops as f64 * self.interconnect.latency_us * 1e-3
+    }
+
+    /// Transfer energy (mJ) of one iteration's collectives at `batch` rows.
+    pub fn collective_energy_mj(&self, batch: u64) -> f64 {
+        self.collective_bytes(batch) as f64 * 8.0 * self.interconnect.pj_per_bit * 1e-9
+    }
+
+    /// Folds per-shard iteration costs into the gang-level cost: tensor
+    /// ranks run concurrently (latency is the slowest shard), pipeline
+    /// stages run a batch sequentially (latency is the stage sum); both add
+    /// the collective term. Energy and dense-equivalent ops sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_costs.len()` differs from the gang size.
+    pub fn combine(&self, shard_costs: &[IterationCost], batch: u64) -> IterationCost {
+        assert_eq!(
+            shard_costs.len(),
+            self.num_shards(),
+            "one cost per gang member"
+        );
+        let compute_ms = match self.strategy {
+            PartitionStrategy::Replicated | PartitionStrategy::Tensor { .. } => {
+                shard_costs.iter().map(|c| c.latency_ms).fold(0.0, f64::max)
+            }
+            PartitionStrategy::Pipeline { .. } => shard_costs.iter().map(|c| c.latency_ms).sum(),
+        };
+        IterationCost {
+            latency_ms: compute_ms + self.collective_ms(batch),
+            energy_mj: shard_costs.iter().map(|c| c.energy_mj).sum::<f64>()
+                + self.collective_energy_mj(batch),
+            dense_ops: shard_costs.iter().map(|c| c.dense_ops).sum(),
+        }
+    }
+}
+
+/// Dense weight bytes of the iteration slice `spec` executes (every weight
+/// matrix streamed once, dense — the shard's residency working set).
+fn dense_shard_weight_bytes(model: &ModelConfig, spec: &ShardSpec, bytes_per_operand: f64) -> u64 {
+    let plan = build_iteration_shard(
+        &model.paper,
+        model.network,
+        model.geglu,
+        crate::workload::IterationKindFlags {
+            ffn_sparse: false,
+            ffn_dense_with_cau: false,
+            ep: false,
+        },
+        &SparsityProfile::dense(),
+        1,
+        spec,
+    );
+    plan.ops
+        .iter()
+        .map(|op| match op {
+            DscOp::Mmul(desc) => desc.weight_bytes(bytes_per_operand),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Simulates one shard's share of a single denoising iteration: the
+/// per-shard analogue of [`crate::perf::simulate_iteration`].
+///
+/// `resident_frac` is the fraction of *this shard's* weight working set
+/// already GSC-resident on the member instance executing it. The returned
+/// cost is pure shard compute — the gang's collective term is added by
+/// [`PartitionPlan::combine`], which also resolves tensor-vs-pipeline
+/// latency composition.
+///
+/// # Panics
+///
+/// Panics when `shard` is out of the plan's range.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_iteration_shard(
+    hw: &HwConfig,
+    model: &ModelConfig,
+    plan: &PartitionPlan,
+    shard: usize,
+    profile: &SparsityProfile,
+    ablation: SimAblation,
+    batch: u64,
+    step: usize,
+    resident_frac: f64,
+) -> Result<IterationCost, SimError> {
+    assert!(shard < plan.num_shards(), "shard index within the gang");
+    if batch == 0 {
+        return Err(SimError::ZeroBatch);
+    }
+    if step >= model.iterations {
+        return Err(SimError::StepOutOfRange {
+            step,
+            iterations: model.iterations,
+        });
+    }
+    let dense_profile = SparsityProfile::dense();
+    let active_profile = if ablation == SimAblation::Base {
+        &dense_profile
+    } else {
+        profile
+    };
+    let iter_plan = build_iteration_shard(
+        &model.paper,
+        model.network,
+        model.geglu,
+        flags_for_step(model, ablation, step),
+        active_profile,
+        batch,
+        plan.spec(shard),
+    );
+    let mut sim = crate::dsc::DscSimulator::new(hw);
+    sim.preload_weight_fraction(resident_frac.clamp(0.0, 1.0));
+    sim.execute_iteration(&iter_plan);
+    let detail = sim.finish();
+    Ok(IterationCost {
+        latency_ms: detail.seconds * 1e3,
+        energy_mj: detail.total_energy_mj(),
+        dense_ops: 2.0 * iter_plan.dense_equivalent_macs as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exion_model::config::{ModelConfig, ModelKind};
+
+    const BPO: f64 = 1.5;
+
+    fn plan_for(kind: ModelKind, strategy: PartitionStrategy) -> (ModelConfig, PartitionPlan) {
+        let model = ModelConfig::for_kind(kind);
+        let plan = PartitionPlan::new(&model, strategy, Interconnect::default(), BPO);
+        (model, plan)
+    }
+
+    #[test]
+    fn shard_bytes_partition_the_total_exactly() {
+        for kind in [ModelKind::VideoCrafter2, ModelKind::Dit, ModelKind::Mld] {
+            for strategy in [
+                PartitionStrategy::Replicated,
+                PartitionStrategy::Tensor { ways: 2 },
+                PartitionStrategy::Tensor { ways: 3 },
+                PartitionStrategy::Pipeline { stages: 2 },
+                PartitionStrategy::Pipeline { stages: 4 },
+            ] {
+                let (model, plan) = plan_for(kind, strategy);
+                let sum: u64 = (0..plan.num_shards())
+                    .map(|s| plan.shard_weight_bytes(s))
+                    .sum();
+                assert_eq!(
+                    sum,
+                    model_weight_bytes(&model, BPO),
+                    "{} {}",
+                    kind.name(),
+                    strategy.label()
+                );
+                assert_eq!(plan.num_shards(), strategy.degree());
+            }
+        }
+    }
+
+    #[test]
+    fn full_shard_spec_reproduces_the_whole_plan() {
+        use crate::workload::{build_iteration, IterationKindFlags};
+        let model = ModelConfig::for_kind(ModelKind::StableDiffusion);
+        let flags = IterationKindFlags {
+            ffn_sparse: true,
+            ffn_dense_with_cau: false,
+            ep: true,
+        };
+        let profile = SparsityProfile::analytic(0.9, 0.5, 16);
+        let whole = build_iteration(&model.paper, model.network, model.geglu, flags, &profile, 4);
+        let via_shard = build_iteration_shard(
+            &model.paper,
+            model.network,
+            model.geglu,
+            flags,
+            &profile,
+            4,
+            &ShardSpec::full(&model.paper),
+        );
+        assert_eq!(whole, via_shard);
+    }
+
+    #[test]
+    fn tensor_shards_split_compute_and_pay_a_collective() {
+        let (model, plan) = plan_for(ModelKind::Dit, PartitionStrategy::Tensor { ways: 2 });
+        let hw = HwConfig::exion24();
+        let profile = SparsityProfile::dense();
+        let whole =
+            crate::perf::simulate_iteration(&hw, &model, &profile, SimAblation::Base, 1, 0, 1.0)
+                .unwrap();
+        let shards: Vec<IterationCost> = (0..2)
+            .map(|s| {
+                simulate_iteration_shard(
+                    &hw,
+                    &model,
+                    &plan,
+                    s,
+                    &profile,
+                    SimAblation::Base,
+                    1,
+                    0,
+                    1.0,
+                )
+                .unwrap()
+            })
+            .collect();
+        // Each rank runs roughly half the compute.
+        for c in &shards {
+            assert!(c.latency_ms < 0.75 * whole.latency_ms, "{c:?} vs {whole:?}");
+            assert!(c.dense_ops < 0.6 * whole.dense_ops);
+        }
+        let gang = plan.combine(&shards, 1);
+        // The gang beats one instance but pays the all-reduce over the max.
+        assert!(gang.latency_ms < whole.latency_ms);
+        assert!(gang.latency_ms > shards[0].latency_ms.max(shards[1].latency_ms));
+        assert!(plan.collective_bytes(1) > 0);
+        // Dense-equivalent work is conserved across the split.
+        let shard_ops: f64 = shards.iter().map(|c| c.dense_ops).sum();
+        let rel = (shard_ops - whole.dense_ops).abs() / whole.dense_ops;
+        assert!(
+            rel < 0.01,
+            "split ops {shard_ops} vs whole {}",
+            whole.dense_ops
+        );
+    }
+
+    #[test]
+    fn pipeline_stages_sum_and_hand_off() {
+        let (model, plan) = plan_for(
+            ModelKind::VideoCrafter2,
+            PartitionStrategy::Pipeline { stages: 2 },
+        );
+        let hw = HwConfig::exion24();
+        let profile = SparsityProfile::dense();
+        let shards: Vec<IterationCost> = (0..2)
+            .map(|s| {
+                simulate_iteration_shard(
+                    &hw,
+                    &model,
+                    &plan,
+                    s,
+                    &profile,
+                    SimAblation::Base,
+                    1,
+                    0,
+                    0.0,
+                )
+                .unwrap()
+            })
+            .collect();
+        let gang = plan.combine(&shards, 1);
+        let sum: f64 = shards.iter().map(|c| c.latency_ms).sum();
+        assert!(gang.latency_ms > sum, "stage hand-off must cost time");
+        assert!((gang.latency_ms - sum - plan.collective_ms(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collectives_scale_with_batch_and_ways() {
+        let (_, tp2) = plan_for(ModelKind::Dit, PartitionStrategy::Tensor { ways: 2 });
+        let (_, tp4) = plan_for(ModelKind::Dit, PartitionStrategy::Tensor { ways: 4 });
+        assert_eq!(tp2.collective_bytes(4), 4 * tp2.collective_bytes(1));
+        // Ring all-reduce per-member traffic grows with ways: 2(w−1)/w.
+        assert!(tp4.collective_bytes(1) > tp2.collective_bytes(1));
+        let (_, rep) = plan_for(ModelKind::Dit, PartitionStrategy::Replicated);
+        assert_eq!(rep.collective_bytes(8), 0);
+        assert_eq!(rep.collective_ms(8), 0.0);
+    }
+
+    #[test]
+    fn strategy_labels_and_degrees() {
+        assert_eq!(PartitionStrategy::Replicated.degree(), 1);
+        assert_eq!(PartitionStrategy::Tensor { ways: 2 }.label(), "tp2");
+        assert_eq!(PartitionStrategy::Pipeline { stages: 3 }.label(), "pp3");
+        assert_eq!(PartitionStrategy::Pipeline { stages: 3 }.degree(), 3);
+    }
+}

@@ -127,7 +127,11 @@ impl PerfReport {
 /// The iteration flags `ablation` implies for denoising step `step` of
 /// `model` — the FFN-Reuse phase comes from the model's iteration-boundary
 /// metadata.
-fn flags_for_step(model: &ModelConfig, ablation: SimAblation, step: usize) -> IterationKindFlags {
+pub(crate) fn flags_for_step(
+    model: &ModelConfig,
+    ablation: SimAblation,
+    step: usize,
+) -> IterationKindFlags {
     let ffnr = ablation.ffn_reuse();
     let sparse = ffnr && model.ffn_reuse.phase_of_step(step).is_sparse();
     IterationKindFlags {

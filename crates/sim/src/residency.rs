@@ -34,10 +34,20 @@ pub fn partial_residency(capacity_bytes: f64, working_set_bytes: f64) -> f64 {
 /// Identity of one cacheable object in the GSC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum GscObject {
-    /// The weight shards of one model (keyed by the serving layer's model
-    /// identifier — [`exion_model::config::ModelKind`] as `u8` rank would
-    /// lose type safety, so the kind itself is the key).
+    /// The whole weight working set of one model (keyed by the serving
+    /// layer's model identifier — [`exion_model::config::ModelKind`] as
+    /// `u8` rank would lose type safety, so the kind itself is the key).
     Weights(exion_model::config::ModelKind),
+    /// One partition shard of a model's weights: the residency unit of a
+    /// tensor/pipeline-parallel gang member, whose footprint and refill
+    /// cost come from [`crate::partition::PartitionPlan`] — each member
+    /// instance caches *its* shard independently.
+    WeightShard {
+        /// The sharded model.
+        model: exion_model::config::ModelKind,
+        /// Shard index within the model's partition plan.
+        shard: u8,
+    },
     /// The parked denoising latent state of one preempted request.
     Latent(u64),
 }
@@ -46,6 +56,16 @@ impl GscObject {
     /// Whether this entry is a parked request latent.
     pub fn is_latent(&self) -> bool {
         matches!(self, GscObject::Latent(_))
+    }
+
+    /// Whether this entry holds model weights (whole or one shard) of
+    /// `kind`.
+    pub fn is_weights_of(&self, kind: exion_model::config::ModelKind) -> bool {
+        match *self {
+            GscObject::Weights(k) => k == kind,
+            GscObject::WeightShard { model, .. } => model == kind,
+            GscObject::Latent(_) => false,
+        }
     }
 }
 

@@ -198,6 +198,72 @@ pub struct IterationPlan {
     pub dense_equivalent_macs: u64,
 }
 
+/// ResBlock passes one denoising iteration of a Type-2 (UNetRes) model
+/// executes — the unit pipeline-parallel stage cuts partition.
+pub const RESBLOCKS_PER_ITERATION: usize = 2;
+
+/// One shard's slice of a partitioned iteration: a tensor-parallel rank
+/// (column/row splits of every projection, whole heads per rank) and/or a
+/// pipeline-parallel stage (a contiguous transformer-block range plus a
+/// ResBlock share). [`ShardSpec::full`] reproduces the unpartitioned plan
+/// bit-identically, so [`build_iteration`] is the degenerate case of
+/// [`build_iteration_shard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Tensor-parallel ways (1 = unsplit).
+    pub tp_ways: u32,
+    /// This shard's tensor-parallel rank (`< tp_ways`).
+    pub tp_rank: u32,
+    /// First transformer block this shard executes.
+    pub block_start: usize,
+    /// One past the last transformer block this shard executes.
+    pub block_end: usize,
+    /// First ResBlock pass this shard executes (UNetRes models only).
+    pub resblock_start: usize,
+    /// One past the last ResBlock pass this shard executes.
+    pub resblock_end: usize,
+}
+
+impl ShardSpec {
+    /// The whole, unpartitioned iteration.
+    pub fn full(params: &ScaleParams) -> Self {
+        Self {
+            tp_ways: 1,
+            tp_rank: 0,
+            block_start: 0,
+            block_end: params.blocks,
+            resblock_start: 0,
+            resblock_end: RESBLOCKS_PER_ITERATION,
+        }
+    }
+
+    /// Rank `rank` of a `ways`-way tensor-parallel split (all blocks, split
+    /// widths).
+    pub fn tensor(params: &ScaleParams, ways: u32, rank: u32) -> Self {
+        Self {
+            tp_ways: ways.max(1),
+            tp_rank: rank,
+            ..Self::full(params)
+        }
+    }
+
+    /// Stage `stage` of a `stages`-deep pipeline-parallel split: a
+    /// cumulative contiguous block range (so stage ranges partition the
+    /// blocks exactly) and the matching ResBlock share.
+    pub fn pipeline(params: &ScaleParams, stages: u32, stage: u32) -> Self {
+        let s = stages.max(1) as usize;
+        let i = (stage as usize).min(s - 1);
+        Self {
+            tp_ways: 1,
+            tp_rank: 0,
+            block_start: params.blocks * i / s,
+            block_end: params.blocks * (i + 1) / s,
+            resblock_start: RESBLOCKS_PER_ITERATION * i / s,
+            resblock_end: RESBLOCKS_PER_ITERATION * (i + 1) / s,
+        }
+    }
+}
+
 /// Flags selecting which optimizations are active for an iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IterationKindFlags {
@@ -223,6 +289,37 @@ pub fn build_iteration(
     profile: &SparsityProfile,
     batch: u64,
 ) -> IterationPlan {
+    build_iteration_shard(
+        params,
+        network,
+        geglu,
+        flags,
+        profile,
+        batch,
+        &ShardSpec::full(params),
+    )
+}
+
+/// Builds the op list `shard` executes of one diffusion iteration.
+///
+/// Tensor-parallel ranks follow the Megatron convention: QKV and FFN-1 are
+/// column-split, output projection and FFN-2 are row-split, whole attention
+/// heads go to one rank, and LayerNorm/residual math is replicated. Widths
+/// are partitioned with a cumulative integer split, so the ranks' slices
+/// cover every column/head exactly once. Pipeline stages execute only their
+/// block (and ResBlock) range. Collective traffic (TP all-reduces, PP
+/// activation hand-offs) is *not* in the plan — it crosses the interconnect,
+/// not the DSC engines — and is priced by
+/// [`crate::partition::PartitionPlan`].
+pub fn build_iteration_shard(
+    params: &ScaleParams,
+    network: NetworkType,
+    geglu: bool,
+    flags: IterationKindFlags,
+    profile: &SparsityProfile,
+    batch: u64,
+    shard: &ShardSpec,
+) -> IterationPlan {
     let mut ops = Vec::new();
     // Attention is per-sample (batch keeps score matrices m × m); linear
     // layers see batch × tokens rows.
@@ -237,26 +334,40 @@ pub fn build_iteration(
     let hidden = if geglu { d_ff / 2 } else { d_ff };
     let heads = params.heads as u64;
     let d_head = (d / heads).max(1);
-    let blocks = params.blocks as u64;
+
+    // Cumulative integer split: rank `r` of `ways` owns
+    // `dim·(r+1)/ways − dim·r/ways` columns, so the ranks partition `dim`
+    // exactly (no double-counted or dropped columns for any dim).
+    let ways = shard.tp_ways.max(1) as u64;
+    let rank = (shard.tp_rank as u64).min(ways - 1);
+    let share = |dim: u64| dim * (rank + 1) / ways - dim * rank / ways;
+    let heads_here = share(heads);
+    let d_cols = share(d);
+    let d_ff_cols = share(d_ff);
+    let hidden_cols = share(hidden);
 
     let mut dense_macs = 0u64;
 
-    // ResBlocks (Type 2 only): two per iteration, kernel-3 double conv.
+    // ResBlocks (Type 2 only): kernel-3 double conv, column-split under TP
+    // and range-assigned under PP.
     if network == NetworkType::UNetRes {
-        for _ in 0..2 {
+        for _ in shard.resblock_start..shard.resblock_end.min(RESBLOCKS_PER_ITERATION) {
+            if d_cols == 0 {
+                continue;
+            }
             for _ in 0..6 {
-                ops.push(DscOp::Mmul(MmulDesc::dense(full_tokens, d, d)));
+                ops.push(DscOp::Mmul(MmulDesc::dense(full_tokens, d, d_cols)));
             }
             ops.push(DscOp::Special {
                 func: SpecialFunc::Gelu,
-                elements: full_tokens * d,
+                elements: full_tokens * d_cols,
                 width: CfseWidth::TwoWay16,
             });
-            dense_macs += 6 * full_tokens * d * d;
+            dense_macs += 6 * full_tokens * d * d_cols;
         }
     }
 
-    for _ in 0..blocks {
+    for _ in shard.block_start..shard.block_end.min(params.blocks) {
         // Pre-attention LayerNorm.
         ops.push(DscOp::Special {
             func: SpecialFunc::LayerNorm,
@@ -265,13 +376,13 @@ pub fn build_iteration(
         });
 
         // EPRE prediction, one pass per sample (pipelined under the SDUE by
-        // the DSC timeline).
-        if flags.ep {
+        // the DSC timeline); each TP rank predicts for its own heads.
+        if flags.ep && heads_here > 0 {
             for _ in 0..batch {
                 ops.push(DscOp::EpPredict {
                     tokens: m,
                     d_model: d,
-                    heads,
+                    heads: heads_here,
                 });
             }
         }
@@ -287,17 +398,21 @@ pub fn build_iteration(
             (0.0, 0.0, 0.0, 1.0, 1.0)
         };
 
-        // QKV + output projections over all batch rows.
+        // QKV (column-split under TP) + output projection over all batch
+        // rows.
         let m_q = ((m_lin as f64 * (1.0 - q_skip)).ceil() as u64).max(1);
         let m_kv = ((m_lin as f64 * (1.0 - kv_skip)).ceil() as u64).max(1);
-        ops.push(DscOp::Mmul(MmulDesc::dense(m_q, d, d)));
-        ops.push(DscOp::Mmul(MmulDesc::dense(m_kv, d, d)));
-        ops.push(DscOp::Mmul(MmulDesc::dense(m_kv, d, d)));
-        dense_macs += 3 * m_lin * d * d;
+        if d_cols > 0 {
+            ops.push(DscOp::Mmul(MmulDesc::dense(m_q, d, d_cols)));
+            ops.push(DscOp::Mmul(MmulDesc::dense(m_kv, d, d_cols)));
+            ops.push(DscOp::Mmul(MmulDesc::dense(m_kv, d, d_cols)));
+            dense_macs += 3 * m_lin * d * d_cols;
+        }
 
-        // Per-sample, per-head attention score and probability·V.
+        // Per-sample, per-head attention score and probability·V (whole
+        // heads per TP rank).
         for _ in 0..batch {
-            for _ in 0..heads {
+            for _ in 0..heads_here {
                 ops.push(DscOp::Mmul(MmulDesc {
                     block_frac: attn_bf,
                     utilization: attn_util,
@@ -314,11 +429,13 @@ pub fn build_iteration(
                 }));
             }
         }
-        dense_macs += 2 * batch * m * m * d;
+        dense_macs += 2 * batch * m * m * d_head * heads_here;
 
-        // Output projection + residual.
-        ops.push(DscOp::Mmul(MmulDesc::dense(m_lin, d, d)));
-        dense_macs += m_lin * d * d;
+        // Output projection (row-split under TP) + residual.
+        if d_cols > 0 {
+            ops.push(DscOp::Mmul(MmulDesc::dense(m_lin, d_cols, d)));
+            dense_macs += m_lin * d_cols * d;
+        }
         ops.push(DscOp::Special {
             func: SpecialFunc::Residual,
             elements: m_lin * d,
@@ -332,48 +449,56 @@ pub fn build_iteration(
             width: CfseWidth::OneWay32,
         });
 
-        // FFN pair.
+        // FFN pair: FFN-1 column-split, FFN-2 row-split under TP.
         if flags.ffn_sparse {
             let s = profile.inter_sparsity;
-            ops.push(DscOp::Mmul(MmulDesc {
-                block_frac: profile.ffn_block_frac,
-                utilization: profile.ffn_utilization,
-                weight_frac: profile.ffn_weight_frac,
-                ..MmulDesc::dense(m_lin, d, d_ff)
-            }));
-            ops.push(DscOp::Special {
-                func: SpecialFunc::Gelu,
-                elements: ((m_lin * d_ff) as f64 * (1.0 - s)).ceil() as u64,
-                width: CfseWidth::TwoWay16,
-            });
-            ops.push(DscOp::Mmul(MmulDesc {
-                k_frac: 1.0 - s,
-                weight_frac: (1.0 - s).min(1.0),
-                ..MmulDesc::dense(m_lin, hidden, d)
-            }));
+            if d_ff_cols > 0 {
+                ops.push(DscOp::Mmul(MmulDesc {
+                    block_frac: profile.ffn_block_frac,
+                    utilization: profile.ffn_utilization,
+                    weight_frac: profile.ffn_weight_frac,
+                    ..MmulDesc::dense(m_lin, d, d_ff_cols)
+                }));
+                ops.push(DscOp::Special {
+                    func: SpecialFunc::Gelu,
+                    elements: ((m_lin * d_ff_cols) as f64 * (1.0 - s)).ceil() as u64,
+                    width: CfseWidth::TwoWay16,
+                });
+            }
+            if hidden_cols > 0 {
+                ops.push(DscOp::Mmul(MmulDesc {
+                    k_frac: 1.0 - s,
+                    weight_frac: (1.0 - s).min(1.0),
+                    ..MmulDesc::dense(m_lin, hidden_cols, d)
+                }));
+            }
         } else {
-            ops.push(DscOp::Mmul(MmulDesc::dense(m_lin, d, d_ff)));
-            ops.push(DscOp::Special {
-                func: SpecialFunc::Gelu,
-                elements: m_lin * d_ff,
-                width: CfseWidth::TwoWay16,
-            });
-            if flags.ffn_dense_with_cau {
+            if d_ff_cols > 0 {
+                ops.push(DscOp::Mmul(MmulDesc::dense(m_lin, d, d_ff_cols)));
+                ops.push(DscOp::Special {
+                    func: SpecialFunc::Gelu,
+                    elements: m_lin * d_ff_cols,
+                    width: CfseWidth::TwoWay16,
+                });
+            }
+            if flags.ffn_dense_with_cau && hidden_cols > 0 {
                 // Threshold compare + bitmask generation, then CVG.
                 ops.push(DscOp::Special {
                     func: SpecialFunc::Quantize,
-                    elements: m_lin * hidden,
+                    elements: m_lin * hidden_cols,
                     width: CfseWidth::TwoWay16,
                 });
                 ops.push(DscOp::CauGenerate {
-                    cols: hidden,
+                    cols: hidden_cols,
                     surviving_frac: profile.ffn_weight_frac,
                     tiles: m_lin.div_ceil(16),
                 });
             }
-            ops.push(DscOp::Mmul(MmulDesc::dense(m_lin, hidden, d)));
+            if hidden_cols > 0 {
+                ops.push(DscOp::Mmul(MmulDesc::dense(m_lin, hidden_cols, d)));
+            }
         }
-        dense_macs += m_lin * d_ff * d + m_lin * hidden * d;
+        dense_macs += m_lin * d_ff_cols * d + m_lin * hidden_cols * d;
         ops.push(DscOp::Special {
             func: SpecialFunc::Residual,
             elements: m_lin * d,

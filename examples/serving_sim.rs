@@ -10,9 +10,12 @@
 //!
 //! `EXION_SERVE_HORIZON_MS` caps the trace horizon (CI smoke runs use a
 //! small value; the default is the full 4 s trace).
+//! `EXION_SERVE_MODE=sharded` runs only the replicated-vs-sharded
+//! comparison (the CI sharded smoke step).
 
 use exion::serve::{Policy, ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix};
 use exion::sim::config::HwConfig;
+use exion_bench::experiments::serve_sweep::{goodput_crossover, sharding_comparison};
 use exion_model::config::ModelKind;
 
 fn horizon_ms() -> f64 {
@@ -23,9 +26,53 @@ fn horizon_ms() -> f64 {
         .unwrap_or(4_000.0)
 }
 
+/// Replicated-vs-sharded comparison: two whole-model replicas vs one TP=2
+/// gang vs one PP=2 gang on the working-set-exceeding VideoCrafter2 mix.
+fn sharded_comparison(horizon_ms: f64) {
+    println!(
+        "== EXION4 | replicated vs sharded on a 2-instance budget \
+         (text-to-video: VideoCrafter2 exceeds one GSC)"
+    );
+    let sweeps = sharding_comparison(&HwConfig::exion4(), Some(horizon_ms));
+    for sweep in &sweeps {
+        println!("-- {}", sweep.label);
+        for p in &sweep.points {
+            let r = &p.report;
+            println!(
+                "  load {:>3.0}% | p50 {:>8.1} ms | p95 {:>8.1} ms | goodput {:>5.2} rps | \
+                 GSC hit {:>5.1}% | collectives {:>7.1} ms",
+                100.0 * p.load_frac,
+                r.latency.p50,
+                r.latency.p95,
+                r.goodput_rps,
+                100.0 * r.residency_hit_rate,
+                r.collective_ms,
+            );
+        }
+    }
+    for sharded in &sweeps[1..] {
+        match goodput_crossover(&sweeps[0], sharded) {
+            Some(frac) => println!(
+                "  {} vs replicated: goodput leader flips at {:.0}% load",
+                sharded.label,
+                100.0 * frac
+            ),
+            None => println!(
+                "  {} vs replicated: one placement leads across the swept range",
+                sharded.label
+            ),
+        }
+    }
+}
+
 fn main() {
     let mix = WorkloadMix::multi_tenant();
     let horizon_ms = horizon_ms();
+    if std::env::var("EXION_SERVE_MODE").as_deref() == Ok("sharded") {
+        // CI sharded smoke: just the gang-scheduling path.
+        sharded_comparison(horizon_ms);
+        return;
+    }
     let load_fractions = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.5];
 
     for hw in [HwConfig::exion4(), HwConfig::exion24()] {
@@ -130,4 +177,11 @@ fn main() {
             edf / pre.max(1e-9)
         );
     }
+
+    // Sharding: when one model's weight working set exceeds a single
+    // instance's GSC, a TP/PP gang with per-shard residency beats
+    // replicating the thrashing whole model — up to the load where the
+    // replicas' independent queues win back the throughput.
+    println!();
+    sharded_comparison(horizon_ms);
 }
