@@ -1,4 +1,5 @@
-//! Cluster-level serving simulation: arrivals → queue → units → report.
+//! Cluster-level serving simulation: arrivals → admission → queue → units
+//! → report.
 //!
 //! Scheduling units (whole-model replicas and sharded TP/PP gangs — see
 //! [`crate::placement`]) pull work from one shared queue (central
@@ -6,8 +7,17 @@
 //! iteration at a time. The event loop always steps the unit with the
 //! smallest local clock, which keeps arrival release causal across units
 //! and makes the whole simulation deterministic for a fixed trace.
+//!
+//! Both halves of the control plane are pluggable trait objects carried by
+//! [`ServeConfig`]: a [`SchedulerPolicy`] decides admission ordering,
+//! batch-join gating, and preemption at iteration boundaries, and an
+//! [`AdmissionController`] is consulted once per arrival — before the
+//! request enters the queue — and may accept, shed (a priced refusal), or
+//! degrade it to a reduced DDIM step budget. Configs are assembled with
+//! [`ServeConfig::builder`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use exion_model::config::{ModelConfig, ModelKind};
 use exion_sim::config::HwConfig;
@@ -15,16 +25,19 @@ use exion_sim::partition::PartitionStrategy;
 use exion_sim::perf::SimAblation;
 use exion_sim::residency::EvictionPolicy;
 
+use crate::admission::{self, AdmissionController, AdmissionDecision, AdmissionView, AdmitAll};
 use crate::cost::CostModel;
 use crate::metrics::{queue_depth_stats, LatencyStats, ServeReport};
 use crate::placement::{Gang, Placement};
-use crate::policy::Policy;
-use crate::request::{Completion, Request};
+use crate::policy::{self, Fcfs, SchedulerPolicy};
+use crate::request::{Completion, Request, ShedRecord};
 use crate::scheduler::SchedContext;
 use crate::trace::{generate, TraceConfig};
 
-/// Serving-cluster configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Serving-cluster configuration. Assemble with [`ServeConfig::builder`];
+/// [`ServeConfig::new`] is the all-defaults shorthand (one replica, batch
+/// 8, all optimizations, FCFS, admit-all, LRU eviction).
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// The accelerator instance type.
     pub hw: HwConfig,
@@ -34,59 +47,147 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Which EXION optimizations are active.
     pub ablation: SimAblation,
-    /// Admission policy.
-    pub policy: Policy,
+    /// Scheduling policy (admission ordering, batch-join gating,
+    /// preemption decisions).
+    pub policy: Arc<dyn SchedulerPolicy>,
+    /// Admission controller consulted once per arrival at enqueue time.
+    pub admission: Arc<dyn AdmissionController>,
     /// GSC eviction policy of every instance's residency cache.
     pub eviction: EvictionPolicy,
 }
 
 impl ServeConfig {
-    /// One replica, batch 8, all optimizations, FCFS, LRU eviction.
+    /// A builder over the defaults: one replica, batch 8, all
+    /// optimizations, FCFS scheduling, admit-all admission, LRU eviction.
+    pub fn builder(hw: HwConfig) -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            inner: Self::new(hw),
+        }
+    }
+
+    /// The all-defaults configuration for `hw` (see [`Self::builder`]).
     pub fn new(hw: HwConfig) -> Self {
         Self {
             hw,
             placement: Placement::replicated(1),
             max_batch: 8,
             ablation: SimAblation::All,
-            policy: Policy::Fcfs,
+            policy: Arc::new(Fcfs),
+            admission: Arc::new(AdmitAll),
             eviction: EvictionPolicy::Lru,
         }
     }
+}
 
-    /// Replaces the placement with `instances` whole-model replicas.
-    pub fn with_instances(mut self, instances: usize) -> Self {
-        self.placement = Placement::replicated(instances);
-        self
-    }
+/// Builder for [`ServeConfig`] — the one construction path for every
+/// non-default cluster (ad-hoc field mutation is gone; policies and
+/// admission controllers plug in as trait objects or registry names).
+///
+/// ```
+/// use exion_serve::{DeadlineFeasibility, Placement, ServeConfig};
+/// use exion_sim::config::HwConfig;
+///
+/// let config = ServeConfig::builder(HwConfig::exion24())
+///     .placement(Placement::replicated(2))
+///     .policy_name("preemptive-edf")
+///     .admission(DeadlineFeasibility::default())
+///     .max_batch(16)
+///     .build();
+/// assert_eq!(config.policy.name(), "preemptive-edf");
+/// assert_eq!(config.admission.name(), "deadline");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    inner: ServeConfig,
+}
 
+impl ServeConfigBuilder {
     /// Replaces the placement (replicas, sharded gangs, or a mix).
-    pub fn with_placement(mut self, placement: Placement) -> Self {
-        self.placement = placement;
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.inner.placement = placement;
         self
     }
 
-    /// Replaces the admission policy.
-    pub fn with_policy(mut self, policy: Policy) -> Self {
-        self.policy = policy;
+    /// Shorthand for a placement of `n` whole-model replicas.
+    pub fn instances(self, n: usize) -> Self {
+        self.placement(Placement::replicated(n))
+    }
+
+    /// Replaces the scheduling policy with a concrete implementation.
+    pub fn policy(self, policy: impl SchedulerPolicy + 'static) -> Self {
+        self.policy_arc(Arc::new(policy))
+    }
+
+    /// Replaces the scheduling policy with a shared trait object.
+    pub fn policy_arc(mut self, policy: Arc<dyn SchedulerPolicy>) -> Self {
+        self.inner.policy = policy;
         self
     }
 
-    /// Replaces the per-unit batch bound.
-    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
-        self.max_batch = max_batch.max(1);
+    /// Resolves `name` against the built-in policy registry
+    /// ([`policy::by_name`]) — the serde-able configuration path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name, listing the registered ones.
+    pub fn policy_name(self, name: &str) -> Self {
+        let policy = policy::by_name(name).unwrap_or_else(|| {
+            panic!(
+                "unknown scheduling policy {name:?}; built-ins: {:?}",
+                policy::BUILTIN_POLICY_NAMES
+            )
+        });
+        self.policy_arc(policy)
+    }
+
+    /// Replaces the admission controller with a concrete implementation.
+    pub fn admission(self, controller: impl AdmissionController + 'static) -> Self {
+        self.admission_arc(Arc::new(controller))
+    }
+
+    /// Replaces the admission controller with a shared trait object.
+    pub fn admission_arc(mut self, controller: Arc<dyn AdmissionController>) -> Self {
+        self.inner.admission = controller;
+        self
+    }
+
+    /// Resolves `name` against the built-in admission registry
+    /// ([`admission::by_name`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name, listing the registered ones.
+    pub fn admission_name(self, name: &str) -> Self {
+        let controller = admission::by_name(name).unwrap_or_else(|| {
+            panic!(
+                "unknown admission controller {name:?}; built-ins: {:?}",
+                admission::BUILTIN_ADMISSION_NAMES
+            )
+        });
+        self.admission_arc(controller)
+    }
+
+    /// Replaces the per-unit batch bound (at least 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.inner.max_batch = max_batch.max(1);
         self
     }
 
     /// Replaces the ablation.
-    pub fn with_ablation(mut self, ablation: SimAblation) -> Self {
-        self.ablation = ablation;
+    pub fn ablation(mut self, ablation: SimAblation) -> Self {
+        self.inner.ablation = ablation;
         self
     }
 
     /// Replaces the GSC eviction policy.
-    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
-        self.eviction = eviction;
+    pub fn eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.inner.eviction = eviction;
         self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> ServeConfig {
+        self.inner
     }
 }
 
@@ -103,9 +204,10 @@ impl ServeSimulator {
     /// A simulator for `config`. Iteration costs are priced lazily and
     /// cached across runs of the same simulator.
     pub fn new(config: ServeConfig) -> Self {
+        let cost = CostModel::new(config.hw, config.ablation);
         Self {
             config,
-            cost: CostModel::new(config.hw, config.ablation),
+            cost,
             model_configs: HashMap::new(),
             partition_plans: HashMap::new(),
         }
@@ -168,10 +270,11 @@ impl ServeSimulator {
             HashMap::new()
         };
         SchedContext::build(
-            self.config.policy,
+            self.config.policy.clone(),
             self.config.max_batch,
             kinds,
             &mut self.cost,
+            self.config.placement.interconnect,
             |k| {
                 *configs
                     .get(&k)
@@ -216,11 +319,14 @@ impl ServeSimulator {
 
     /// Runs the trace to completion and reports serving metrics.
     ///
-    /// Every arrival is eventually admitted and completed (no drops), so
-    /// saturation shows up as unbounded queueing delay rather than lost
-    /// requests. SLOs scale the *replica* full-batch service time
-    /// regardless of placement, so goodput is comparable across replicated
-    /// and sharded deployments of the same trace.
+    /// Every arrival the admission controller accepts is eventually
+    /// admitted and completed; refused (shed) arrivals never enter the
+    /// queue, so `completed + shed_requests == arrivals` once the cluster
+    /// drains. Under the default [`AdmitAll`] controller saturation shows
+    /// up as unbounded queueing delay rather than lost requests. SLOs
+    /// scale the *replica* full-batch service time regardless of
+    /// placement, so goodput is comparable across replicated and sharded
+    /// deployments of the same trace.
     pub fn run(&mut self, trace: &TraceConfig) -> ServeReport {
         let arrivals = generate(trace);
         let max_batch = self.config.max_batch as u64;
@@ -261,8 +367,11 @@ impl ServeSimulator {
             ));
             next_id += placement.strategy.degree();
         }
+        let admission = self.config.admission.clone();
         let mut queue: Vec<Request> = Vec::new();
         let mut completions: Vec<Completion> = Vec::new();
+        let mut sheds: Vec<ShedRecord> = Vec::new();
+        let mut degraded_requests = 0usize;
         let mut depth_events: Vec<(f64, i64)> = Vec::new();
         let mut next_arrival = 0usize;
 
@@ -284,14 +393,43 @@ impl ServeSimulator {
                 break; // every unit is drained
             }
 
-            // Release arrivals up to this unit's clock.
+            // Release arrivals up to this unit's clock, consulting the
+            // admission controller once per arrival. The decision fires at
+            // the *release* instant (the iteration boundary whose clock
+            // passed the arrival) — up to one iteration after arrival — so
+            // the view carries that clock and feasibility sees the slack
+            // that actually remains, not the full SLO.
             while next_arrival < pending.len()
                 && pending[next_arrival].arrival_ms <= units[i].now_ms()
             {
-                let r = pending[next_arrival];
+                let mut r = pending[next_arrival];
+                next_arrival += 1;
+                let decided_at = units[i].now_ms().max(r.arrival_ms);
+                let decision = {
+                    let view = AdmissionView::new(decided_at, &queue, &units, &ctx);
+                    admission.decide(&r, &view)
+                };
+                match decision {
+                    AdmissionDecision::Accept => {}
+                    AdmissionDecision::Degrade { steps } => {
+                        r.degrade_to(steps);
+                        if r.degraded {
+                            degraded_requests += 1;
+                        }
+                    }
+                    AdmissionDecision::Shed => {
+                        // Priced refusal: recorded (and counted against SLO
+                        // attainment), but the request never queues.
+                        sheds.push(ShedRecord {
+                            id: r.id,
+                            model: r.model,
+                            at_ms: decided_at,
+                        });
+                        continue;
+                    }
+                }
                 depth_events.push((r.arrival_ms, 1));
                 queue.push(r);
-                next_arrival += 1;
             }
 
             if units[i].is_idle() && queue.is_empty() {
@@ -362,14 +500,25 @@ impl ServeSimulator {
         }
 
         completions.sort_by_key(|c| c.id);
-        self.report(trace, &arrivals, completions, &mut depth_events, &units)
+        self.report(
+            trace,
+            &arrivals,
+            completions,
+            sheds,
+            degraded_requests,
+            &mut depth_events,
+            &units,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
         trace: &TraceConfig,
         arrivals: &[crate::trace::Arrival],
         completions: Vec<Completion>,
+        sheds: Vec<ShedRecord>,
+        degraded_requests: usize,
         depth_events: &mut [(f64, i64)],
         units: &[Gang],
     ) -> ServeReport {
@@ -402,20 +551,26 @@ impl ServeSimulator {
             .iter()
             .map(|s| s.mean_batch * s.iterations as f64)
             .sum();
+        // Priced refusals: a shed is a definite SLO miss — it joins the
+        // attainment denominator even though it consumed no machine time.
+        let answered = completions.len() + sheds.len();
         ServeReport {
             hw_name: self.config.hw.name.to_string(),
             policy: self.config.policy.name().to_string(),
+            admission: self.config.admission.name().to_string(),
             pattern: trace.pattern.name().to_string(),
             instances: self.config.placement.total_instances(),
             arrivals: arrivals.len(),
             completed: completions.len(),
+            shed_requests: sheds.len(),
+            degraded_requests,
             offered_rps: arrivals.len() as f64 / (trace.horizon_ms / 1000.0).max(1e-9),
             throughput_rps: completions.len() as f64 / makespan_s,
             goodput_rps: within_slo as f64 / makespan_s,
-            slo_attainment: if completions.is_empty() {
+            slo_attainment: if answered == 0 {
                 0.0
             } else {
-                within_slo as f64 / completions.len() as f64
+                within_slo as f64 / answered as f64
             },
             horizon_ms: trace.horizon_ms,
             makespan_ms,
@@ -462,6 +617,7 @@ impl ServeSimulator {
             per_gang,
             per_instance,
             completions,
+            sheds,
         }
     }
 }

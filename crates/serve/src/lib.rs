@@ -10,6 +10,11 @@
 //! * [`trace`] — deterministic, seeded arrival streams (Poisson steady
 //!   state, two-state bursty MMPP, diurnal ramp) over weighted model mixes
 //!   of the `exion-model` zoo;
+//! * [`admission`] — the enqueue-time half of the pluggable control plane:
+//!   an [`AdmissionController`] may accept an arrival, *shed* it (a priced
+//!   refusal counted as an SLO miss), or *degrade* it to a reduced DDIM
+//!   step budget that still meets the deadline — so goodput saturates at
+//!   the knee instead of collapsing past it ([`DeadlineFeasibility`]);
 //! * [`scheduler`] / [`cluster`] — a continuous batcher that exploits the
 //!   iterative structure of DDIM denoising: requests join and leave running
 //!   batches at *iteration boundaries* rather than waiting for a full batch
@@ -17,20 +22,21 @@
 //!   byte-accounted [`exion_sim::residency::GscCache`] of weight shards and
 //!   parked request latents, and idle instances seed the tenant whose
 //!   refill-adjusted urgency wins (residency-aware routing, with a
-//!   resume-affinity hint that steers parked requests back to the instance
+//!   resume-affinity hint that steers parked requests back to the unit
 //!   still holding their latent);
 //! * [`placement`] — groups instances into whole-model replicas and
 //!   tensor/pipeline-parallel *gangs* ([`exion_sim::partition`]): a gang
 //!   serves models whose weight working set exceeds one instance's GSC by
 //!   giving each member its own shard (and shard-granular residency),
 //!   advancing a sharded batch only when every member is done and pricing
-//!   the interconnect collectives;
-//! * [`policy`] — admission policies: FCFS, SLO-aware EDF, *preemptive* EDF
-//!   (parks a running batch's denoising latents at an iteration boundary
-//!   when a queued deadline beats every running one), and a sparsity-aware
-//!   policy that only admits at FFN-Reuse dense boundaries so co-batched
-//!   requests stay phase-aligned and sparse iterations are never forfeited
-//!   to a straggler;
+//!   the interconnect collectives; preempted latents park on the gang's
+//!   least-GSC-pressured member, spreading pressure off the leader;
+//! * [`policy`] — the scheduling half of the control plane: a
+//!   [`SchedulerPolicy`] trait object decides admission ordering,
+//!   batch-join gating, and preemption against a read-only
+//!   [`SchedSnapshot`]; FCFS, SLO-aware EDF, *preemptive* EDF, and the
+//!   sparsity-aware phase-aligning policy ship as named implementations
+//!   behind a [`PolicyRegistry`];
 //! * [`cost`] — memoized per-iteration pricing through
 //!   [`exion_sim::simulate_iteration`]: each iteration is priced by the
 //!   *fraction* of the model's weight working set GSC-resident (partial
@@ -38,19 +44,19 @@
 //!   a measured override (`exion-bench::profiles`);
 //! * [`metrics`] — p50/p95/p99 latency, goodput, SLO attainment,
 //!   utilization, queue depth, joules per request, preemption counts,
-//!   residency hit-rate, and refill bytes.
+//!   residency hit-rate, refill bytes, and shed/degrade accounting.
 //!
 //! # Example
 //!
 //! ```
-//! use exion_serve::{
-//!     Policy, ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
-//! };
+//! use exion_serve::{ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix};
 //! use exion_sim::config::HwConfig;
 //!
-//! let mut sim = ServeSimulator::new(
-//!     ServeConfig::new(HwConfig::exion4()).with_policy(Policy::SparsityAware),
-//! );
+//! let config = ServeConfig::builder(HwConfig::exion4())
+//!     .policy_name("sparsity-aware")
+//!     .admission_name("admit-all")
+//!     .build();
+//! let mut sim = ServeSimulator::new(config);
 //! let report = sim.run(&TraceConfig {
 //!     pattern: TrafficPattern::Poisson { rate_rps: 50.0 },
 //!     horizon_ms: 500.0,
@@ -61,22 +67,31 @@
 //! assert!(report.latency.p99 >= report.latency.p50);
 //! ```
 
+pub mod admission;
 pub mod cluster;
 pub mod cost;
 pub mod metrics;
 pub mod placement;
 pub mod policy;
+mod registry;
 pub mod request;
 pub mod scheduler;
 pub mod trace;
 
-pub use cluster::{ServeConfig, ServeSimulator};
+pub use admission::{
+    AdmissionController, AdmissionDecision, AdmissionRegistry, AdmissionView, AdmitAll,
+    DeadlineFeasibility,
+};
+pub use cluster::{ServeConfig, ServeConfigBuilder, ServeSimulator};
 pub use cost::CostModel;
 pub use exion_sim::partition::{Interconnect, PartitionPlan, PartitionStrategy};
 pub use exion_sim::residency::EvictionPolicy;
 pub use metrics::{GangStats, InstanceStats, LatencyStats, ServeReport};
 pub use placement::{Gang, Placement};
-pub use policy::Policy;
-pub use request::{Completion, Request, RequestId};
+pub use policy::{
+    Edf, Fcfs, PolicyKey, PolicyRegistry, PreemptiveEdf, SchedSnapshot, SchedulerPolicy,
+    SparsityAware,
+};
+pub use request::{Completion, Request, RequestId, ShedRecord};
 pub use scheduler::{AdmitOutcome, Instance, ModelInfo, SchedContext};
 pub use trace::{Arrival, TraceConfig, TrafficPattern, WorkloadMix};

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::request::Completion;
+use crate::request::{Completion, ShedRecord};
 
 /// Nearest-rank percentile of an ascending-sorted slice (`q ∈ [0, 1]`).
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -109,6 +109,8 @@ pub struct ServeReport {
     pub hw_name: String,
     /// Scheduler policy name.
     pub policy: String,
+    /// Admission-controller name.
+    pub admission: String,
     /// Traffic pattern name.
     pub pattern: String,
     /// Hardware instance count.
@@ -117,6 +119,11 @@ pub struct ServeReport {
     pub arrivals: usize,
     /// Requests that completed.
     pub completed: usize,
+    /// Arrivals refused (shed) by admission control: `completed +
+    /// shed_requests == arrivals` once the cluster drains.
+    pub shed_requests: usize,
+    /// Completions admission degraded to a reduced DDIM step budget.
+    pub degraded_requests: usize,
     /// Offered load (requests/s over the horizon).
     pub offered_rps: f64,
     /// Completed requests per second of makespan.
@@ -167,6 +174,8 @@ pub struct ServeReport {
     pub per_instance: Vec<InstanceStats>,
     /// Every completion record (tests and downstream analysis).
     pub completions: Vec<Completion>,
+    /// Every shed record (per-class refusal accounting).
+    pub sheds: Vec<ShedRecord>,
 }
 
 impl ServeReport {
@@ -181,6 +190,28 @@ impl ServeReport {
                 .map(|c| c.latency_ms())
                 .collect(),
         )
+    }
+
+    /// Fraction of arrivals refused at enqueue (0.0 without admission
+    /// control).
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.shed_requests as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Shed rate of one tenant class: refusals of `kind` over that class's
+    /// arrivals (completions + sheds; 0.0 when the class saw no traffic).
+    pub fn class_shed_rate(&self, kind: exion_model::config::ModelKind) -> f64 {
+        let shed = self.sheds.iter().filter(|s| s.model == kind).count();
+        let served = self.completions.iter().filter(|c| c.model == kind).count();
+        if shed + served == 0 {
+            0.0
+        } else {
+            shed as f64 / (shed + served) as f64
+        }
     }
 
     /// One-line summary for sweeps.

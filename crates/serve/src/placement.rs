@@ -11,10 +11,13 @@
 //! logical clock — the leader's — and followers advance in lockstep.
 //!
 //! Scheduling stays on the leader: the shared queue, continuous batching,
-//! preemption, and latent parking all act on `members[0]`, which also hosts
-//! the parked latents (activations are gathered at iteration boundaries, so
-//! the preempted state is materialized whole on the leader). Followers
-//! contribute their shard's residency, compute time, and energy.
+//! and preemption all act on `members[0]`. Parked latents, however, land on
+//! the *least-GSC-pressured* member of the unit (the one with the most
+//! capacity not committed to pinned shards or other parked latents), with
+//! the request's `parked_on` affinity hint updated to that member — so
+//! heavy preemption spreads latent pressure across the gang instead of
+//! thrashing the leader's GSC. Followers contribute their shard's
+//! residency, compute time, and energy.
 
 use exion_model::config::ModelKind;
 use exion_sim::config::HwConfig;
@@ -133,9 +136,13 @@ impl Gang {
         if strategy == PartitionStrategy::Replicated {
             return Self::replica(first_id, hw, eviction);
         }
-        let members = (0..strategy.degree())
+        let degree = strategy.degree();
+        let mut members: Vec<Instance> = (0..degree)
             .map(|s| Instance::new_shard(first_id + s, hw, eviction, s as u8))
             .collect();
+        for m in &mut members {
+            m.set_unit(first_id, degree);
+        }
         Self {
             members,
             strategy,
@@ -179,32 +186,45 @@ impl Gang {
     }
 
     /// Admits queued requests at this iteration boundary — the leader's
-    /// continuous-batching logic (seeding, preemption, same-model swaps) —
-    /// and keeps follower clocks in lockstep past any latent transfers the
-    /// admission priced.
+    /// continuous-batching logic (seeding, preemption, same-model swaps),
+    /// with the follower members offered as latent-park sinks — and keeps
+    /// member clocks in lockstep past any latent transfers the admission
+    /// priced.
     pub fn admit(&mut self, queue: &mut Vec<Request>, ctx: &SchedContext) -> AdmitOutcome {
-        let out = self.members[0].admit(queue, ctx);
-        self.sync_follower_clocks();
+        let (leader, peers) = self
+            .members
+            .split_first_mut()
+            .expect("a unit has at least one member");
+        let out = leader.admit(queue, ctx, peers);
+        self.sync_clocks();
         out
     }
 
     /// Releases a parked-latent copy after its request resumed on another
-    /// unit (latents live on the leader).
+    /// unit (the latent may live on any member under sharded parking).
     pub fn discard_latent(&mut self, id: u64, ctx: &SchedContext) {
-        self.members[0].discard_latent(id, ctx);
-        self.sync_follower_clocks();
+        for m in &mut self.members {
+            m.discard_latent(id, ctx);
+        }
+        self.sync_clocks();
     }
 
-    fn sync_follower_clocks(&mut self) {
-        let now = self.members[0].now_ms;
-        for m in &mut self.members[1..] {
+    /// Lockstep: every member waits for the slowest one (latent shipping
+    /// during parking can momentarily advance a follower past the leader).
+    fn sync_clocks(&mut self) {
+        let now = self
+            .members
+            .iter()
+            .map(|m| m.now_ms)
+            .fold(f64::NEG_INFINITY, f64::max);
+        for m in &mut self.members {
             m.now_ms = now;
         }
     }
 
     /// Drains the ids of latents this unit evicted since the last call
-    /// (latents live on the leader, but draining every member keeps the
-    /// invariant local).
+    /// (sharded parking can put latents on any member, so every member is
+    /// drained).
     pub fn take_evicted_latents(&mut self) -> Vec<u64> {
         self.members
             .iter_mut()
@@ -306,9 +326,10 @@ impl Gang {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::Policy;
+    use crate::policy::Fcfs;
     use exion_model::config::ModelConfig;
     use exion_sim::perf::SimAblation;
+    use std::sync::Arc;
 
     fn tiny(kind: ModelKind) -> ModelConfig {
         ModelConfig::for_kind(kind).shrunk(1, 12)
@@ -334,10 +355,11 @@ mod tests {
         let strategy = PartitionStrategy::Tensor { ways: 2 };
         let operand_bytes = hw.operand_bytes();
         let ctx = SchedContext::build(
-            Policy::Fcfs,
+            Arc::new(Fcfs),
             4,
             &[ModelKind::VideoCrafter2],
             &mut cost,
+            Interconnect::default(),
             tiny,
             |k| {
                 Some(exion_sim::partition::PartitionPlan::new(

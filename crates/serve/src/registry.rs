@@ -1,0 +1,62 @@
+//! The shared name-keyed registry backing [`crate::policy::PolicyRegistry`]
+//! and [`crate::admission::AdmissionRegistry`]: one implementation of the
+//! replace-or-push and deterministic-ordering semantics, two thin typed
+//! fronts.
+
+use std::sync::Arc;
+
+/// Insertion-ordered `name → Arc<T>` map (`T` is a trait object). Ordering
+/// is registration order, so iteration (sweeps, help text) is
+/// deterministic; re-registering a name replaces the entry in place.
+#[derive(Debug)]
+pub(crate) struct NamedRegistry<T: ?Sized> {
+    entries: Vec<(String, Arc<T>)>,
+}
+
+// Manual impls: the derives would needlessly require `T: Clone`/
+// `T: Default`, which trait objects cannot satisfy (`Arc<T>` clones and an
+// empty Vec defaults regardless of `T`).
+impl<T: ?Sized> Clone for NamedRegistry<T> {
+    fn clone(&self) -> Self {
+        Self {
+            entries: self.entries.clone(),
+        }
+    }
+}
+
+impl<T: ?Sized> Default for NamedRegistry<T> {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T: ?Sized> NamedRegistry<T> {
+    /// Registers `item` under `name`, replacing any previous entry of that
+    /// name (order kept).
+    pub fn register(&mut self, name: String, item: Arc<T>) {
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = item,
+            None => self.entries.push((name, item)),
+        }
+    }
+
+    /// Resolves `name` to its item.
+    pub fn get(&self, name: &str) -> Option<Arc<T>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, item)| item.clone())
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Every registered item, in registration order.
+    pub fn all(&self) -> Vec<Arc<T>> {
+        self.entries.iter().map(|(_, item)| item.clone()).collect()
+    }
+}

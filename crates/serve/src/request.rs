@@ -17,8 +17,13 @@ pub struct Request {
     pub arrival_ms: f64,
     /// Latency SLO measured from arrival (ms).
     pub slo_ms: f64,
-    /// Denoising steps the request needs in total.
+    /// Denoising steps the request needs in total (possibly reduced by a
+    /// [`Self::degrade_to`] admission decision).
     pub total_steps: usize,
+    /// The full DDIM step schedule the request originally asked for.
+    pub full_steps: usize,
+    /// Whether admission degraded the request to a reduced step budget.
+    pub degraded: bool,
     /// Denoising steps already executed.
     pub steps_done: usize,
     /// When the request was first admitted into a running batch (ms);
@@ -56,11 +61,26 @@ impl Request {
             arrival_ms,
             slo_ms,
             total_steps,
+            full_steps: total_steps,
+            degraded: false,
             steps_done: 0,
             admitted_ms: None,
             preemptions: 0,
             ready_ms: arrival_ms,
             parked_on: None,
+        }
+    }
+
+    /// Degrades the request to a reduced DDIM step budget (an admission
+    /// [`crate::admission::AdmissionDecision::Degrade`] decision): the
+    /// cheaper variant still meets the deadline at the cost of a lower
+    /// quality tier. Clamped to `1..=full_steps`; a budget at or above the
+    /// full schedule leaves the request untouched.
+    pub fn degrade_to(&mut self, steps: usize) {
+        let steps = steps.clamp(1, self.full_steps);
+        if steps < self.full_steps {
+            self.total_steps = steps;
+            self.degraded = true;
         }
     }
 
@@ -99,6 +119,11 @@ pub struct Completion {
     pub instance: usize,
     /// Times the request was preempted over its lifetime.
     pub preemptions: u32,
+    /// DDIM steps the request executed (the degraded budget when admission
+    /// reduced it, the full schedule otherwise).
+    pub steps: usize,
+    /// Whether admission degraded the request's step budget.
+    pub degraded: bool,
 }
 
 impl Completion {
@@ -118,6 +143,20 @@ impl Completion {
     }
 }
 
+/// The record of one request refused (shed) at enqueue by admission
+/// control — the priced refusal: sheds count as SLO misses in the
+/// report's attainment, they just never consume machine time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShedRecord {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Benchmark model (per-class shed-rate accounting).
+    pub model: ModelKind,
+    /// When the refusal was issued (the decision instant — the releasing
+    /// unit's clock, at or shortly after arrival; ms).
+    pub at_ms: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +173,23 @@ mod tests {
     }
 
     #[test]
+    fn degrade_clamps_and_flags() {
+        let mut r = Request::new(0, ModelKind::Mld, 0.0, 100.0, 50);
+        r.degrade_to(60); // at/above the full schedule: untouched
+        assert!(!r.degraded);
+        assert_eq!(r.total_steps, 50);
+        r.degrade_to(30);
+        assert!(r.degraded);
+        assert_eq!(r.total_steps, 30);
+        assert_eq!(r.full_steps, 50);
+        assert_eq!(r.steps_left(), 30);
+        let mut floor = Request::new(1, ModelKind::Mld, 0.0, 100.0, 50);
+        floor.degrade_to(0); // clamped to at least one step
+        assert_eq!(floor.total_steps, 1);
+        assert!(floor.degraded);
+    }
+
+    #[test]
     fn completion_latency_split() {
         let c = Completion {
             id: 1,
@@ -144,6 +200,8 @@ mod tests {
             slo_ms: 26.0,
             instance: 0,
             preemptions: 0,
+            steps: 50,
+            degraded: false,
         };
         assert_eq!(c.latency_ms(), 25.0);
         assert_eq!(c.queue_ms(), 4.0);

@@ -8,6 +8,13 @@
 //! denoising latent is stashed in the GSC (or spilled to DRAM at a priced
 //! penalty) and they re-enter the queue with their step count intact.
 //!
+//! Scheduling *decisions* are delegated to a pluggable
+//! [`SchedulerPolicy`]: the batcher builds a read-only [`SchedSnapshot`] of
+//! its state and asks the policy for admission ordering, batch-join gating,
+//! and preemption/swap verdicts; the batcher itself owns the *mechanism* —
+//! residency pricing, migration penalties, the deadline-feasibility thrash
+//! guard, and latent parking.
+//!
 //! An instance executes one model at a time; how much of that model's
 //! weight working set is GSC-resident is tracked byte-accurately by a
 //! [`GscCache`], and each iteration is priced by the resident *fraction*
@@ -15,17 +22,18 @@
 //! partial refills instead of fictitious full cold switches.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use exion_model::config::{IterationPhase, ModelConfig, ModelKind};
 use exion_sim::config::HwConfig;
-use exion_sim::partition::PartitionPlan;
+use exion_sim::partition::{Interconnect, PartitionPlan};
 use exion_sim::residency::{
     latent_state_bytes, model_weight_bytes, EvictionPolicy, GscCache, GscObject,
 };
 
 use crate::cost::CostModel;
 use crate::metrics::InstanceStats;
-use crate::policy::Policy;
+use crate::policy::{SchedSnapshot, SchedulerPolicy};
 use crate::request::{Completion, Request};
 
 /// Precomputed per-model scheduling constants.
@@ -49,6 +57,11 @@ pub struct ModelInfo {
     /// the guard only blocks requests that cannot make their deadline even
     /// with dedicated service).
     pub warm_step_ms: f64,
+    /// Mean warm per-iteration latency at the deployment's full batch
+    /// size (ms): the steady-state service currency admission control
+    /// projects completion times with (SLOs scale the same full-batch
+    /// generation time, so the two stay consistent).
+    pub batched_step_ms: f64,
     /// How this model is cut across a gang (`None` when the cluster runs
     /// whole-model replicas only).
     pub partition: Option<PartitionPlan>,
@@ -59,7 +72,7 @@ pub struct ModelInfo {
 #[derive(Debug, Clone)]
 pub struct SchedContext {
     /// Admission/preemption policy.
-    pub policy: Policy,
+    pub policy: Arc<dyn SchedulerPolicy>,
     /// Maximum batch rows per instance.
     pub max_batch: usize,
     /// Wall-clock per byte over the DRAM interface (latent spill/reload
@@ -67,21 +80,32 @@ pub struct SchedContext {
     dram_ms_per_byte: f64,
     /// Transfer energy per byte over the DRAM interface (mJ).
     dram_mj_per_byte: f64,
+    /// Wall-clock per byte over the gang interconnect (intra-unit latent
+    /// shipping for sharded latent parking).
+    link_ms_per_byte: f64,
+    /// Per-transfer launch latency of the gang interconnect (ms) — the
+    /// same fixed term every collective pays in
+    /// [`exion_sim::partition::PartitionPlan::collective_ms`].
+    link_latency_ms: f64,
+    /// Transfer energy per byte over the gang interconnect (mJ).
+    link_mj_per_byte: f64,
     models: HashMap<ModelKind, ModelInfo>,
 }
 
 impl SchedContext {
     /// Builds the context for `kinds`, pricing refills against `cost`'s
-    /// hardware. `config_of` supplies each kind's model configuration
-    /// (shrunk configs in tests, the real zoo in production runs);
-    /// `plan_of` supplies each kind's gang partition plan (`None` for a
-    /// replica-only cluster — the cluster passes its memoized plans so the
-    /// pipeline op walks run once per simulator).
+    /// hardware and intra-gang transfers against `interconnect`.
+    /// `config_of` supplies each kind's model configuration (shrunk
+    /// configs in tests, the real zoo in production runs); `plan_of`
+    /// supplies each kind's gang partition plan (`None` for a replica-only
+    /// cluster — the cluster passes its memoized plans so the pipeline op
+    /// walks run once per simulator).
     pub fn build(
-        policy: Policy,
+        policy: Arc<dyn SchedulerPolicy>,
         max_batch: usize,
         kinds: &[ModelKind],
         cost: &mut CostModel,
+        interconnect: Interconnect,
         config_of: impl Fn(ModelKind) -> ModelConfig,
         plan_of: impl Fn(ModelKind) -> Option<PartitionPlan>,
     ) -> Self {
@@ -101,6 +125,8 @@ impl SchedContext {
                     warm_step_ms =
                         warm_step_ms.min(cost.gang_generation_latency_ms(&config, plan, 1) / iters);
                 }
+                let batched_step_ms =
+                    cost.generation_latency_ms(&config, max_batch.max(1) as u64) / iters;
                 (
                     k,
                     ModelInfo {
@@ -110,6 +136,7 @@ impl SchedContext {
                         latent_bytes: latent_state_bytes(&config, operand_bytes),
                         full_refill_ms: cost.full_refill_ms(weight_bytes),
                         warm_step_ms,
+                        batched_step_ms,
                         partition,
                     },
                 )
@@ -120,6 +147,9 @@ impl SchedContext {
             max_batch,
             dram_ms_per_byte: cost.dram_ms_per_byte(),
             dram_mj_per_byte: cost.dram_mj_per_byte(),
+            link_ms_per_byte: 1.0 / (interconnect.link_gbps.max(1e-9) * 1e6),
+            link_latency_ms: interconnect.latency_us * 1e-3,
+            link_mj_per_byte: 8.0 * interconnect.pj_per_bit * 1e-9,
             models,
         }
     }
@@ -142,13 +172,22 @@ impl SchedContext {
         bytes as f64 * self.dram_ms_per_byte
     }
 
-    /// The admission-key penalty unit `home` (the parking instance) spares:
-    /// a request whose latent still sits on another instance's GSC costs a
-    /// DRAM migration read everywhere else, so foreign schedulers defer it
-    /// by exactly that reload time (resume affinity).
-    pub(crate) fn migration_penalty_ms(&self, r: &Request, here: usize) -> f64 {
+    /// The admission-key penalty a foreign unit pays: a request whose
+    /// latent still sits on a member of another unit costs a DRAM
+    /// migration read everywhere outside that unit, so foreign schedulers
+    /// defer it by exactly that reload time (resume affinity). The parking
+    /// unit — identified by its member-id range `unit_first..unit_first +
+    /// unit_len` — sees the unshifted key and wins ties.
+    pub(crate) fn migration_penalty_ms(
+        &self,
+        r: &Request,
+        unit_first: usize,
+        unit_len: usize,
+    ) -> f64 {
         match r.parked_on {
-            Some(home) if home != here && r.steps_done > 0 => {
+            Some(home)
+                if r.steps_done > 0 && !(unit_first..unit_first + unit_len).contains(&home) =>
+            {
                 self.transfer_ms(self.info(r.model).latent_bytes)
             }
             _ => 0.0,
@@ -186,6 +225,11 @@ pub struct Instance {
     pub active_model: Option<ModelKind>,
     /// The running batch.
     pub running: Vec<Request>,
+    /// First member id of the scheduling unit this instance belongs to
+    /// (itself for replicas).
+    unit_first: usize,
+    /// Member count of the unit (1 for replicas).
+    unit_len: usize,
     /// The partition shard this instance holds when it is a sharded-gang
     /// member (`None` for whole-model replicas); selects which
     /// [`GscObject`] keys its weight residency.
@@ -216,6 +260,8 @@ impl Instance {
             now_ms: 0.0,
             active_model: None,
             running: Vec::new(),
+            unit_first: id,
+            unit_len: 1,
             shard: None,
             gsc: GscCache::new(hw.gsc_bytes() as u64, eviction),
             busy_ms: 0.0,
@@ -241,9 +287,33 @@ impl Instance {
         }
     }
 
+    /// Declares this instance a member of the unit spanning instance ids
+    /// `first..first + len` (the gang constructor calls this; replicas
+    /// default to the singleton unit of their own id).
+    pub(crate) fn set_unit(&mut self, first: usize, len: usize) {
+        self.unit_first = first;
+        self.unit_len = len.max(1);
+    }
+
     /// Whether the instance has no running batch.
     pub fn is_idle(&self) -> bool {
         self.running.is_empty()
+    }
+
+    /// The read-only view of this instance's state a [`SchedulerPolicy`]
+    /// decides against.
+    pub fn snapshot<'a>(&'a self, ctx: &SchedContext) -> SchedSnapshot<'a> {
+        SchedSnapshot {
+            instance: self.id,
+            now_ms: self.now_ms,
+            active_model: self.active_model,
+            running: &self.running,
+            max_batch: ctx.max_batch,
+            steps_into_period: self
+                .active_model
+                .map(|m| self.steps_into_period(ctx.info(m).period))
+                .unwrap_or(0),
+        }
     }
 
     /// The GSC key of the weights this instance holds for `kind`: the
@@ -287,10 +357,21 @@ impl Instance {
         self.energy_mj += bytes as f64 * ctx.dram_mj_per_byte;
     }
 
+    /// Moves `bytes` of latent state across the gang interconnect (one
+    /// way): intra-unit latent shipping for sharded latent parking. Pays
+    /// the per-transfer launch latency plus the bandwidth term, like every
+    /// other transfer over this link.
+    fn link_transfer(&mut self, bytes: u64, ctx: &SchedContext) {
+        let ms = ctx.link_latency_ms + bytes as f64 * ctx.link_ms_per_byte;
+        self.now_ms += ms;
+        self.busy_ms += ms;
+        self.energy_mj += bytes as f64 * ctx.link_mj_per_byte;
+    }
+
     /// Steps the running members sit past their last dense boundary.
-    /// Members admitted under [`Policy::SparsityAware`] stay mutually
-    /// aligned, so the first member is representative; under other policies
-    /// the value is only used for reporting.
+    /// Members admitted under [`crate::policy::SparsityAware`] stay
+    /// mutually aligned, so the first member is representative; under
+    /// other policies the value is only used for reporting.
     fn steps_into_period(&self, period: usize) -> usize {
         self.running
             .first()
@@ -334,36 +415,85 @@ impl Instance {
         std::mem::take(&mut self.evicted_latents)
     }
 
-    /// Parks one running request at this iteration boundary: its denoising
-    /// latent goes to the GSC if it fits (to DRAM at a priced write-back
-    /// otherwise) and the request re-enters `queue` with `steps_done`
-    /// intact — preempt/resume conserves DDIM iterations by construction,
-    /// since the step counter travels with the request.
-    fn park(&mut self, mut r: Request, queue: &mut Vec<Request>, ctx: &SchedContext) -> (u64, f64) {
+    /// Parks one running request at this iteration boundary. The latent
+    /// goes to the *least-GSC-pressured* member of this unit — among the
+    /// members that can actually house it (leader or `peers` follower,
+    /// ranked by capacity not already committed to pinned shards or other
+    /// parked latents) — cutting leader-GSC thrash under heavy preemption;
+    /// ties prefer the leader, so single-member units behave exactly as
+    /// before. Only when *no* member could house the latent even by
+    /// evicting every unpinned entry does it spill to DRAM at a priced
+    /// write-back. Either way the request re-enters `queue` with
+    /// `steps_done` intact — preempt/resume conserves DDIM iterations by
+    /// construction, since the step counter travels with the request.
+    fn park(
+        &mut self,
+        mut r: Request,
+        queue: &mut Vec<Request>,
+        ctx: &SchedContext,
+        peers: &mut [Instance],
+    ) -> (u64, f64) {
         let info = ctx.info(r.model);
         r.preemptions += 1;
         self.preemptions += 1;
         let latent = GscObject::Latent(r.id);
-        // Admission pre-check: when even evicting every unpinned entry
-        // could not house the latent, spill straight to DRAM rather than
-        // uselessly pushing other tenants out first.
-        if info.latent_bytes > self.gsc.evictable_bytes() {
-            self.latent_transfer(info.latent_bytes, ctx);
-            self.latent_spills += 1;
-            r.parked_on = None;
-        } else {
-            let out = self.gsc.request(
-                latent,
-                info.latent_bytes,
-                info.latent_bytes as f64 * ctx.dram_ms_per_byte,
-                false,
-            );
-            self.price_evictions(&out.evicted, ctx);
-            debug_assert_eq!(
-                out.resident_bytes, info.latent_bytes,
-                "pre-checked latent must fit after eviction"
-            );
-            r.parked_on = Some(self.id);
+        // Sharded latent parking: among the unit members that can house
+        // the latent (admission pre-check per member — evicting every
+        // unpinned entry must suffice, else requesting would uselessly
+        // push other tenants out first), rank by headroom not already
+        // committed to pins or parked latents. Strict improvement
+        // required, so the leader wins ties (and replicas, whose `peers`
+        // slice is empty, always park locally).
+        let mut sink: Option<(u64, Option<usize>)> = None; // None = leader
+        if info.latent_bytes <= self.gsc.evictable_bytes() {
+            sink = Some((self.gsc.park_headroom_bytes(), None));
+        }
+        for (i, p) in peers.iter().enumerate() {
+            if info.latent_bytes <= p.gsc.evictable_bytes() {
+                let h = p.gsc.park_headroom_bytes();
+                if sink.is_none_or(|(best, _)| h > best) {
+                    sink = Some((h, Some(i)));
+                }
+            }
+        }
+        let refill_cost_ms = info.latent_bytes as f64 * ctx.dram_ms_per_byte;
+        match sink {
+            // No member can house the latent: spill straight to DRAM.
+            None => {
+                self.latent_transfer(info.latent_bytes, ctx);
+                self.latent_spills += 1;
+                r.parked_on = None;
+            }
+            Some((_, None)) => {
+                let out = self
+                    .gsc
+                    .request(latent, info.latent_bytes, refill_cost_ms, false);
+                self.price_evictions(&out.evicted, ctx);
+                debug_assert_eq!(
+                    out.resident_bytes, info.latent_bytes,
+                    "pre-checked latent must fit after eviction"
+                );
+                r.parked_on = Some(self.id);
+            }
+            Some((_, Some(i))) => {
+                let peer = &mut peers[i];
+                // Ship the latent across the gang link to the chosen
+                // member; any latents its arrival evicts there are
+                // spilled (and billed) by that member.
+                self.link_transfer(info.latent_bytes, ctx);
+                let out = peer
+                    .gsc
+                    .request(latent, info.latent_bytes, refill_cost_ms, false);
+                peer.price_evictions(&out.evicted, ctx);
+                debug_assert_eq!(
+                    out.resident_bytes, info.latent_bytes,
+                    "pre-checked latent must fit after eviction"
+                );
+                r.parked_on = Some(peer.id);
+                // The park completes only when the slowest participant is
+                // done (the gang re-syncs member clocks afterwards).
+                self.now_ms = self.now_ms.max(peer.now_ms);
+            }
         }
         // The request becomes admissible again only once the park (and any
         // spill it priced) has finished on this instance's clock.
@@ -374,20 +504,33 @@ impl Instance {
     }
 
     /// Re-establishes a previously parked request's latent when it re-enters
-    /// a batch: a GSC hit is free; a DRAM-spilled (or evicted, or
-    /// cross-instance migrated) latent pays the read back.
-    fn resume(&mut self, r: &mut Request, ctx: &SchedContext) {
+    /// a batch: a GSC hit on this member is free; a latent parked on a
+    /// sibling member of the same unit is pulled across the gang link; a
+    /// DRAM-spilled (or evicted, or cross-unit migrated) latent pays the
+    /// DRAM read back.
+    fn resume(&mut self, r: &mut Request, ctx: &SchedContext, peers: &mut [Instance]) {
         let latent = GscObject::Latent(r.id);
-        let resident = self.gsc.resident_fraction(latent) >= 1.0;
-        self.gsc.remove(latent);
-        if !resident {
+        if self.gsc.resident_fraction(latent) >= 1.0 {
+            self.gsc.remove(latent);
+        } else if let Some(peer) = r
+            .parked_on
+            .and_then(|home| peers.iter_mut().find(|p| p.id == home))
+        {
+            let held = peer.gsc.remove(latent);
+            if held > 0 {
+                self.link_transfer(ctx.info(r.model).latent_bytes, ctx);
+            } else {
+                self.latent_transfer(ctx.info(r.model).latent_bytes, ctx);
+            }
+        } else {
+            self.gsc.remove(latent);
             self.latent_transfer(ctx.info(r.model).latent_bytes, ctx);
         }
         r.parked_on = None;
     }
 
     /// Releases a parked-latent copy after the request resumed on *another*
-    /// instance. If this instance still held the latent on chip, the
+    /// unit. If this instance still held the latent on chip, the
     /// migration physically required writing it back to DRAM for the
     /// resuming instance to read — bill that write here (the read was
     /// billed by the resumer). Either way the entry is dropped so it
@@ -403,11 +546,14 @@ impl Instance {
 
     /// The admission-ordering key of `r` on *this* instance: the policy key
     /// shifted by the latent-migration penalty when the request's parked
-    /// latent lives on another instance's GSC (resume affinity — the
-    /// parking instance sees the unshifted key and wins ties).
-    fn local_key(&self, r: &Request, ctx: &SchedContext) -> (f64, u64) {
-        let (primary, id) = ctx.policy.key(r);
-        (primary + ctx.migration_penalty_ms(r, self.id), id)
+    /// latent lives on another unit's GSC (resume affinity — the parking
+    /// unit sees the unshifted key and wins ties).
+    fn local_key(&self, r: &Request, ctx: &SchedContext, snap: &SchedSnapshot<'_>) -> (f64, u64) {
+        let (primary, id) = ctx.policy.admission_key(r, snap);
+        (
+            primary + ctx.migration_penalty_ms(r, self.unit_first, self.unit_len),
+            id,
+        )
     }
 
     /// Residency-aware seed choice for an idle instance: among the queued
@@ -416,7 +562,12 @@ impl Instance {
     /// shard, for gang members). A tenant whose shards this instance
     /// already holds wins unless another model's most urgent request beats
     /// it by more than the switch actually costs.
-    fn seed_model(&self, queue: &[Request], ctx: &SchedContext) -> ModelKind {
+    fn seed_model(
+        &self,
+        queue: &[Request],
+        ctx: &SchedContext,
+        snap: &SchedSnapshot<'_>,
+    ) -> ModelKind {
         let mut best: Option<(f64, (f64, u64), ModelKind)> = None;
         let mut seen: Vec<ModelKind> = Vec::new();
         for r in queue.iter().filter(|r| r.ready_ms <= self.now_ms) {
@@ -427,7 +578,7 @@ impl Instance {
             let key = queue
                 .iter()
                 .filter(|q| q.model == r.model && q.ready_ms <= self.now_ms)
-                .map(|q| self.local_key(q, ctx))
+                .map(|q| self.local_key(q, ctx, snap))
                 .min_by(|a, b| a.partial_cmp(b).expect("policy keys are finite"))
                 .expect("model taken from a visible queue member");
             let info = ctx.info(r.model);
@@ -446,16 +597,23 @@ impl Instance {
     }
 
     /// Admits queued requests into free slots at this iteration boundary,
-    /// preempting running ones first when the policy allows and deadlines
-    /// demand it.
+    /// preempting running ones first when the policy demands it.
     ///
     /// An idle instance seeds a batch of the residency-adjusted most urgent
     /// queued model; a busy one tops up with its active model, gated by the
-    /// policy's phase-boundary rule. Under [`Policy::PreemptiveEdf`] a
-    /// queued request whose deadline beats *every* running member's parks
-    /// the whole batch (cross-model switch), and a same-model request
-    /// beating the *worst* member swaps into a full batch.
-    pub fn admit(&mut self, queue: &mut Vec<Request>, ctx: &SchedContext) -> AdmitOutcome {
+    /// policy's [`SchedulerPolicy::admits_join`] rule. A queued cross-model
+    /// request the policy's [`SchedulerPolicy::preempt_for`] approves (and
+    /// the thrash guard deems feasible) parks the whole batch; a same-model
+    /// request approved by [`SchedulerPolicy::swap_for`] displaces the
+    /// worst member of a full batch. `peers` are the other members of this
+    /// unit (empty for replicas) — parked latents land on whichever member
+    /// is least GSC-pressured.
+    pub fn admit(
+        &mut self,
+        queue: &mut Vec<Request>,
+        ctx: &SchedContext,
+        peers: &mut [Instance],
+    ) -> AdmitOutcome {
         let mut outcome = AdmitOutcome::default();
         // Only *ready* requests are admissible: a request parked on another
         // instance at a later clock must not be resumed before its park
@@ -463,53 +621,55 @@ impl Instance {
         let now = self.now_ms;
         let visible = |r: &Request| r.ready_ms <= now;
         // The policy's most urgent visible queued request (keys shifted by
-        // the resume-affinity migration penalty on foreign instances).
-        let Some(urgent_idx) = (0..queue.len())
-            .filter(|&i| visible(&queue[i]))
-            .min_by(|&a, &b| {
-                self.local_key(&queue[a], ctx)
-                    .partial_cmp(&self.local_key(&queue[b], ctx))
-                    .expect("policy keys are finite")
-            })
-        else {
-            return outcome;
+        // the resume-affinity migration penalty on foreign units).
+        let urgent_model = {
+            let snap = self.snapshot(ctx);
+            let Some(urgent_idx) =
+                (0..queue.len())
+                    .filter(|&i| visible(&queue[i]))
+                    .min_by(|&a, &b| {
+                        self.local_key(&queue[a], ctx, &snap)
+                            .partial_cmp(&self.local_key(&queue[b], ctx, &snap))
+                            .expect("policy keys are finite")
+                    })
+            else {
+                return outcome;
+            };
+            queue[urgent_idx].model
         };
 
         if self.running.is_empty() {
-            let model = self.seed_model(queue, ctx);
+            let snap = self.snapshot(ctx);
+            let model = self.seed_model(queue, ctx, &snap);
             self.set_active(model);
         } else {
             let model = self
                 .active_model
                 .expect("a non-empty batch always has an active model");
-            let urgent_model = queue[urgent_idx].model;
             if urgent_model != model {
-                let earliest_running = self
-                    .running
-                    .iter()
-                    .map(Request::deadline_ms)
-                    .fold(f64::INFINITY, f64::min);
                 // The preemption trigger is the most urgent *feasible*
-                // cross-model request beating every running deadline: a
+                // cross-model request the policy approves a park for: a
                 // doomed request cannot justify a park (thrash guard — past
                 // saturation every deadline is blown and parks stop paying
                 // for themselves), but neither may it shadow a feasible
                 // request queued behind it.
-                let now = self.now_ms;
-                let trigger = (0..queue.len())
-                    .filter(|&i| {
-                        let r = &queue[i];
-                        r.model != model
-                            && visible(r)
-                            && r.deadline_ms() < earliest_running
-                            && ctx.deadline_feasible(r, now)
-                    })
-                    .min_by(|&a, &b| {
-                        self.local_key(&queue[a], ctx)
-                            .partial_cmp(&self.local_key(&queue[b], ctx))
-                            .expect("policy keys are finite")
-                    });
-                if let (true, Some(t)) = (ctx.policy.preemptive(), trigger) {
+                let trigger = {
+                    let snap = self.snapshot(ctx);
+                    (0..queue.len())
+                        .filter(|&i| {
+                            let r = &queue[i];
+                            r.model != model
+                                && visible(r)
+                                && ctx.policy.preempt_for(r, &snap)
+                                && ctx.deadline_feasible(r, now)
+                        })
+                        .min_by(|&a, &b| {
+                            self.local_key(&queue[a], ctx, &snap)
+                                .partial_cmp(&self.local_key(&queue[b], ctx, &snap))
+                                .expect("policy keys are finite")
+                        })
+                };
+                if let Some(t) = trigger {
                     // Iteration-boundary preemption: park the whole batch
                     // and switch to the urgent tenant immediately instead
                     // of head-of-line blocking it for a full generation.
@@ -520,7 +680,7 @@ impl Instance {
                     let switch_to = queue[t].model;
                     self.gsc.set_pinned(self.weight_obj(model), false);
                     for r in std::mem::take(&mut self.running) {
-                        outcome.parked.push(self.park(r, queue, ctx));
+                        outcome.parked.push(self.park(r, queue, ctx, peers));
                     }
                     self.set_active(switch_to);
                 } else {
@@ -529,35 +689,35 @@ impl Instance {
                     return outcome;
                 }
             } else {
-                if ctx.policy.preemptive() && self.running.len() >= ctx.max_batch {
+                if self.running.len() >= ctx.max_batch {
                     // Same-model swap: a full batch yields its worst member
-                    // to a strictly more urgent feasible request.
-                    let worst = (0..self.running.len())
-                        .max_by(|&a, &b| {
-                            self.running[a]
-                                .deadline_ms()
-                                .total_cmp(&self.running[b].deadline_ms())
+                    // to a strictly more urgent feasible request — when the
+                    // policy approves the swap.
+                    let swap = {
+                        let snap = self.snapshot(ctx);
+                        queue.iter().any(|r| {
+                            r.model == model
+                                && visible(r)
+                                && ctx.policy.swap_for(r, &snap)
+                                && ctx.deadline_feasible(r, now)
                         })
-                        .expect("non-empty running batch");
-                    let worst_deadline = self.running[worst].deadline_ms();
-                    let now = self.now_ms;
-                    let swap = queue.iter().any(|r| {
-                        r.model == model
-                            && visible(r)
-                            && r.deadline_ms() < worst_deadline
-                            && ctx.deadline_feasible(r, now)
-                    });
+                    };
                     if swap {
+                        let worst = (0..self.running.len())
+                            .max_by(|&a, &b| {
+                                self.running[a]
+                                    .deadline_ms()
+                                    .total_cmp(&self.running[b].deadline_ms())
+                            })
+                            .expect("non-empty running batch");
                         let victim = self.running.swap_remove(worst);
-                        outcome.parked.push(self.park(victim, queue, ctx));
+                        outcome.parked.push(self.park(victim, queue, ctx, peers));
                     } else {
                         return outcome;
                     }
                 }
-                if !ctx
-                    .policy
-                    .admits_mid_period(self.steps_into_period(ctx.info(model).period))
-                {
+                let snap = self.snapshot(ctx);
+                if !ctx.policy.admits_join(&snap) {
                     return outcome;
                 }
             }
@@ -567,21 +727,25 @@ impl Instance {
             .active_model
             .expect("seeding or the running batch set the active model above");
         let free = ctx.max_batch.saturating_sub(self.running.len());
-        let mut candidates: Vec<usize> = (0..queue.len())
-            .filter(|&i| queue[i].model == model && visible(&queue[i]))
-            .collect();
-        candidates.sort_by(|&a, &b| {
-            self.local_key(&queue[a], ctx)
-                .partial_cmp(&self.local_key(&queue[b], ctx))
-                .expect("policy keys are finite")
-        });
+        let mut candidates: Vec<usize> = {
+            let snap = self.snapshot(ctx);
+            let mut c: Vec<usize> = (0..queue.len())
+                .filter(|&i| queue[i].model == model && visible(&queue[i]))
+                .collect();
+            c.sort_by(|&a, &b| {
+                self.local_key(&queue[a], ctx, &snap)
+                    .partial_cmp(&self.local_key(&queue[b], ctx, &snap))
+                    .expect("policy keys are finite")
+            });
+            c
+        };
         candidates.truncate(free);
         // Remove back-to-front so earlier indices stay valid.
         candidates.sort_unstable_by(|a, b| b.cmp(a));
         for idx in candidates {
             let mut r = queue.swap_remove(idx);
             if r.steps_done > 0 {
-                self.resume(&mut r, ctx);
+                self.resume(&mut r, ctx, peers);
             }
             if r.admitted_ms.is_none() {
                 r.admitted_ms = Some(self.now_ms);
@@ -666,6 +830,8 @@ impl Instance {
                     slo_ms: r.slo_ms,
                     instance: id,
                     preemptions: r.preemptions,
+                    steps: r.total_steps,
+                    degraded: r.degraded,
                 });
                 false
             } else {
@@ -762,18 +928,24 @@ impl Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{Fcfs, PreemptiveEdf, SparsityAware};
     use exion_sim::perf::SimAblation;
 
     fn tiny(kind: ModelKind) -> ModelConfig {
         ModelConfig::for_kind(kind).shrunk(1, 12)
     }
 
-    fn ctx_for(policy: Policy, max_batch: usize, cost: &mut CostModel) -> SchedContext {
+    fn ctx_for(
+        policy: Arc<dyn SchedulerPolicy>,
+        max_batch: usize,
+        cost: &mut CostModel,
+    ) -> SchedContext {
         SchedContext::build(
             policy,
             max_batch,
             &[ModelKind::Mld, ModelKind::Mdm, ModelKind::StableDiffusion],
             cost,
+            Interconnect::default(),
             tiny,
             |_| None,
         )
@@ -796,10 +968,10 @@ mod tests {
     #[test]
     fn admission_fills_slots_with_one_model() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Fcfs, 8, &mut cost);
+        let ctx = ctx_for(Arc::new(Fcfs), 8, &mut cost);
         let mut inst = instance();
         let mut queue = queue_of(&[ModelKind::Mld, ModelKind::Mdm, ModelKind::Mld]);
-        let out = inst.admit(&mut queue, &ctx);
+        let out = inst.admit(&mut queue, &ctx, &mut []);
         // Seeded with MLD (first by FCFS tie-break and cheapest refill), so
         // both MLD requests join.
         assert_eq!(out.admitted.len(), 2);
@@ -812,10 +984,10 @@ mod tests {
     #[test]
     fn max_batch_bounds_admission() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Fcfs, 4, &mut cost);
+        let ctx = ctx_for(Arc::new(Fcfs), 4, &mut cost);
         let mut inst = instance();
         let mut queue = queue_of(&[ModelKind::Mld; 12]);
-        let out = inst.admit(&mut queue, &ctx);
+        let out = inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(out.admitted.len(), 4);
         // Earliest arrivals won the slots.
         let ids: Vec<u64> = inst.running.iter().map(|r| r.id).collect();
@@ -825,27 +997,27 @@ mod tests {
     #[test]
     fn sparsity_aware_waits_for_boundary() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let sparsity_ctx = ctx_for(Policy::SparsityAware, 2, &mut cost);
+        let sparsity_ctx = ctx_for(Arc::new(SparsityAware), 2, &mut cost);
         let mut inst = instance();
         let mut queue = queue_of(&[ModelKind::Mld; 4]);
-        inst.admit(&mut queue, &sparsity_ctx);
+        inst.admit(&mut queue, &sparsity_ctx, &mut []);
         assert_eq!(inst.running.len(), 2);
         // One step in: mid-period, so the gate closes.
         inst.execute_iteration(&mut cost, &sparsity_ctx);
-        let wider = ctx_for(Policy::SparsityAware, 4, &mut cost);
-        assert!(inst.admit(&mut queue, &wider).admitted.is_empty());
+        let wider = ctx_for(Arc::new(SparsityAware), 4, &mut cost);
+        assert!(inst.admit(&mut queue, &wider, &mut []).admitted.is_empty());
         // FCFS would have admitted immediately.
-        let fcfs = ctx_for(Policy::Fcfs, 4, &mut cost);
-        assert_eq!(inst.admit(&mut queue, &fcfs).admitted.len(), 2);
+        let fcfs = ctx_for(Arc::new(Fcfs), 4, &mut cost);
+        assert_eq!(inst.admit(&mut queue, &fcfs, &mut []).admitted.len(), 2);
     }
 
     #[test]
     fn completions_carry_timing() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Fcfs, 8, &mut cost);
+        let ctx = ctx_for(Arc::new(Fcfs), 8, &mut cost);
         let mut inst = Instance::new(3, &HwConfig::exion4(), EvictionPolicy::Lru);
         let mut queue = queue_of(&[ModelKind::Mld]);
-        inst.admit(&mut queue, &ctx);
+        inst.admit(&mut queue, &ctx, &mut []);
         let total = tiny(ModelKind::Mld).iterations;
         let mut done = Vec::new();
         for _ in 0..total {
@@ -854,6 +1026,8 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].instance, 3);
         assert_eq!(done[0].preemptions, 0);
+        assert_eq!(done[0].steps, total);
+        assert!(!done[0].degraded);
         assert!(done[0].finished_ms > 0.0);
         assert!(inst.is_idle());
         let stats = inst.stats(inst.now_ms);
@@ -868,7 +1042,7 @@ mod tests {
     #[test]
     fn preemptive_edf_parks_for_an_urgent_tenant() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &mut cost);
+        let ctx = ctx_for(Arc::new(PreemptiveEdf), 8, &mut cost);
         let mut inst = instance();
         // A relaxed-deadline SD batch is running...
         let mut queue = vec![Request::new(
@@ -878,7 +1052,7 @@ mod tests {
             1e6,
             tiny(ModelKind::StableDiffusion).iterations,
         )];
-        inst.admit(&mut queue, &ctx);
+        inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
         assert_eq!(inst.active_model, Some(ModelKind::StableDiffusion));
         // ...when an urgent MLD request arrives.
@@ -889,7 +1063,7 @@ mod tests {
             10.0,
             tiny(ModelKind::Mld).iterations,
         ));
-        let out = inst.admit(&mut queue, &ctx);
+        let out = inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(out.parked.len(), 1, "SD batch must be parked");
         assert_eq!(out.admitted.len(), 1);
         assert_eq!(inst.active_model, Some(ModelKind::Mld));
@@ -907,7 +1081,7 @@ mod tests {
     #[test]
     fn non_preemptive_edf_drains_instead() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Edf, 8, &mut cost);
+        let ctx = ctx_for(Arc::new(crate::policy::Edf), 8, &mut cost);
         let mut inst = instance();
         let mut queue = vec![Request::new(
             0,
@@ -916,7 +1090,7 @@ mod tests {
             1e6,
             tiny(ModelKind::StableDiffusion).iterations,
         )];
-        inst.admit(&mut queue, &ctx);
+        inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
         queue.push(Request::new(
             1,
@@ -925,7 +1099,7 @@ mod tests {
             10.0,
             tiny(ModelKind::Mld).iterations,
         ));
-        let out = inst.admit(&mut queue, &ctx);
+        let out = inst.admit(&mut queue, &ctx, &mut []);
         assert!(out.parked.is_empty());
         assert!(out.admitted.is_empty());
         assert_eq!(inst.active_model, Some(ModelKind::StableDiffusion));
@@ -934,18 +1108,18 @@ mod tests {
     #[test]
     fn same_model_swap_evicts_the_worst_deadline() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::PreemptiveEdf, 2, &mut cost);
+        let ctx = ctx_for(Arc::new(PreemptiveEdf), 2, &mut cost);
         let mut inst = instance();
         let steps = tiny(ModelKind::Mld).iterations;
         let mut queue = vec![
             Request::new(0, ModelKind::Mld, 0.0, 500.0, steps),
             Request::new(1, ModelKind::Mld, 0.0, 900.0, steps),
         ];
-        inst.admit(&mut queue, &ctx);
+        inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
         // A tighter-deadline request displaces id 1 (deadline 900).
         queue.push(Request::new(2, ModelKind::Mld, 0.0, 50.0, steps));
-        let out = inst.admit(&mut queue, &ctx);
+        let out = inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(out.parked.len(), 1);
         assert_eq!(out.parked[0].0, 1);
         let ids: Vec<u64> = inst.running.iter().map(|r| r.id).collect();
@@ -955,7 +1129,7 @@ mod tests {
     #[test]
     fn resumed_requests_finish_with_all_steps() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &mut cost);
+        let ctx = ctx_for(Arc::new(PreemptiveEdf), 8, &mut cost);
         let mut inst = instance();
         let sd_steps = tiny(ModelKind::StableDiffusion).iterations;
         let mut queue = vec![Request::new(
@@ -965,7 +1139,7 @@ mod tests {
             1e6,
             sd_steps,
         )];
-        inst.admit(&mut queue, &ctx);
+        inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
         queue.push(Request::new(
             1,
@@ -974,12 +1148,12 @@ mod tests {
             10.0,
             tiny(ModelKind::Mld).iterations,
         ));
-        inst.admit(&mut queue, &ctx); // parks SD, runs MLD
+        inst.admit(&mut queue, &ctx, &mut []); // parks SD, runs MLD
         let mut done = Vec::new();
         let mut guard = 0;
         while done.len() < 2 {
             if inst.is_idle() {
-                inst.admit(&mut queue, &ctx);
+                inst.admit(&mut queue, &ctx, &mut []);
             }
             done.extend(inst.execute_iteration(&mut cost, &ctx));
             guard += 1;
@@ -997,7 +1171,7 @@ mod tests {
     fn resume_affinity_prefers_the_parking_instance() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
         // Batch bound 1: only the best-ranked candidate wins the slot.
-        let ctx = ctx_for(Policy::Fcfs, 1, &mut cost);
+        let ctx = ctx_for(Arc::new(Fcfs), 1, &mut cost);
         let mut inst = instance(); // id 0
         let steps = tiny(ModelKind::Mld).iterations;
         // Two parked requests, identical arrivals: FCFS would tie-break by
@@ -1010,7 +1184,7 @@ mod tests {
         local.steps_done = 1;
         local.parked_on = Some(0);
         let mut queue = vec![foreign, local];
-        let out = inst.admit(&mut queue, &ctx);
+        let out = inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(out.admitted.len(), 1);
         assert_eq!(out.admitted[0].0, 1, "locally parked request must win");
         assert_eq!(queue[0].id, 0);
@@ -1018,15 +1192,17 @@ mod tests {
         assert_eq!(inst.running[0].parked_on, None);
         // A fresh (never-parked) request carries no penalty anywhere.
         let fresh = Request::new(2, ModelKind::Mld, 0.0, 1e9, steps);
-        assert_eq!(ctx.migration_penalty_ms(&fresh, 5), 0.0);
-        assert!(ctx.migration_penalty_ms(&queue[0], 0) > 0.0);
-        assert_eq!(ctx.migration_penalty_ms(&queue[0], 1), 0.0);
+        assert_eq!(ctx.migration_penalty_ms(&fresh, 5, 1), 0.0);
+        assert!(ctx.migration_penalty_ms(&queue[0], 0, 1) > 0.0);
+        assert_eq!(ctx.migration_penalty_ms(&queue[0], 1, 1), 0.0);
+        // A unit spanning ids 0..2 contains the latent's home: no penalty.
+        assert_eq!(ctx.migration_penalty_ms(&queue[0], 0, 2), 0.0);
     }
 
     #[test]
     fn doomed_requests_do_not_trigger_preemption() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::PreemptiveEdf, 8, &mut cost);
+        let ctx = ctx_for(Arc::new(PreemptiveEdf), 8, &mut cost);
         let mut inst = instance();
         // A relaxed-deadline SD batch is running...
         let mut queue = vec![Request::new(
@@ -1036,7 +1212,7 @@ mod tests {
             1e6,
             tiny(ModelKind::StableDiffusion).iterations,
         )];
-        inst.admit(&mut queue, &ctx);
+        inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
         // ...when an MLD request arrives whose deadline has already passed:
         // its EDF key beats every running member, but parking the batch for
@@ -1049,7 +1225,7 @@ mod tests {
             tiny(ModelKind::Mld).iterations,
         ));
         assert!(!ctx.deadline_feasible(&queue[0], inst.now_ms));
-        let out = inst.admit(&mut queue, &ctx);
+        let out = inst.admit(&mut queue, &ctx, &mut []);
         assert!(out.parked.is_empty(), "thrash guard must block the park");
         assert_eq!(inst.active_model, Some(ModelKind::StableDiffusion));
         assert_eq!(inst.stats(1.0).preemptions, 0);
@@ -1058,7 +1234,7 @@ mod tests {
     #[test]
     fn idle_seeding_prefers_the_resident_tenant() {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
-        let ctx = ctx_for(Policy::Fcfs, 8, &mut cost);
+        let ctx = ctx_for(Arc::new(Fcfs), 8, &mut cost);
         let mut inst = instance();
         // Run an MDM generation to make its shards resident.
         let mut queue = vec![Request::new(
@@ -1068,7 +1244,7 @@ mod tests {
             1e9,
             tiny(ModelKind::Mdm).iterations,
         )];
-        inst.admit(&mut queue, &ctx);
+        inst.admit(&mut queue, &ctx, &mut []);
         while !inst.is_idle() {
             inst.execute_iteration(&mut cost, &ctx);
         }
@@ -1091,7 +1267,78 @@ mod tests {
             1e9,
             tiny(ModelKind::Mdm).iterations,
         ));
-        inst.admit(&mut queue, &ctx);
+        inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(inst.active_model, Some(ModelKind::Mdm));
+    }
+
+    #[test]
+    fn parked_latents_spread_across_unit_members() {
+        // Sharded latent parking: consecutive parks land on distinct unit
+        // members (whoever is least GSC-pressured), not all on the leader.
+        // The first park ties toward the leader (the outgoing weights were
+        // just unpinned, so both members look equally free); from then on
+        // the leader's resident latent tips the choice to the peer.
+        let hw = HwConfig::exion4();
+        let mut cost = CostModel::new(hw, SimAblation::All);
+        let ctx = ctx_for(Arc::new(PreemptiveEdf), 8, &mut cost);
+        let mut leader = Instance::new(0, &hw, EvictionPolicy::Lru);
+        leader.set_unit(0, 2);
+        let mut peer = Instance::new(1, &hw, EvictionPolicy::Lru);
+        peer.set_unit(0, 2);
+        let mut peers = vec![peer];
+        // Round 1: a relaxed SD batch runs, an urgent MLD preempts it.
+        let mut queue = vec![Request::new(
+            0,
+            ModelKind::StableDiffusion,
+            0.0,
+            1e6,
+            tiny(ModelKind::StableDiffusion).iterations,
+        )];
+        leader.admit(&mut queue, &ctx, &mut peers);
+        leader.execute_iteration(&mut cost, &ctx);
+        let now = leader.now_ms;
+        queue.push(Request::new(
+            1,
+            ModelKind::Mld,
+            now,
+            500.0,
+            tiny(ModelKind::Mld).iterations,
+        ));
+        leader.admit(&mut queue, &ctx, &mut peers);
+        leader.execute_iteration(&mut cost, &ctx);
+        let sd = queue.iter().find(|r| r.id == 0).expect("SD parked");
+        assert_eq!(sd.parked_on, Some(0), "first park ties toward the leader");
+        // Round 2: a tighter-deadline MDM preempts the MLD batch; the
+        // leader now hosts the SD latent, so the MLD latent spreads to the
+        // peer — and the affinity hint follows it.
+        let now = leader.now_ms;
+        queue.push(Request::new(
+            2,
+            ModelKind::Mdm,
+            now,
+            50.0,
+            tiny(ModelKind::Mdm).iterations,
+        ));
+        let out = leader.admit(&mut queue, &ctx, &mut peers);
+        assert_eq!(out.parked.len(), 1, "MLD batch must be parked");
+        let mld = queue.iter().find(|r| r.id == 1).expect("MLD parked");
+        assert_eq!(
+            mld.parked_on,
+            Some(1),
+            "second park must land on the least-pressured member"
+        );
+        // Intra-unit parking carries no migration penalty for the unit...
+        assert_eq!(ctx.migration_penalty_ms(mld, 0, 2), 0.0);
+        // ...but a foreign unit pays the DRAM read.
+        assert!(ctx.migration_penalty_ms(mld, 5, 1) > 0.0);
+        // Resuming on the leader pulls the latent back from the peer.
+        let mut resumed = *mld;
+        leader.resume(&mut resumed, &ctx, &mut peers);
+        assert_eq!(resumed.parked_on, None);
+        assert_eq!(
+            peers[0].gsc.resident_bytes(GscObject::Latent(resumed.id)),
+            0,
+            "peer copy consumed by the resume"
+        );
     }
 }

@@ -192,6 +192,20 @@ impl GscCache {
         self.capacity.saturating_sub(pinned)
     }
 
+    /// Capacity not already committed to pinned entries or parked latents:
+    /// the headroom a *new* parked latent could claim by displacing only
+    /// clean (re-streamable) weight shards. The sharded-latent-parking
+    /// layer ranks gang members by this to pick the least-pressured host.
+    pub fn park_headroom_bytes(&self) -> u64 {
+        let committed: u64 = self
+            .entries
+            .iter()
+            .filter(|(k, e)| e.pinned || k.is_latent())
+            .map(|(_, e)| e.bytes)
+            .sum();
+        self.capacity.saturating_sub(committed)
+    }
+
     /// Resident fraction of `obj` (0.0 when absent, 1.0 when fully held).
     pub fn resident_fraction(&self, obj: GscObject) -> f64 {
         self.entries
@@ -492,6 +506,19 @@ mod tests {
         assert_eq!(out.resident_bytes, 4 * MIB); // truncated by the pin
         assert_eq!(gsc.resident_fraction(active), 1.0);
         assert!(gsc.occupancy_bytes() <= gsc.capacity_bytes());
+    }
+
+    #[test]
+    fn park_headroom_excludes_pins_and_latents() {
+        let mut gsc = GscCache::new(10 * MIB, EvictionPolicy::Lru);
+        assert_eq!(gsc.park_headroom_bytes(), 10 * MIB);
+        gsc.request(GscObject::Weights(ModelKind::Mld), 3 * MIB, 1.0, true);
+        gsc.request(GscObject::Weights(ModelKind::Mdm), 2 * MIB, 1.0, false);
+        gsc.request(GscObject::Latent(1), MIB, 0.1, false);
+        // Unpinned weights are displaceable, pins and latents are not.
+        assert_eq!(gsc.park_headroom_bytes(), 6 * MIB);
+        gsc.set_pinned(GscObject::Weights(ModelKind::Mld), false);
+        assert_eq!(gsc.park_headroom_bytes(), 9 * MIB);
     }
 
     #[test]

@@ -1,22 +1,27 @@
-//! Scheduler and residency invariants of the serving simulator:
-//! conservation (every admitted request completes exactly once; preempt/
-//! resume never loses or duplicates a DDIM step), monotonicity (mean
-//! latency is non-decreasing in offered load), determinism (identical seeds
-//! give identical traces and reports), GSC capacity safety (occupancy never
-//! exceeds capacity under any op sequence), and the preemption win (the
-//! urgent tenant class's p95 under preemptive EDF beats non-preemptive EDF
-//! and FCFS on the seeded bursty trace).
+//! Scheduler, residency, and control-plane invariants of the serving
+//! simulator: conservation (every admitted request completes exactly once;
+//! preempt/resume never loses or duplicates a DDIM step; under shedding,
+//! served + shed + in-flight == arrivals), monotonicity (mean latency is
+//! non-decreasing in offered load), determinism (identical seeds give
+//! identical traces and reports), GSC capacity safety (occupancy never
+//! exceeds capacity under any op sequence), the preemption win (the urgent
+//! tenant class's p95 under preemptive EDF beats non-preemptive EDF and
+//! FCFS on the seeded bursty trace), degrade-budget safety (a degraded
+//! request's step budget stays deadline-feasible and above the quality
+//! floor), and the trait-based control plane's exact parity with the
+//! pre-refactor enum scheduler on a fixed seed.
 
 use std::collections::HashSet;
 
 use exion::model::config::{ModelConfig, ModelKind};
 use exion::serve::{
-    Placement, Policy, ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+    policy, Placement, ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern,
+    WorkloadMix,
 };
 use exion::sim::config::HwConfig;
 use exion::sim::partition::{Interconnect, PartitionPlan, PartitionStrategy};
 use exion::sim::residency::{model_weight_bytes, EvictionPolicy, GscCache, GscObject};
-use exion_bench::experiments::serve_sweep::bursty_trace;
+use exion_bench::experiments::serve_sweep::{bursty_trace, bursty_trace_over};
 use proptest::prelude::*;
 
 fn motion_trace(rate_rps: f64, seed: u64) -> TraceConfig {
@@ -30,12 +35,13 @@ fn motion_trace(rate_rps: f64, seed: u64) -> TraceConfig {
 
 #[test]
 fn conservation_every_request_completes_exactly_once() {
-    for policy in Policy::ALL {
+    for policy in policy::builtin_policies() {
         for instances in [1, 3] {
             let mut sim = ServeSimulator::new(
-                ServeConfig::new(HwConfig::exion4())
-                    .with_policy(policy)
-                    .with_instances(instances),
+                ServeConfig::builder(HwConfig::exion4())
+                    .policy_arc(policy.clone())
+                    .instances(instances)
+                    .build(),
             );
             let capacity = sim.capacity_estimate_rps(&WorkloadMix::text_to_motion());
             let report = sim.run(&motion_trace(0.8 * capacity, 11));
@@ -78,10 +84,12 @@ fn mean_latency_monotone_in_arrival_rate() {
 
 #[test]
 fn identical_seeds_identical_reports() {
-    let config = ServeConfig::new(HwConfig::exion24()).with_policy(Policy::Edf);
+    let config = ServeConfig::builder(HwConfig::exion24())
+        .policy_name("edf")
+        .build();
     let trace = motion_trace(40.0, 123);
-    let a = ServeSimulator::new(config).run(&trace);
-    let b = ServeSimulator::new(config).run(&trace);
+    let a = ServeSimulator::new(config.clone()).run(&trace);
+    let b = ServeSimulator::new(config.clone()).run(&trace);
     assert_eq!(a, b, "same seed and config must reproduce bit-identically");
 
     let c = ServeSimulator::new(config).run(&motion_trace(40.0, 124));
@@ -89,12 +97,37 @@ fn identical_seeds_identical_reports() {
 }
 
 #[test]
+fn registry_and_struct_configs_are_equivalent() {
+    // The serde-able name path and the concrete-type path must configure
+    // the identical control plane.
+    let trace = motion_trace(45.0, 321);
+    let by_name = ServeSimulator::new(
+        ServeConfig::builder(HwConfig::exion4())
+            .policy_name("preemptive-edf")
+            .admission_name("deadline")
+            .build(),
+    )
+    .run(&trace);
+    let by_struct = ServeSimulator::new(
+        ServeConfig::builder(HwConfig::exion4())
+            .policy(exion::serve::PreemptiveEdf)
+            .admission(exion::serve::DeadlineFeasibility::default())
+            .build(),
+    )
+    .run(&trace);
+    assert_eq!(by_name, by_struct);
+}
+
+#[test]
 fn sparsity_aware_preserves_sparse_iterations() {
     // Single-tenant image traffic at steady load: the sparsity-aware gate
     // must never run fewer sparse-phase iterations than free admission.
-    let run_with = |policy: Policy| {
-        let mut sim =
-            ServeSimulator::new(ServeConfig::new(HwConfig::exion24()).with_policy(policy));
+    let run_with = |policy: &str| {
+        let mut sim = ServeSimulator::new(
+            ServeConfig::builder(HwConfig::exion24())
+                .policy_name(policy)
+                .build(),
+        );
         let capacity = sim.capacity_estimate_rps(&WorkloadMix::text_to_image());
         sim.run(&TraceConfig {
             pattern: TrafficPattern::Poisson {
@@ -105,8 +138,8 @@ fn sparsity_aware_preserves_sparse_iterations() {
             mix: WorkloadMix::text_to_image(),
         })
     };
-    let fcfs = run_with(Policy::Fcfs);
-    let aligned = run_with(Policy::SparsityAware);
+    let fcfs = run_with("fcfs");
+    let aligned = run_with("sparsity-aware");
     assert!(
         aligned.sparse_iteration_frac >= fcfs.sparse_iteration_frac,
         "aligned {} vs fcfs {}",
@@ -117,15 +150,19 @@ fn sparsity_aware_preserves_sparse_iterations() {
 
 /// Runs the seeded bursty-MMPP multi-tenant trace (the acceptance trace of
 /// the preemption work) under `policy` on EXION24 at 85% load.
-fn bursty_run(policy: Policy) -> exion::serve::ServeReport {
-    let mut sim = ServeSimulator::new(ServeConfig::new(HwConfig::exion24()).with_policy(policy));
+fn bursty_run(policy: &str) -> exion::serve::ServeReport {
+    let mut sim = ServeSimulator::new(
+        ServeConfig::builder(HwConfig::exion24())
+            .policy_name(policy)
+            .build(),
+    );
     let capacity = sim.capacity_estimate_rps(&WorkloadMix::multi_tenant());
     sim.run(&bursty_trace(capacity, 0.85, 2_000.0))
 }
 
 #[test]
 fn preemption_conserves_ddim_steps() {
-    let report = bursty_run(Policy::PreemptiveEdf);
+    let report = bursty_run("preemptive-edf");
     assert_eq!(report.completed, report.arrivals, "dropped or duplicated");
     assert!(report.preemptions > 0, "the bursty trace must preempt");
     // Every executed batch row is one DDIM step of one request; park/resume
@@ -144,9 +181,9 @@ fn preemption_conserves_ddim_steps() {
 
 #[test]
 fn preemptive_edf_protects_the_urgent_class() {
-    let fcfs = bursty_run(Policy::Fcfs);
-    let edf = bursty_run(Policy::Edf);
-    let preemptive = bursty_run(Policy::PreemptiveEdf);
+    let fcfs = bursty_run("fcfs");
+    let edf = bursty_run("edf");
+    let preemptive = bursty_run("preemptive-edf");
     assert!(preemptive.preemptions > 0);
     assert_eq!(edf.preemptions, 0, "non-preemptive EDF must not park");
     // The urgent (3x-SLO) tenants' p95 must strictly improve over
@@ -176,10 +213,11 @@ fn eviction_policies_preserve_conservation() {
     // Two instances: parked requests may migrate across GSCs on resume.
     for eviction in [EvictionPolicy::Lru, EvictionPolicy::CostAware] {
         let mut sim = ServeSimulator::new(
-            ServeConfig::new(HwConfig::exion4())
-                .with_policy(Policy::PreemptiveEdf)
-                .with_eviction(eviction)
-                .with_instances(2),
+            ServeConfig::builder(HwConfig::exion4())
+                .policy_name("preemptive-edf")
+                .eviction(eviction)
+                .instances(2)
+                .build(),
         );
         let capacity = sim.capacity_estimate_rps(&WorkloadMix::multi_tenant());
         let report = sim.run(&bursty_trace(capacity, 1.7, 1_200.0));
@@ -272,9 +310,10 @@ fn size_skew_mix_separates_cost_aware_eviction_from_lru() {
     // this mix exists to separate them.)
     let run_with = |eviction: EvictionPolicy| {
         let mut sim = ServeSimulator::new(
-            ServeConfig::new(HwConfig::exion4())
-                .with_policy(Policy::PreemptiveEdf)
-                .with_eviction(eviction),
+            ServeConfig::builder(HwConfig::exion4())
+                .policy_name("preemptive-edf")
+                .eviction(eviction)
+                .build(),
         );
         let capacity = sim.capacity_estimate_rps(&WorkloadMix::size_skew());
         sim.run(&TraceConfig {
@@ -339,7 +378,9 @@ proptest! {
 /// Runs the text-to-video trace on a sharded placement.
 fn sharded_run(strategy: PartitionStrategy, rate_rps: f64, seed: u64) -> exion::serve::ServeReport {
     let mut sim = ServeSimulator::new(
-        ServeConfig::new(HwConfig::exion4()).with_placement(Placement::sharded(1, strategy)),
+        ServeConfig::builder(HwConfig::exion4())
+            .placement(Placement::sharded(1, strategy))
+            .build(),
     );
     sim.run(&TraceConfig {
         pattern: TrafficPattern::Poisson { rate_rps },
@@ -418,8 +459,11 @@ fn gangs_serve_a_working_set_exceeding_model_with_per_shard_residency() {
 #[test]
 fn more_instances_cut_tail_latency_at_fixed_load() {
     let report_for = |instances: usize| {
-        let mut sim =
-            ServeSimulator::new(ServeConfig::new(HwConfig::exion4()).with_instances(instances));
+        let mut sim = ServeSimulator::new(
+            ServeConfig::builder(HwConfig::exion4())
+                .instances(instances)
+                .build(),
+        );
         // Load that saturates one instance but not three.
         let one_cap = {
             let mut probe = ServeSimulator::new(ServeConfig::new(HwConfig::exion4()));
@@ -436,4 +480,173 @@ fn more_instances_cut_tail_latency_at_fixed_load() {
         single.latency.p99
     );
     assert!(triple.throughput_rps >= single.throughput_rps);
+}
+
+/// Order-insensitive-free FNV-style fold over the report's completion
+/// stream (ids ascending) — the parity currency of the control-plane
+/// refactor. Must match the capture harness that recorded the pre-refactor
+/// fingerprints bit for bit.
+fn fingerprint(report: &ServeReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(report.arrivals as u64);
+    for c in &report.completions {
+        mix(c.id);
+        mix(c.finished_ms.to_bits());
+        mix(c.admitted_ms.to_bits());
+        mix(c.instance as u64);
+        mix(c.preemptions as u64);
+    }
+    h
+}
+
+#[test]
+fn trait_policies_reproduce_the_pre_refactor_enum_runs() {
+    // The fingerprints below were captured on this trace with the closed
+    // `Policy` enum scheduler immediately before the trait-based control
+    // plane replaced it (same toolchain, same seed). The trait-based FCFS
+    // and EDF must reproduce those runs bit for bit: identical completion
+    // ids, clocks (f64 bit patterns), instance assignments, and preemption
+    // counts.
+    let trace = TraceConfig {
+        pattern: TrafficPattern::Bursty {
+            rate_rps: 1.0,
+            burst_multiplier: 4.0,
+            mean_dwell_ms: 400.0,
+        }
+        .with_mean_rps(60.0),
+        horizon_ms: 1_500.0,
+        seed: 0xEA51,
+        mix: WorkloadMix::multi_tenant(),
+    };
+    for (policy, expected) in [
+        ("fcfs", 0xecc9_1e60_64ac_e07f_u64),
+        ("edf", 0xfe6d_71da_5c2d_5525_u64),
+    ] {
+        let mut sim = ServeSimulator::new(
+            ServeConfig::builder(HwConfig::exion24())
+                .policy_name(policy)
+                .build(),
+        );
+        let report = sim.run(&trace);
+        assert_eq!(report.arrivals, 114, "{policy}: trace changed");
+        assert_eq!(report.completed, 114, "{policy}: conservation changed");
+        assert_eq!(
+            fingerprint(&report),
+            expected,
+            "{policy}: trait-based run diverged from the pre-refactor enum run"
+        );
+    }
+}
+
+/// Runs the bursty motion trace under deadline-feasibility admission.
+fn deadline_run(load_frac: f64, horizon_ms: f64, seed_shift: u64) -> ServeReport {
+    let mix = WorkloadMix::text_to_motion();
+    let capacity =
+        ServeSimulator::new(ServeConfig::new(HwConfig::exion4())).capacity_estimate_rps(&mix);
+    let mut trace = bursty_trace_over(capacity, load_frac, horizon_ms, mix);
+    trace.seed ^= seed_shift;
+    ServeSimulator::new(
+        ServeConfig::builder(HwConfig::exion4())
+            .policy_name("edf")
+            .admission_name("deadline")
+            .build(),
+    )
+    .run(&trace)
+}
+
+#[test]
+fn shedding_conserves_requests_and_degrades_within_budget() {
+    let report = deadline_run(1.5, 2_000.0, 0);
+    assert!(report.arrivals > 0);
+    assert!(report.shed_requests > 0, "1.5x load must shed");
+    assert!(report.degraded_requests > 0, "1.5x load must degrade");
+    // Conservation under shedding: the cluster drains, so in-flight is
+    // zero and served + shed == arrivals, with disjoint id sets.
+    assert_eq!(report.completed + report.shed_requests, report.arrivals);
+    let completed: HashSet<u64> = report.completions.iter().map(|c| c.id).collect();
+    let shed: HashSet<u64> = report.sheds.iter().map(|s| s.id).collect();
+    assert_eq!(completed.len(), report.completed);
+    assert_eq!(shed.len(), report.shed_requests);
+    assert!(
+        completed.is_disjoint(&shed),
+        "a shed request cannot complete"
+    );
+    // Executed rows match the (possibly degraded) step budgets exactly.
+    let demanded: u64 = report.completions.iter().map(|c| c.steps as u64).sum();
+    let executed: u64 = report.per_instance.iter().map(|s| s.rows_executed).sum();
+    assert_eq!(demanded, executed, "DDIM steps not conserved under degrade");
+    // Per-class shed accounting adds up.
+    let class_sheds: usize = WorkloadMix::text_to_motion()
+        .kinds()
+        .iter()
+        .map(|&k| report.sheds.iter().filter(|s| s.model == k).count())
+        .sum();
+    assert_eq!(class_sheds, report.shed_requests);
+    for &kind in &WorkloadMix::text_to_motion().kinds() {
+        let rate = report.class_shed_rate(kind);
+        assert!((0.0..=1.0).contains(&rate), "{}: {rate}", kind.name());
+    }
+    // Degrade-budget safety: every degraded completion ran fewer steps
+    // than the full schedule, at least the 50% quality floor, and its
+    // budget was deadline-feasible at the full-batch service rate when it
+    // was admitted (wait >= 0, so steps * step_ms <= SLO slack).
+    let mut cost =
+        exion::serve::CostModel::new(HwConfig::exion4(), exion::sim::perf::SimAblation::All);
+    let degraded: Vec<_> = report.completions.iter().filter(|c| c.degraded).collect();
+    assert!(!degraded.is_empty());
+    for c in &degraded {
+        let config = ModelConfig::for_kind(c.model);
+        let full = config.iterations;
+        let floor = (0.5 * full as f64).ceil() as usize;
+        assert!(c.steps < full, "degraded must run fewer than {full} steps");
+        assert!(c.steps >= floor, "degraded below the quality floor");
+        let step_ms = cost.generation_latency_ms(&config, 8) / full.max(1) as f64;
+        assert!(
+            c.steps as f64 * step_ms <= c.slo_ms + 1e-9,
+            "budget {} x {step_ms} ms must fit the {} ms SLO",
+            c.steps,
+            c.slo_ms
+        );
+    }
+    // Full-schedule completions are never marked degraded.
+    for c in report.completions.iter().filter(|c| !c.degraded) {
+        assert_eq!(c.steps, ModelConfig::for_kind(c.model).iterations);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Request conservation under shedding holds for any seed and load:
+    /// served + shed + in-flight == arrivals (in-flight is zero once the
+    /// cluster drains), and every degraded completion stays inside the
+    /// legal budget band.
+    #[test]
+    fn shedding_conservation_holds_across_seeds(
+        seed_shift in 0u64..1_000,
+        load_pct in 40u64..170,
+    ) {
+        let report = deadline_run(load_pct as f64 / 100.0, 600.0, seed_shift);
+        prop_assert_eq!(
+            report.completed + report.shed_requests,
+            report.arrivals,
+            "served + shed must equal arrivals"
+        );
+        let demanded: u64 = report.completions.iter().map(|c| c.steps as u64).sum();
+        let executed: u64 = report.per_instance.iter().map(|s| s.rows_executed).sum();
+        prop_assert_eq!(demanded, executed);
+        for c in &report.completions {
+            let full = ModelConfig::for_kind(c.model).iterations;
+            if c.degraded {
+                let floor = (0.5 * full as f64).ceil() as usize;
+                prop_assert!(c.steps >= floor && c.steps < full, "budget band");
+            } else {
+                prop_assert_eq!(c.steps, full);
+            }
+        }
+    }
 }
