@@ -27,12 +27,93 @@ use exion_sim::residency::EvictionPolicy;
 
 use crate::admission::{self, AdmissionController, AdmissionDecision, AdmissionView, AdmitAll};
 use crate::cost::CostModel;
-use crate::metrics::{queue_depth_stats, LatencyStats, ServeReport};
+use crate::metrics::{
+    queue_depth_stats, EpochStat, LatencyStats, PlannerReport, ReplanEvent, ServeReport,
+};
 use crate::placement::{Gang, Placement};
+use crate::planner::PlacementPlanner;
 use crate::policy::{self, Fcfs, SchedulerPolicy};
 use crate::request::{Completion, Request, ShedRecord};
 use crate::scheduler::SchedContext;
 use crate::trace::{generate, TraceConfig};
+
+/// The widest gang one placement may declare: partition shard indices are
+/// `u8`, and nothing on a board approaches this.
+const MAX_GANG_DEGREE: usize = 64;
+
+/// Auto-placement: the planner that chooses (and online re-chooses) the
+/// cluster's placement, plus the offered-load forecast the initial offline
+/// plan is built against. Installed with
+/// [`ServeConfigBuilder::auto_placement`]; when present, the static
+/// [`ServeConfig::placement`] is ignored.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AutoPlacement {
+    /// The optimizer and its re-planning knobs.
+    pub planner: PlacementPlanner,
+    /// The offered-load forecast (requests/s) the initial plan targets.
+    pub forecast_rps: f64,
+}
+
+/// Why a [`ServeConfigBuilder`] refused to produce a configuration —
+/// returned by [`ServeConfigBuilder::try_build`] so placement mistakes
+/// surface as descriptive errors at build time instead of panics deep in
+/// the cluster loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The placement declares no scheduling unit at all.
+    EmptyPlacement,
+    /// Gangs were declared under a single-member strategy (a world-size-1
+    /// "gang" is a replica; the partition plan would have nothing to cut).
+    DegenerateGangStrategy {
+        /// The offending strategy label.
+        strategy: String,
+    },
+    /// A gang's world size exceeds what instance indexing supports.
+    OversizedGang {
+        /// The declared gang degree.
+        degree: usize,
+        /// The maximum supported degree.
+        max: usize,
+    },
+    /// The gang interconnect cannot move bytes.
+    InvalidInterconnect {
+        /// The declared link bandwidth (GB/s).
+        link_gbps: f64,
+    },
+    /// The auto-placement planner's knobs are unusable.
+    InvalidPlanner {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyPlacement => {
+                write!(f, "placement declares zero replicas and zero gangs")
+            }
+            ConfigError::DegenerateGangStrategy { strategy } => write!(
+                f,
+                "placement declares gangs under single-member strategy {strategy:?}; \
+                 use replicas (or a TP/PP strategy with degree >= 2)"
+            ),
+            ConfigError::OversizedGang { degree, max } => write!(
+                f,
+                "gang degree {degree} exceeds the supported maximum of {max} members"
+            ),
+            ConfigError::InvalidInterconnect { link_gbps } => write!(
+                f,
+                "gang interconnect bandwidth must be positive, got {link_gbps} GB/s"
+            ),
+            ConfigError::InvalidPlanner { reason } => {
+                write!(f, "auto-placement planner misconfigured: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Serving-cluster configuration. Assemble with [`ServeConfig::builder`];
 /// [`ServeConfig::new`] is the all-defaults shorthand (one replica, batch
@@ -54,6 +135,10 @@ pub struct ServeConfig {
     pub admission: Arc<dyn AdmissionController>,
     /// GSC eviction policy of every instance's residency cache.
     pub eviction: EvictionPolicy,
+    /// Auto-placement: when set, the planner chooses the initial placement
+    /// for the traced mix and re-plans at epoch boundaries; the static
+    /// `placement` field is ignored.
+    pub auto_placement: Option<AutoPlacement>,
 }
 
 impl ServeConfig {
@@ -75,6 +160,7 @@ impl ServeConfig {
             policy: Arc::new(Fcfs),
             admission: Arc::new(AdmitAll),
             eviction: EvictionPolicy::Lru,
+            auto_placement: None,
         }
     }
 }
@@ -185,10 +271,147 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// The finished configuration.
-    pub fn build(self) -> ServeConfig {
-        self.inner
+    /// Installs auto-placement: `planner` chooses the initial placement
+    /// for the traced mix at `forecast_rps` offered load and re-plans at
+    /// epoch boundaries when realized load diverges past its hysteresis
+    /// threshold. The static placement is ignored while installed.
+    pub fn auto_placement(mut self, planner: PlacementPlanner, forecast_rps: f64) -> Self {
+        self.inner.auto_placement = Some(AutoPlacement {
+            planner,
+            forecast_rps,
+        });
+        self
     }
+
+    /// The finished, validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first invalid setting —
+    /// an empty placement, gangs under a single-member strategy, a gang
+    /// wider than instance indexing supports, a zero-bandwidth
+    /// interconnect, or unusable planner knobs — instead of letting the
+    /// cluster loop panic mid-run.
+    pub fn try_build(mut self) -> Result<ServeConfig, ConfigError> {
+        let placement = self.inner.placement;
+        if placement.units() == 0 {
+            return Err(ConfigError::EmptyPlacement);
+        }
+        validate_gangs(&placement)?;
+        if let Some(ap) = &mut self.inner.auto_placement {
+            // The planner must price candidates at the deployment's real
+            // batch bound, whatever order the builder calls came in.
+            ap.planner.config.max_batch = self.inner.max_batch;
+            let cfg = &ap.planner.config;
+            if cfg.budget == 0 {
+                return Err(ConfigError::InvalidPlanner {
+                    reason: "instance budget is zero".to_string(),
+                });
+            }
+            if !cfg.epoch_ms.is_finite() || cfg.epoch_ms <= 0.0 {
+                return Err(ConfigError::InvalidPlanner {
+                    reason: format!("epoch_ms must be positive, got {}", cfg.epoch_ms),
+                });
+            }
+            if !cfg.hysteresis.is_finite() || cfg.hysteresis < 0.0 {
+                return Err(ConfigError::InvalidPlanner {
+                    reason: format!("hysteresis must be non-negative, got {}", cfg.hysteresis),
+                });
+            }
+            if !ap.forecast_rps.is_finite() || ap.forecast_rps <= 0.0 {
+                return Err(ConfigError::InvalidPlanner {
+                    reason: format!(
+                        "forecast must be a positive offered load, got {} rps",
+                        ap.forecast_rps
+                    ),
+                });
+            }
+            if cfg.interconnect.link_gbps <= 0.0 {
+                return Err(ConfigError::InvalidInterconnect {
+                    link_gbps: cfg.interconnect.link_gbps,
+                });
+            }
+            for &strategy in &cfg.strategies {
+                if strategy.degree() > MAX_GANG_DEGREE {
+                    return Err(ConfigError::OversizedGang {
+                        degree: strategy.degree(),
+                        max: MAX_GANG_DEGREE,
+                    });
+                }
+            }
+        }
+        Ok(self.inner)
+    }
+
+    /// The finished configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message when the configuration is
+    /// invalid; use [`Self::try_build`] to handle the error instead.
+    pub fn build(self) -> ServeConfig {
+        match self.try_build() {
+            Ok(config) => config,
+            Err(e) => panic!("invalid serving configuration: {e}"),
+        }
+    }
+}
+
+/// Validates the gang half of a placement: real multi-member strategies
+/// within indexing bounds, over an interconnect that can move bytes.
+fn validate_gangs(placement: &Placement) -> Result<(), ConfigError> {
+    if placement.gangs == 0 {
+        return Ok(());
+    }
+    let degree = placement.strategy.degree();
+    if degree < 2 {
+        return Err(ConfigError::DegenerateGangStrategy {
+            strategy: placement.strategy.label(),
+        });
+    }
+    if degree > MAX_GANG_DEGREE {
+        return Err(ConfigError::OversizedGang {
+            degree,
+            max: MAX_GANG_DEGREE,
+        });
+    }
+    if placement.interconnect.link_gbps <= 0.0 {
+        return Err(ConfigError::InvalidInterconnect {
+            link_gbps: placement.interconnect.link_gbps,
+        });
+    }
+    Ok(())
+}
+
+/// The online re-planner's running state: the planner, the forecast it is
+/// currently operating on, and the accounting it accumulates.
+#[derive(Debug, Clone)]
+struct PlannerState {
+    planner: PlacementPlanner,
+    forecast_rps: f64,
+    epoch_start_ms: f64,
+    report: PlannerReport,
+}
+
+/// Builds the scheduling units of `placement`, assigning member instance
+/// ids from `*next_id` on (monotone across migrations, so retired and new
+/// instances never collide).
+fn build_units(
+    placement: &Placement,
+    hw: &HwConfig,
+    eviction: EvictionPolicy,
+    next_id: &mut usize,
+) -> Vec<Gang> {
+    let mut units: Vec<Gang> = Vec::with_capacity(placement.units());
+    for _ in 0..placement.replicas {
+        units.push(Gang::replica(*next_id, hw, eviction));
+        *next_id += 1;
+    }
+    for _ in 0..placement.gangs {
+        units.push(Gang::sharded(*next_id, hw, eviction, placement.strategy));
+        *next_id += placement.strategy.degree();
+    }
+    units
 }
 
 /// Request-level serving simulator over a cluster of EXION instances.
@@ -197,7 +420,7 @@ pub struct ServeSimulator {
     config: ServeConfig,
     cost: CostModel,
     model_configs: HashMap<ModelKind, ModelConfig>,
-    partition_plans: HashMap<ModelKind, exion_sim::partition::PartitionPlan>,
+    partition_plans: HashMap<(ModelKind, PartitionStrategy), exion_sim::partition::PartitionPlan>,
 }
 
 impl ServeSimulator {
@@ -237,35 +460,47 @@ impl ServeSimulator {
             .or_insert_with(|| ModelConfig::for_kind(kind))
     }
 
-    /// The gang partition plan of `kind` under this cluster's strategy,
-    /// built once per simulator (pipeline plans walk per-stage op lists).
-    fn partition_plan(&mut self, kind: ModelKind) -> exion_sim::partition::PartitionPlan {
+    /// The gang partition plan of `kind` under `placement`'s strategy,
+    /// built once per (model, strategy) per simulator (pipeline plans walk
+    /// per-stage op lists; auto-placement can visit several strategies
+    /// over one run). A cached plan is only reused when its interconnect
+    /// matches the requesting placement's — a planner-chosen placement may
+    /// carry a different fabric than the static config that first priced
+    /// the strategy, and collectives must be priced on the right one.
+    fn partition_plan(
+        &mut self,
+        kind: ModelKind,
+        placement: &Placement,
+    ) -> exion_sim::partition::PartitionPlan {
+        let key = (kind, placement.strategy);
+        if let Some(plan) = self.partition_plans.get(&key) {
+            if plan.interconnect() == placement.interconnect {
+                return plan.clone();
+            }
+        }
         let config = self.model_config(kind);
-        let placement = self.config.placement;
-        let operand_bytes = self.config.hw.operand_bytes();
-        self.partition_plans
-            .entry(kind)
-            .or_insert_with(|| {
-                exion_sim::partition::PartitionPlan::new(
-                    &config,
-                    placement.strategy,
-                    placement.interconnect,
-                    operand_bytes,
-                )
-            })
-            .clone()
+        let plan = exion_sim::partition::PartitionPlan::new(
+            &config,
+            placement.strategy,
+            placement.interconnect,
+            self.config.hw.operand_bytes(),
+        );
+        self.partition_plans.insert(key, plan.clone());
+        plan
     }
 
-    /// Builds the scheduling context for the traced `kinds` under this
-    /// cluster's placement, reusing the simulator's memoized partition
-    /// plans.
-    fn sched_context(&mut self, kinds: &[ModelKind]) -> SchedContext {
+    /// Builds the scheduling context for the traced `kinds` under
+    /// `placement` (the static config's, or whatever the planner currently
+    /// has deployed), reusing the simulator's memoized partition plans.
+    fn sched_context(&mut self, kinds: &[ModelKind], placement: &Placement) -> SchedContext {
         let configs: HashMap<ModelKind, ModelConfig> =
             kinds.iter().map(|&k| (k, self.model_config(k))).collect();
-        let sharded = self.config.placement.gangs > 0
-            && self.config.placement.strategy != PartitionStrategy::Replicated;
+        let sharded = placement.gangs > 0 && placement.strategy != PartitionStrategy::Replicated;
         let plans: HashMap<ModelKind, exion_sim::partition::PartitionPlan> = if sharded {
-            kinds.iter().map(|&k| (k, self.partition_plan(k))).collect()
+            kinds
+                .iter()
+                .map(|&k| (k, self.partition_plan(k, placement)))
+                .collect()
         } else {
             HashMap::new()
         };
@@ -274,7 +509,7 @@ impl ServeSimulator {
             self.config.max_batch,
             kinds,
             &mut self.cost,
-            self.config.placement.interconnect,
+            placement.interconnect,
             |k| {
                 *configs
                     .get(&k)
@@ -305,7 +540,7 @@ impl ServeSimulator {
             let gen_ms = self.cost.generation_latency_ms(&config, batch);
             replica_spr += share / (batch as f64 / (gen_ms / 1000.0));
             if placement.gangs > 0 {
-                let plan = self.partition_plan(kind);
+                let plan = self.partition_plan(kind, &placement);
                 let gang_ms = self.cost.gang_generation_latency_ms(&config, &plan, batch);
                 gang_spr += share / (batch as f64 / (gang_ms / 1000.0));
             }
@@ -347,26 +582,47 @@ impl ServeSimulator {
             ));
         }
 
-        let placement = self.config.placement;
-        let mut units: Vec<Gang> = Vec::with_capacity(placement.units());
+        // Auto-placement: the offline pass picks the initial placement for
+        // the traced mix at the configured forecast; statically placed
+        // clusters keep the config's placement.
+        let auto = self.config.auto_placement.clone();
+        let (mut placement, mut planner_state) = match &auto {
+            Some(ap) => {
+                let outcome =
+                    ap.planner
+                        .plan(&self.config.hw, &trace.mix, ap.forecast_rps, &mut self.cost);
+                let chosen = outcome.chosen.placement;
+                let state = PlannerState {
+                    planner: ap.planner.clone(),
+                    forecast_rps: ap.forecast_rps,
+                    epoch_start_ms: 0.0,
+                    report: PlannerReport {
+                        initial_placement: chosen.summary(),
+                        final_placement: chosen.summary(),
+                        initial_forecast_rps: ap.forecast_rps,
+                        replans: Vec::new(),
+                        epochs: Vec::new(),
+                    },
+                };
+                (chosen, Some(state))
+            }
+            None => (self.config.placement, None),
+        };
+
         let mut next_id = 0usize;
-        for _ in 0..placement.replicas {
-            units.push(Gang::replica(
-                next_id,
-                &self.config.hw,
-                self.config.eviction,
-            ));
-            next_id += 1;
-        }
-        for _ in 0..placement.gangs {
-            units.push(Gang::sharded(
-                next_id,
-                &self.config.hw,
-                self.config.eviction,
-                placement.strategy,
-            ));
-            next_id += placement.strategy.degree();
-        }
+        let mut units = build_units(
+            &placement,
+            &self.config.hw,
+            self.config.eviction,
+            &mut next_id,
+        );
+        // Per-unit lifetime accounting: utilization must be taken over the
+        // window a unit actually existed (birth to retirement/makespan),
+        // not the whole run — a migrated cluster would otherwise look
+        // half-idle. `units_birth_ms` parallels `units`; retired units
+        // carry their `(birth, death)` window with them.
+        let mut units_birth_ms: f64 = 0.0;
+        let mut retired: Vec<(Gang, f64, f64)> = Vec::new();
         let admission = self.config.admission.clone();
         let mut queue: Vec<Request> = Vec::new();
         let mut completions: Vec<Completion> = Vec::new();
@@ -376,8 +632,10 @@ impl ServeSimulator {
         let mut next_arrival = 0usize;
 
         // Per-model scheduling constants (periods, weight/latent footprints,
-        // refill costs, partition plans) are computed once per traced kind.
-        let ctx = self.sched_context(&trace.mix.kinds());
+        // refill costs, partition plans) are computed once per traced kind —
+        // and rebuilt whenever a re-plan changes the partition strategy.
+        let kinds = trace.mix.kinds();
+        let mut ctx = self.sched_context(&kinds, &placement);
 
         loop {
             // Step the unit with the smallest clock (ties by index).
@@ -391,6 +649,117 @@ impl ServeSimulator {
                 .expect("at least one unit");
             if units[i].now_ms().is_infinite() {
                 break; // every unit is drained
+            }
+
+            // Epoch boundaries (auto-placement only): once the *cluster-wide
+            // minimum* clock passes an epoch end inside the arrival horizon,
+            // record realized-vs-forecast load; past the hysteresis
+            // threshold, adopt the realized load, re-plan, and — when the
+            // chosen placement differs — execute a priced migration.
+            let mut migrated = false;
+            if let Some(state) = planner_state.as_mut() {
+                let now = units[i].now_ms();
+                loop {
+                    let epoch_ms = state.planner.config.epoch_ms;
+                    let epoch_end = state.epoch_start_ms + epoch_ms;
+                    if epoch_end > trace.horizon_ms || now < epoch_end {
+                        break;
+                    }
+                    let count = arrivals
+                        .iter()
+                        .filter(|a| a.at_ms >= state.epoch_start_ms && a.at_ms < epoch_end)
+                        .count();
+                    let realized = count as f64 / (epoch_ms / 1000.0);
+                    let error =
+                        (realized - state.forecast_rps).abs() / state.forecast_rps.max(1e-9);
+                    state.report.epochs.push(EpochStat {
+                        start_ms: state.epoch_start_ms,
+                        forecast_rps: state.forecast_rps,
+                        realized_rps: realized,
+                        error,
+                    });
+                    state.epoch_start_ms = epoch_end;
+                    // Hysteresis: small errors keep the placement and the
+                    // forecast; an empty epoch carries no load signal.
+                    if error <= state.planner.config.hysteresis || realized <= 0.0 {
+                        continue;
+                    }
+                    state.forecast_rps = realized;
+                    let outcome =
+                        state
+                            .planner
+                            .plan(&self.config.hw, &trace.mix, realized, &mut self.cost);
+                    let new_placement = outcome.chosen.placement;
+                    if new_placement == placement {
+                        continue;
+                    }
+                    // Executed re-plan. Drain: every in-flight request is
+                    // parked to DRAM (a priced latent write-back) and
+                    // re-enters the queue with its DDIM step count intact.
+                    // The new units take over once the slowest *draining*
+                    // unit finishes — idle units' clocks are excluded from
+                    // that hand-off point, because an idle clock may be an
+                    // artificial jump (to the next arrival, or to infinity
+                    // on a locally-drained tail) rather than real work, and
+                    // maxing it in would stall — or with an infinite jump,
+                    // strand — the drained requests.
+                    let mut drained = 0usize;
+                    let mut t_start = now;
+                    for unit in units.iter_mut() {
+                        let was_busy = !unit.is_idle();
+                        let stamps = unit.drain_for_migration(&mut queue, &ctx);
+                        drained += stamps.len();
+                        if was_busy {
+                            t_start = t_start.max(unit.now_ms());
+                        }
+                        for &(_, at_ms) in &stamps {
+                            depth_events.push((at_ms, 1));
+                        }
+                    }
+                    // Queued requests parked on a retiring member: the
+                    // latent is written back to DRAM (priced on the holder)
+                    // and the stale affinity hint cleared — no instance of
+                    // the new placement holds it.
+                    for r in queue.iter_mut() {
+                        if let Some(home) = r.parked_on.take() {
+                            for unit in units.iter_mut() {
+                                unit.discard_member_latent(home, r.id, &ctx);
+                            }
+                        }
+                    }
+                    // What the teardown walks away from: GSC-resident state
+                    // the new placement must re-stream as refill bytes.
+                    let migration_bytes: u64 = units.iter().map(Gang::resident_bytes).sum();
+                    debug_assert!(t_start.is_finite(), "migration hand-off must be finite");
+                    state.report.replans.push(ReplanEvent {
+                        at_ms: t_start,
+                        from: placement.summary(),
+                        to: new_placement.summary(),
+                        migration_bytes,
+                        drained_requests: drained,
+                    });
+                    state.report.final_placement = new_placement.summary();
+                    let birth = units_birth_ms;
+                    retired.extend(units.drain(..).map(|u| (u, birth, t_start)));
+                    placement = new_placement;
+                    units = build_units(
+                        &placement,
+                        &self.config.hw,
+                        self.config.eviction,
+                        &mut next_id,
+                    );
+                    units_birth_ms = t_start;
+                    for unit in units.iter_mut() {
+                        unit.jump_to(t_start);
+                    }
+                    migrated = true;
+                }
+            }
+            if migrated {
+                // The partition strategy may have changed: rebuild the
+                // scheduling constants, then re-pick the unit to step.
+                ctx = self.sched_context(&kinds, &placement);
+                continue;
             }
 
             // Release arrivals up to this unit's clock, consulting the
@@ -500,6 +869,11 @@ impl ServeSimulator {
         }
 
         completions.sort_by_key(|c| c.id);
+        // Retired pre-migration units carry real work: their accounting
+        // joins the final units' in the report, each over its own live
+        // window (birth to death; the final units live to the makespan).
+        let birth = units_birth_ms;
+        retired.extend(units.into_iter().map(|u| (u, birth, f64::INFINITY)));
         self.report(
             trace,
             &arrivals,
@@ -507,7 +881,9 @@ impl ServeSimulator {
             sheds,
             degraded_requests,
             &mut depth_events,
-            &units,
+            &retired,
+            &placement,
+            planner_state.map(|s| s.report),
         )
     }
 
@@ -520,7 +896,9 @@ impl ServeSimulator {
         sheds: Vec<ShedRecord>,
         degraded_requests: usize,
         depth_events: &mut [(f64, i64)],
-        units: &[Gang],
+        units: &[(Gang, f64, f64)],
+        placement: &Placement,
+        planner: Option<PlannerReport>,
     ) -> ServeReport {
         let makespan_ms = completions
             .iter()
@@ -533,10 +911,18 @@ impl ServeSimulator {
         let queue_delay =
             LatencyStats::from_unsorted(completions.iter().map(|c| c.queue_ms()).collect());
         let (mean_queue_depth, peak_queue_depth) = queue_depth_stats(depth_events, makespan_ms);
-        let per_gang: Vec<_> = units.iter().map(|u| u.stats(makespan_ms)).collect();
+        // Utilization is busy time over each unit's *live* window (birth to
+        // retirement, or the makespan for the final units) — a migrated
+        // cluster's retired and replacement units each existed for only
+        // part of the run.
+        let live_ms = |birth: f64, death: f64| (death.min(makespan_ms) - birth).max(0.0);
+        let per_gang: Vec<_> = units
+            .iter()
+            .map(|(u, birth, death)| u.stats(live_ms(*birth, *death)))
+            .collect();
         let per_instance: Vec<_> = units
             .iter()
-            .flat_map(|u| u.member_stats(makespan_ms))
+            .flat_map(|(u, birth, death)| u.member_stats(live_ms(*birth, *death)))
             .collect();
         let energy_mj: f64 = per_instance.iter().map(|s| s.energy_mj).sum();
         // Iterations, batch occupancy, and executed rows are gang-level
@@ -559,7 +945,7 @@ impl ServeSimulator {
             policy: self.config.policy.name().to_string(),
             admission: self.config.admission.name().to_string(),
             pattern: trace.pattern.name().to_string(),
-            instances: self.config.placement.total_instances(),
+            instances: placement.total_instances(),
             arrivals: arrivals.len(),
             completed: completions.len(),
             shed_requests: sheds.len(),
@@ -611,13 +997,127 @@ impl ServeSimulator {
                     1.0
                 }
             },
-            gangs: self.config.placement.gangs,
+            gangs: placement.gangs,
             collective_ms: per_gang.iter().map(|g| g.collective_ms).sum(),
             collective_bytes: per_gang.iter().map(|g| g.collective_bytes).sum(),
+            planner,
             per_gang,
             per_instance,
             completions,
             sheds,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlannerConfig;
+
+    #[test]
+    fn try_build_accepts_valid_placements() {
+        let hw = HwConfig::exion4();
+        for placement in [
+            Placement::replicated(3),
+            Placement::sharded(2, PartitionStrategy::Tensor { ways: 2 }),
+            Placement::mixed(1, 1, PartitionStrategy::Pipeline { stages: 4 }),
+        ] {
+            let config = ServeConfig::builder(hw)
+                .placement(placement)
+                .try_build()
+                .expect("valid placement");
+            assert_eq!(config.placement, placement);
+        }
+        let planned = ServeConfig::builder(hw)
+            .auto_placement(PlacementPlanner::new(PlannerConfig::new(2)), 3.0)
+            .max_batch(4)
+            .try_build()
+            .expect("valid planner");
+        // The planner prices candidates at the deployment's batch bound.
+        let ap = planned.auto_placement.expect("installed");
+        assert_eq!(ap.planner.config.max_batch, 4);
+    }
+
+    #[test]
+    fn try_build_rejects_bad_placements_descriptively() {
+        let hw = HwConfig::exion4();
+        // Zero units (only constructible by hand — the Placement
+        // constructors all refuse it).
+        let empty = Placement {
+            replicas: 0,
+            gangs: 0,
+            strategy: PartitionStrategy::Replicated,
+            interconnect: exion_sim::partition::Interconnect::default(),
+        };
+        assert!(matches!(
+            ServeConfig::builder(hw).placement(empty).try_build(),
+            Err(ConfigError::EmptyPlacement)
+        ));
+        // Gangs whose world size is 1: the gang-vs-partition world-size
+        // match that used to surface as a degenerate gang deep in the run.
+        let degenerate = ServeConfig::builder(hw)
+            .placement(Placement::sharded(1, PartitionStrategy::Replicated))
+            .try_build();
+        assert!(matches!(
+            degenerate,
+            Err(ConfigError::DegenerateGangStrategy { .. })
+        ));
+        // A 200-way gang exceeds instance indexing.
+        let oversized = ServeConfig::builder(hw)
+            .placement(Placement::sharded(
+                1,
+                PartitionStrategy::Tensor { ways: 200 },
+            ))
+            .try_build();
+        assert!(matches!(oversized, Err(ConfigError::OversizedGang { .. })));
+        // A link that cannot move bytes.
+        let mut dead_link = exion_sim::partition::Interconnect::default();
+        dead_link.link_gbps = 0.0;
+        let invalid = ServeConfig::builder(hw)
+            .placement(
+                Placement::sharded(1, PartitionStrategy::Tensor { ways: 2 })
+                    .with_interconnect(dead_link),
+            )
+            .try_build();
+        assert!(matches!(
+            invalid,
+            Err(ConfigError::InvalidInterconnect { .. })
+        ));
+        // Planner with an unusable forecast.
+        let bad_forecast = ServeConfig::builder(hw)
+            .auto_placement(PlacementPlanner::new(PlannerConfig::new(2)), 0.0)
+            .try_build();
+        assert!(matches!(
+            bad_forecast,
+            Err(ConfigError::InvalidPlanner { .. })
+        ));
+        // Every error renders a descriptive message.
+        for err in [
+            ConfigError::EmptyPlacement,
+            ConfigError::DegenerateGangStrategy {
+                strategy: "replicated".to_string(),
+            },
+            ConfigError::OversizedGang {
+                degree: 200,
+                max: MAX_GANG_DEGREE,
+            },
+            ConfigError::InvalidInterconnect { link_gbps: 0.0 },
+            ConfigError::InvalidPlanner {
+                reason: "x".to_string(),
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid serving configuration")]
+    fn build_panics_early_with_the_descriptive_error() {
+        let _ = ServeConfig::builder(HwConfig::exion4())
+            .placement(Placement::sharded(
+                1,
+                PartitionStrategy::Tensor { ways: 200 },
+            ))
+            .build();
     }
 }

@@ -229,25 +229,35 @@ impl CostModel {
         plan: &PartitionPlan,
         batch: u64,
     ) -> f64 {
-        let mut total = 0.0;
-        for step in 0..model.iterations {
-            let phase = if self.ablation.ffn_reuse() {
-                model.ffn_reuse.phase_of_step(step)
-            } else {
-                IterationPhase::Dense
-            };
-            total += self
-                .gang_iteration_warm(model, plan, batch, phase)
-                .latency_ms;
-        }
-        total
+        self.gang_generation_cost_at_residency(model, plan, batch, 1.0, 1)
+            .latency_ms
     }
 
     /// Warm full-generation latency of `model` at `batch` rows: the sum of
     /// per-iteration costs across the denoising schedule with weights
     /// GSC-resident throughout.
     pub fn generation_latency_ms(&mut self, model: &ModelConfig, batch: u64) -> f64 {
-        let mut total = 0.0;
+        self.generation_cost_at_residency(model, batch, 1.0)
+            .latency_ms
+    }
+
+    /// Full-generation cost (latency + energy summed over the denoising
+    /// schedule) of `model` at `batch` rows with `resident_frac` of the
+    /// weight working set GSC-resident every iteration — the steady-state
+    /// projection a placement planner prices a *replica* unit with (a
+    /// tenant bigger than the GSC never gets warmer than its partial
+    /// residency, so its real service time sits well above the warm one).
+    pub fn generation_cost_at_residency(
+        &mut self,
+        model: &ModelConfig,
+        batch: u64,
+        resident_frac: f64,
+    ) -> IterationCost {
+        let mut total = IterationCost {
+            latency_ms: 0.0,
+            energy_mj: 0.0,
+            dense_ops: 0.0,
+        };
         for step in 0..model.iterations {
             let phase = if self.ablation.ffn_reuse() {
                 model.ffn_reuse.phase_of_step(step)
@@ -255,9 +265,51 @@ impl CostModel {
                 IterationPhase::Dense
             };
             let cost = self
-                .iteration(model, batch, phase, 1.0)
+                .iteration(model, batch, phase, resident_frac)
                 .expect("positive batch and in-range steps cannot fail");
-            total += cost.latency_ms;
+            total.latency_ms += cost.latency_ms;
+            total.energy_mj += cost.energy_mj;
+            total.dense_ops += cost.dense_ops;
+        }
+        total
+    }
+
+    /// The sharded analogue of [`Self::generation_cost_at_residency`]: one
+    /// gang's full generation under `plan` with every member holding
+    /// `resident_frac` of its own shard, and the collective term priced
+    /// with `concurrent_gangs` gangs contending for the board fabric
+    /// ([`PartitionPlan::collective_ms_contended`]).
+    pub fn gang_generation_cost_at_residency(
+        &mut self,
+        model: &ModelConfig,
+        plan: &PartitionPlan,
+        batch: u64,
+        resident_frac: f64,
+        concurrent_gangs: usize,
+    ) -> IterationCost {
+        let contention_extra =
+            plan.collective_ms_contended(batch, concurrent_gangs) - plan.collective_ms(batch);
+        let mut total = IterationCost {
+            latency_ms: 0.0,
+            energy_mj: 0.0,
+            dense_ops: 0.0,
+        };
+        for step in 0..model.iterations {
+            let phase = if self.ablation.ffn_reuse() {
+                model.ffn_reuse.phase_of_step(step)
+            } else {
+                IterationPhase::Dense
+            };
+            let shards: Vec<IterationCost> = (0..plan.num_shards())
+                .map(|s| {
+                    self.iteration_shard(model, plan, s, batch, phase, resident_frac)
+                        .expect("positive batch and in-range steps cannot fail")
+                })
+                .collect();
+            let cost = plan.combine(&shards, batch);
+            total.latency_ms += cost.latency_ms + contention_extra;
+            total.energy_mj += cost.energy_mj;
+            total.dense_ops += cost.dense_ops;
         }
         total
     }

@@ -31,6 +31,15 @@
 //!   advancing a sharded batch only when every member is done and pricing
 //!   the interconnect collectives; preempted latents park on the gang's
 //!   least-GSC-pressured member, spreading pressure off the leader;
+//! * [`planner`] — the placement planner: an offline optimizer that turns
+//!   (model mix, load forecast, hardware, instance budget) into a
+//!   [`Placement`] by enumerating replica/TP/PP candidates, pruning
+//!   GSC-infeasible cuts, and scoring residency-adjusted capacity and
+//!   projected SLO attainment over the topology-aware interconnect model
+//!   (ring vs all-to-all, with link contention between concurrent gangs);
+//!   installed through `ServeConfigBuilder::auto_placement` it also
+//!   re-plans online at epoch boundaries, executing priced migrations when
+//!   realized load diverges past its hysteresis threshold;
 //! * [`policy`] — the scheduling half of the control plane: a
 //!   [`SchedulerPolicy`] trait object decides admission ordering,
 //!   batch-join gating, and preemption against a read-only
@@ -72,6 +81,7 @@ pub mod cluster;
 pub mod cost;
 pub mod metrics;
 pub mod placement;
+pub mod planner;
 pub mod policy;
 mod registry;
 pub mod request;
@@ -84,10 +94,14 @@ pub use admission::{
 };
 pub use cluster::{ServeConfig, ServeConfigBuilder, ServeSimulator};
 pub use cost::CostModel;
+pub use exion_sim::partition::Topology;
 pub use exion_sim::partition::{Interconnect, PartitionPlan, PartitionStrategy};
 pub use exion_sim::residency::EvictionPolicy;
-pub use metrics::{GangStats, InstanceStats, LatencyStats, ServeReport};
+pub use metrics::{
+    EpochStat, GangStats, InstanceStats, LatencyStats, PlannerReport, ReplanEvent, ServeReport,
+};
 pub use placement::{Gang, Placement};
+pub use planner::{gsc_feasible, CandidateScore, PlacementPlanner, PlanOutcome, PlannerConfig};
 pub use policy::{
     Edf, Fcfs, PolicyKey, PolicyRegistry, PreemptiveEdf, SchedSnapshot, SchedulerPolicy,
     SparsityAware,

@@ -55,7 +55,9 @@ impl LatencyStats {
 /// Per-instance accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InstanceStats {
-    /// Busy fraction of the makespan.
+    /// Busy fraction of the instance's live window (the whole makespan for
+    /// statically placed clusters; birth-to-retirement for units a
+    /// migration created or tore down).
     pub utilization: f64,
     /// Iterations executed.
     pub iterations: u64,
@@ -94,12 +96,84 @@ pub struct GangStats {
     pub members: usize,
     /// Gang-level iterations executed (each occupies every member).
     pub iterations: u64,
-    /// Busy fraction of the makespan (lockstep across members).
+    /// Busy fraction of the unit's live window (lockstep across members).
     pub utilization: f64,
     /// Wall-clock spent in interconnect collectives (ms).
     pub collective_ms: f64,
     /// Per-member interconnect bytes moved by collectives.
     pub collective_bytes: u64,
+}
+
+/// One epoch of the online re-planner's forecast tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStat {
+    /// Epoch start (ms of simulated time).
+    pub start_ms: f64,
+    /// The offered load the planner was operating on entering the epoch
+    /// (requests/s).
+    pub forecast_rps: f64,
+    /// The offered load actually observed over the epoch (requests/s).
+    pub realized_rps: f64,
+    /// Relative forecast error: `|realized − forecast| / max(forecast, ε)`
+    /// — the quantity the hysteresis threshold gates re-planning on.
+    pub error: f64,
+}
+
+/// One executed re-plan: the placement switch and its priced migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanEvent {
+    /// When the migration fired (ms of simulated time).
+    pub at_ms: f64,
+    /// Placement summary before the switch.
+    pub from: String,
+    /// Placement summary after the switch.
+    pub to: String,
+    /// GSC-resident bytes the old placement held at teardown — the weight
+    /// (and stale latent) state the new placement must re-stream from
+    /// DRAM as refill bytes.
+    pub migration_bytes: u64,
+    /// In-flight requests drained back into the queue (their latents were
+    /// written to DRAM at a priced spill; they resume on the new units
+    /// with their DDIM step counts intact).
+    pub drained_requests: usize,
+}
+
+/// Planner accounting carried by a [`ServeReport`] when the cluster ran
+/// under auto-placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerReport {
+    /// The initial placement the offline pass chose.
+    pub initial_placement: String,
+    /// The placement serving when the trace drained.
+    pub final_placement: String,
+    /// The forecast the initial plan was built against (requests/s).
+    pub initial_forecast_rps: f64,
+    /// Executed re-plans (placement actually changed), in time order.
+    pub replans: Vec<ReplanEvent>,
+    /// Per-epoch forecast tracking, in time order.
+    pub epochs: Vec<EpochStat>,
+}
+
+impl PlannerReport {
+    /// Executed re-plans.
+    pub fn replan_count(&self) -> usize {
+        self.replans.len()
+    }
+
+    /// Total GSC-resident bytes torn down across every migration.
+    pub fn migration_bytes(&self) -> u64 {
+        self.replans.iter().map(|r| r.migration_bytes).sum()
+    }
+
+    /// Mean relative forecast error across epochs (0.0 when no epoch
+    /// completed).
+    pub fn mean_forecast_error(&self) -> f64 {
+        if self.epochs.is_empty() {
+            0.0
+        } else {
+            self.epochs.iter().map(|e| e.error).sum::<f64>() / self.epochs.len() as f64
+        }
+    }
 }
 
 /// The full report of one serving simulation.
@@ -113,7 +187,9 @@ pub struct ServeReport {
     pub admission: String,
     /// Traffic pattern name.
     pub pattern: String,
-    /// Hardware instance count.
+    /// Hardware instance count of the (final) placement. After a
+    /// migration, `per_instance` additionally carries the retired units'
+    /// rows, so its length can exceed this.
     pub instances: usize,
     /// Requests that arrived within the horizon.
     pub arrivals: usize,
@@ -168,7 +244,11 @@ pub struct ServeReport {
     pub collective_ms: f64,
     /// Total per-member interconnect bytes moved by gang collectives.
     pub collective_bytes: u64,
-    /// Per-unit accounting (replicas and gangs alike).
+    /// Planner accounting: chosen placement, re-plans, migration bytes,
+    /// and per-epoch forecast error (`None` for statically placed runs).
+    pub planner: Option<PlannerReport>,
+    /// Per-unit accounting (replicas and gangs alike; retired pre-migration
+    /// units included, in retirement-then-active order).
     pub per_gang: Vec<GangStats>,
     /// Per-instance accounting (gang members flattened in unit order).
     pub per_instance: Vec<InstanceStats>,

@@ -33,7 +33,7 @@ use crate::scheduler::{AdmitOutcome, Instance, SchedContext};
 /// How a cluster's instances are grouped: `replicas` single-instance
 /// whole-model units plus `gangs` sharded units of `strategy.degree()`
 /// members each, all pulling from one shared queue.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Placement {
     /// Whole-model single-instance units.
     pub replicas: usize,
@@ -93,6 +93,26 @@ impl Placement {
     /// Hardware instances the placement occupies in total.
     pub fn total_instances(&self) -> usize {
         self.replicas + self.gangs * self.strategy.degree()
+    }
+
+    /// Human-readable summary (`replicated x2`, `tp2 gang x1`,
+    /// `1 replica + 1 tp2 gang`) — the label planner reports and replan
+    /// events carry.
+    pub fn summary(&self) -> String {
+        if self.gangs == 0 {
+            format!("replicated x{}", self.replicas)
+        } else if self.replicas == 0 {
+            format!("{} gang x{}", self.strategy.label(), self.gangs)
+        } else {
+            format!(
+                "{} replica{} + {} {} gang{}",
+                self.replicas,
+                if self.replicas == 1 { "" } else { "s" },
+                self.gangs,
+                self.strategy.label(),
+                if self.gangs == 1 { "" } else { "s" },
+            )
+        }
     }
 }
 
@@ -230,6 +250,45 @@ impl Gang {
             .iter_mut()
             .flat_map(Instance::take_evicted_latents)
             .collect()
+    }
+
+    /// Drains this unit for a placement migration: every running request
+    /// is parked straight to DRAM (a priced latent write-back on the
+    /// leader) and re-enters `queue` with its DDIM step count intact and
+    /// no affinity hint — the unit is about to be torn down, so nothing
+    /// on it is worth steering back to. Returns `(request id, drain ms)`
+    /// stamps for queue-depth accounting.
+    pub fn drain_for_migration(
+        &mut self,
+        queue: &mut Vec<Request>,
+        ctx: &SchedContext,
+    ) -> Vec<(u64, f64)> {
+        let stamps = self.members[0].drain_running(queue, ctx);
+        self.sync_clocks();
+        stamps
+    }
+
+    /// Releases the parked latent of request `request` from member
+    /// `member_id` (if this unit owns that member and it holds the
+    /// latent), pricing the DRAM write-back there — the migration path's
+    /// analogue of [`Self::discard_latent`].
+    pub fn discard_member_latent(&mut self, member_id: usize, request: u64, ctx: &SchedContext) {
+        let mut touched = false;
+        for m in &mut self.members {
+            if m.id == member_id {
+                m.discard_latent(request, ctx);
+                touched = true;
+            }
+        }
+        if touched {
+            self.sync_clocks();
+        }
+    }
+
+    /// Summed GSC-resident bytes across this unit's members — what a
+    /// migration walks away from (and the new placement re-streams).
+    pub fn resident_bytes(&self) -> u64 {
+        self.members.iter().map(Instance::gsc_occupancy_bytes).sum()
     }
 
     /// Executes one denoising iteration of the unit's running batch.

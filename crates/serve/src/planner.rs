@@ -1,0 +1,557 @@
+//! The placement planner: workload-driven auto-placement of replicas vs
+//! TP/PP gangs.
+//!
+//! PR 3/4 built every *mechanism* a sharded serving cluster needs —
+//! partitioned cost model, shard-granular GSC residency, gangs, a pluggable
+//! policy/admission control plane — but nothing *chooses* a placement:
+//! every sweep hand-picks the replicas-vs-gangs split. This module is the
+//! missing control-plane tier between the cost model and the scheduler: an
+//! offline optimizer that turns (model mix, load forecast, hardware,
+//! instance budget) into a [`Placement`].
+//!
+//! [`PlacementPlanner::plan`] enumerates every placement the budget admits
+//! — `r` whole-model replicas plus `g` gangs of each candidate
+//! [`PartitionStrategy`] (TP=2/4, PP=2/4 by default), including mixed
+//! clusters — prunes the GSC-infeasible ones ([`gsc_feasible`]), scores
+//! the survivors against the forecast, and keeps the top
+//! [`PlannerConfig::beam_width`].
+//!
+//! The score is an analytic goodput projection built from the same
+//! currencies the cluster itself runs on:
+//!
+//! * **steady-state service time** — a replica serving a tenant bigger
+//!   than its GSC never gets warmer than its partial residency, so its
+//!   generations are priced at
+//!   [`CostModel::generation_cost_at_residency`]; each gang member is
+//!   priced at *its shard's* steady-state residency
+//!   ([`PartitionPlan::min_member_residency`]) plus the topology-aware,
+//!   contention-adjusted collective term
+//!   ([`PartitionPlan::collective_ms_contended`] — concurrent gangs on a
+//!   ring fabric share its links);
+//! * **capacity** — the mix-weighted harmonic unit throughput at the full
+//!   batch, summed across units;
+//! * **SLO attainment** — per-model projected latency (service at the
+//!   load-implied batch occupancy plus an M/M/c-flavored queueing term)
+//!   against the same SLOs the cluster scales from the warm replica
+//!   service time;
+//! * **latency pressure** — a small tie-break penalty so that when two
+//!   placements both meet every SLO (light load), the one with the
+//!   shorter generations wins — exactly the regime where a TP gang's
+//!   halved critical path beats replicas, before the replicas' independent
+//!   queues win the throughput race past the goodput crossover.
+//!
+//! The online half — epoch re-planning against realized load with a priced
+//! migration — lives in the cluster loop (`ServeConfigBuilder::
+//! auto_placement`); this module only decides.
+
+use exion_model::config::ModelConfig;
+use exion_sim::config::HwConfig;
+use exion_sim::partition::{Interconnect, PartitionPlan, PartitionStrategy};
+use exion_sim::residency::{latent_state_bytes, model_weight_bytes, partial_residency};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::placement::Placement;
+use crate::trace::WorkloadMix;
+
+/// Weight of the latency-pressure tie-break in the score: large enough to
+/// separate placements that both meet every SLO, small enough never to
+/// override a real goodput difference.
+const LATENCY_PRESSURE_WEIGHT: f64 = 0.1;
+
+/// Queueing blow-up factor charged to a candidate driven at or past its
+/// capacity (the projection's stand-in for an unbounded queue).
+const OVERLOAD_LATENCY_FACTOR: f64 = 10.0;
+
+/// Configuration of the placement planner: the instance budget, the gang
+/// strategies worth considering, and the online re-planning knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Hardware instances the placement may occupy in total.
+    pub budget: usize,
+    /// Candidate gang strategies (replicas are always enumerated).
+    pub strategies: Vec<PartitionStrategy>,
+    /// The board fabric gang members would communicate over.
+    pub interconnect: Interconnect,
+    /// The deployment's per-unit batch bound (must match the serving
+    /// config's; `ServeConfigBuilder::auto_placement` syncs it).
+    pub max_batch: usize,
+    /// Candidates kept (and reported) after scoring — the beam.
+    pub beam_width: usize,
+    /// Online re-planning cadence (ms of simulated time).
+    pub epoch_ms: f64,
+    /// Relative forecast-vs-realized divergence that triggers a re-plan
+    /// (e.g. 0.35 = re-plan when realized load strays 35% from the
+    /// forecast). Hysteresis: below the threshold the current placement
+    /// and forecast are kept, so noise does not churn the cluster.
+    pub hysteresis: f64,
+}
+
+impl PlannerConfig {
+    /// The default planner over `budget` instances: TP=2/4 and PP=2/4
+    /// candidate cuts, ring interconnect, batch 8, beam 8, 1 s epochs,
+    /// 35% hysteresis.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget: budget.max(1),
+            strategies: vec![
+                PartitionStrategy::Tensor { ways: 2 },
+                PartitionStrategy::Tensor { ways: 4 },
+                PartitionStrategy::Pipeline { stages: 2 },
+                PartitionStrategy::Pipeline { stages: 4 },
+            ],
+            interconnect: Interconnect::default(),
+            max_batch: 8,
+            beam_width: 8,
+            epoch_ms: 1_000.0,
+            hysteresis: 0.35,
+        }
+    }
+
+    /// Replaces the board fabric candidates are priced over.
+    pub fn with_interconnect(mut self, interconnect: Interconnect) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Replaces the online re-planning knobs.
+    pub fn with_replanning(mut self, epoch_ms: f64, hysteresis: f64) -> Self {
+        self.epoch_ms = epoch_ms.max(1.0);
+        self.hysteresis = hysteresis.max(0.0);
+        self
+    }
+}
+
+/// One scored placement candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateScore {
+    /// The placement scored.
+    pub placement: Placement,
+    /// Human-readable summary (`replicated x2`, `tp2 gang x1`, …).
+    pub label: String,
+    /// Residency-adjusted cluster capacity (requests/s).
+    pub capacity_rps: f64,
+    /// Mix-weighted projected request latency at the forecast load (ms).
+    pub latency_ms: f64,
+    /// Mix-weighted projected SLO attainment at the forecast load.
+    pub slo_attainment: f64,
+    /// Projected energy per request (J), capacity-weighted across unit
+    /// types.
+    pub joules_per_request: f64,
+    /// Projected goodput (requests/s): served rate times attainment.
+    pub goodput_rps: f64,
+    /// The scalar the planner ranks by: projected goodput shaded by the
+    /// latency-pressure tie-break.
+    pub score: f64,
+}
+
+/// What one planning pass produced: the chosen placement and the scored
+/// beam it won against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanOutcome {
+    /// The winning candidate.
+    pub chosen: CandidateScore,
+    /// The scored beam, best first (contains `chosen` at index 0).
+    pub candidates: Vec<CandidateScore>,
+}
+
+/// Whether a gang under `strategy` is structurally and GSC-feasible for
+/// every model of `mix` on `hw`:
+///
+/// * every model's parked-latent footprint fits the GSC (a member that
+///   cannot even park one latent cannot take part in preemptive serving);
+/// * a pipeline cut never has more stages than the model has transformer
+///   blocks (an empty stage would idle a member every iteration);
+/// * a tensor cut never has more ways than attention heads (ranks own
+///   whole heads).
+///
+/// Weight working sets are *not* required to fit — partial residency is
+/// exactly what the cost model prices.
+pub fn gsc_feasible(hw: &HwConfig, mix: &WorkloadMix, strategy: PartitionStrategy) -> bool {
+    let gsc = hw.gsc_bytes();
+    let operand = hw.operand_bytes();
+    mix.kinds().iter().all(|&kind| {
+        let model = ModelConfig::for_kind(kind);
+        if latent_state_bytes(&model, operand) as f64 > gsc {
+            return false;
+        }
+        match strategy {
+            PartitionStrategy::Replicated => true,
+            PartitionStrategy::Tensor { ways } => (ways.max(1) as usize) <= model.paper.heads,
+            PartitionStrategy::Pipeline { stages } => {
+                (stages.max(1) as usize) <= model.paper.blocks
+            }
+        }
+    })
+}
+
+/// Placement-invariant replica-side pricing of one mix model (computed
+/// once per plan, shared by every candidate).
+struct ReplicaProjection {
+    /// Normalized traffic share.
+    share: f64,
+    /// The model's SLO in absolute terms (the cluster's SLO currency).
+    slo_ms: f64,
+    /// DDIM steps per generation (scales per-iteration contention terms).
+    iterations: f64,
+    /// (latency ms, energy mJ) of one steady-state full-batch generation.
+    full: (f64, f64),
+    /// Steady-state batch-1 generation latency (light-load tail).
+    b1_ms: f64,
+}
+
+/// Per-strategy gang-side pricing of one mix model: the partition plan and
+/// the *uncontended* generation costs (candidates add their own
+/// concurrent-gang contention term).
+struct GangProjection {
+    /// The model's cut under the strategy.
+    plan: PartitionPlan,
+    /// (latency ms, energy mJ) of one full-batch gang generation.
+    full: (f64, f64),
+    /// Batch-1 gang generation latency.
+    b1_ms: f64,
+}
+
+/// The offline placement optimizer. Construct with a [`PlannerConfig`] and
+/// call [`Self::plan`]; the same planner object drives the cluster loop's
+/// epoch re-planning when installed through
+/// `ServeConfigBuilder::auto_placement`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlanner {
+    /// The planner's knobs.
+    pub config: PlannerConfig,
+}
+
+impl PlacementPlanner {
+    /// A planner over `config`.
+    pub fn new(config: PlannerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Every placement the budget admits: `r` replicas alone, and every
+    /// `r` replicas + `g` gangs mix per candidate strategy. GSC-infeasible
+    /// strategies are pruned before scoring.
+    fn enumerate(&self, hw: &HwConfig, mix: &WorkloadMix) -> Vec<Placement> {
+        let budget = self.config.budget.max(1);
+        let mut out: Vec<Placement> = (1..=budget)
+            .map(|r| Placement::replicated(r).with_interconnect(self.config.interconnect))
+            .collect();
+        for &strategy in &self.config.strategies {
+            let degree = strategy.degree();
+            if degree < 2 || degree > budget || !gsc_feasible(hw, mix, strategy) {
+                continue;
+            }
+            for gangs in 1..=budget / degree {
+                for replicas in 0..=budget - gangs * degree {
+                    out.push(
+                        Placement::mixed(replicas, gangs, strategy)
+                            .with_interconnect(self.config.interconnect),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Plans a placement for `mix` at the forecast offered load on `hw`,
+    /// pricing candidates through `cost`. Always returns a plan: if every
+    /// gang strategy is infeasible the replicated candidates remain (a
+    /// budget-wide replicated placement is always enumerable).
+    pub fn plan(
+        &self,
+        hw: &HwConfig,
+        mix: &WorkloadMix,
+        forecast_rps: f64,
+        cost: &mut CostModel,
+    ) -> PlanOutcome {
+        let placements = self.enumerate(hw, mix);
+        // Placement-invariant pricing is hoisted out of the candidate
+        // loop: the replica-side projections are identical for every
+        // candidate, and the gang-side base costs depend only on the
+        // strategy (the per-candidate concurrent-gang contention term is
+        // applied on top, cheaply, in `score`).
+        let replicas = self.replica_projections(hw, mix, cost);
+        let strategies: Vec<PartitionStrategy> = {
+            let mut out = Vec::new();
+            for p in &placements {
+                if p.gangs > 0 && !out.contains(&p.strategy) {
+                    out.push(p.strategy);
+                }
+            }
+            out
+        };
+        let gangs_by_strategy: Vec<(PartitionStrategy, Vec<GangProjection>)> = strategies
+            .into_iter()
+            .map(|s| (s, self.gang_projections(hw, mix, s, cost)))
+            .collect();
+        let mut candidates: Vec<CandidateScore> = placements
+            .into_iter()
+            .map(|p| {
+                let gang_projs = gangs_by_strategy
+                    .iter()
+                    .find(|(s, _)| *s == p.strategy)
+                    .map(|(_, g)| g.as_slice())
+                    .unwrap_or(&[]);
+                self.score(p, forecast_rps, &replicas, gang_projs)
+            })
+            .collect();
+        // Deterministic total order: score, then capacity, then the label
+        // (so equal-scoring candidates rank identically on every platform).
+        candidates.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(b.capacity_rps.total_cmp(&a.capacity_rps))
+                .then(a.label.cmp(&b.label))
+        });
+        candidates.truncate(self.config.beam_width.max(1));
+        PlanOutcome {
+            chosen: candidates[0].clone(),
+            candidates,
+        }
+    }
+
+    /// The placement-invariant replica-side projections of every mix
+    /// model: traffic share, the SLO currency, and the steady-state
+    /// (residency-adjusted) generation costs — computed once per plan.
+    fn replica_projections(
+        &self,
+        hw: &HwConfig,
+        mix: &WorkloadMix,
+        cost: &mut CostModel,
+    ) -> Vec<ReplicaProjection> {
+        let batch = self.config.max_batch.max(1) as u64;
+        let gsc = hw.gsc_bytes();
+        let operand = hw.operand_bytes();
+        let total_w: f64 = mix.entries.iter().map(|&(_, w, _)| w).sum();
+        mix.entries
+            .iter()
+            .map(|&(kind, w, slo_mult)| {
+                let model = ModelConfig::for_kind(kind);
+                // The cluster's SLO currency: the warm replica service time.
+                let slo_ms = slo_mult * cost.generation_latency_ms(&model, batch);
+                let frac = partial_residency(gsc, model_weight_bytes(&model, operand) as f64);
+                let full = cost.generation_cost_at_residency(&model, batch, frac);
+                let b1 = cost.generation_cost_at_residency(&model, 1, frac);
+                ReplicaProjection {
+                    share: w / total_w.max(1e-12),
+                    slo_ms,
+                    iterations: model.iterations as f64,
+                    full: (full.latency_ms, full.energy_mj),
+                    b1_ms: b1.latency_ms,
+                }
+            })
+            .collect()
+    }
+
+    /// The per-strategy gang-side projections of every mix model: the
+    /// partition plan and the uncontended generation costs at each
+    /// member's steady-state shard residency — computed once per
+    /// (strategy, plan); candidates layer their own concurrent-gang
+    /// contention on top in [`Self::score`].
+    fn gang_projections(
+        &self,
+        hw: &HwConfig,
+        mix: &WorkloadMix,
+        strategy: PartitionStrategy,
+        cost: &mut CostModel,
+    ) -> Vec<GangProjection> {
+        let batch = self.config.max_batch.max(1) as u64;
+        let gsc = hw.gsc_bytes();
+        let operand = hw.operand_bytes();
+        mix.entries
+            .iter()
+            .map(|&(kind, _, _)| {
+                let model = ModelConfig::for_kind(kind);
+                let plan = PartitionPlan::new(&model, strategy, self.config.interconnect, operand);
+                let member_frac = plan.min_member_residency(gsc);
+                let full =
+                    cost.gang_generation_cost_at_residency(&model, &plan, batch, member_frac, 1);
+                let b1 = cost.gang_generation_cost_at_residency(&model, &plan, 1, member_frac, 1);
+                GangProjection {
+                    full: (full.latency_ms, full.energy_mj),
+                    b1_ms: b1.latency_ms,
+                    plan,
+                }
+            })
+            .collect()
+    }
+
+    /// Scores one candidate placement against the forecast, using the
+    /// hoisted projections (`gang_projs` is empty for replica-only
+    /// candidates, and parallel to `replicas` otherwise).
+    fn score(
+        &self,
+        placement: Placement,
+        forecast_rps: f64,
+        replicas: &[ReplicaProjection],
+        gang_projs: &[GangProjection],
+    ) -> CandidateScore {
+        let batch = self.config.max_batch.max(1) as u64;
+        let gangs = placement.gangs;
+        // The only placement-dependent term of the gang generation costs:
+        // concurrent gangs contending for the board fabric, paid once per
+        // iteration.
+        let gang_latency = |r: &ReplicaProjection, g: &GangProjection, base_ms: f64, b: u64| {
+            base_ms
+                + r.iterations
+                    * (g.plan.collective_ms_contended(b, gangs) - g.plan.collective_ms(b))
+        };
+
+        // Mix-weighted unit seconds-per-request at the full batch, per
+        // unit type (weighted harmonic mean, as in the cluster's capacity
+        // estimate — but residency-adjusted).
+        let replica_spr: f64 = replicas
+            .iter()
+            .map(|p| p.share * p.full.0 / 1000.0 / batch as f64)
+            .sum();
+        let gang_spr: f64 = replicas
+            .iter()
+            .zip(gang_projs)
+            .map(|(r, g)| r.share * gang_latency(r, g, g.full.0, batch) / 1000.0 / batch as f64)
+            .sum();
+        let replica_cap = placement.replicas as f64 / replica_spr.max(1e-12);
+        let gang_cap = if gangs > 0 {
+            gangs as f64 / gang_spr.max(1e-12)
+        } else {
+            0.0
+        };
+        let capacity = replica_cap + gang_cap;
+        let units = placement.units().max(1) as f64;
+        let rho = forecast_rps / capacity.max(1e-12);
+        let served = forecast_rps.min(capacity);
+        // How full batches run at this load, for the service-latency term.
+        let occupancy = ((rho * batch as f64).ceil() as u64).clamp(1, batch);
+        let occ_frac = (occupancy as f64 / batch as f64).clamp(0.0, 1.0);
+
+        // Capacity shares route traffic between unit types (the shared
+        // queue feeds whichever unit frees up first).
+        let replica_weight = replica_cap / capacity.max(1e-12);
+        let gang_weight = gang_cap / capacity.max(1e-12);
+
+        let mut latency_ms = 0.0;
+        let mut attainment = 0.0;
+        let mut pressure = 0.0;
+        let mut energy_mj_per_req = 0.0;
+        for (i, r) in replicas.iter().enumerate() {
+            // Service latency at the load-implied occupancy, interpolated
+            // between the batch-1 and full-batch generations per unit type.
+            let svc_of = |b1: f64, full: f64| b1 + (full - b1) * occ_frac;
+            let (gang_svc, gang_energy) = match gang_projs.get(i) {
+                Some(g) if gangs > 0 => (
+                    svc_of(
+                        gang_latency(r, g, g.b1_ms, 1),
+                        gang_latency(r, g, g.full.0, batch),
+                    ),
+                    g.full.1,
+                ),
+                _ => (0.0, 0.0),
+            };
+            let svc = replica_weight * svc_of(r.b1_ms, r.full.0) + gang_weight * gang_svc;
+            // M/M/c-flavored wait, capped at the overload blow-up so the
+            // projection stays monotone through the capacity wall (an
+            // uncapped 1/(1−ρ) would price 98% load *worse* than 120%).
+            let wait = if rho < 1.0 {
+                (svc * rho / (units * (1.0 - rho))).min(svc * OVERLOAD_LATENCY_FACTOR)
+            } else {
+                svc * OVERLOAD_LATENCY_FACTOR
+            };
+            let latency = svc + wait;
+            latency_ms += r.share * latency;
+            attainment += r.share * (r.slo_ms / latency.max(1e-9)).min(1.0);
+            pressure += r.share * (latency / r.slo_ms.max(1e-9)).min(1.0);
+            energy_mj_per_req +=
+                r.share * (replica_weight * r.full.1 + gang_weight * gang_energy) / batch as f64;
+        }
+        let goodput = served * attainment;
+        CandidateScore {
+            placement,
+            label: placement.summary(),
+            capacity_rps: capacity,
+            latency_ms,
+            slo_attainment: attainment,
+            joules_per_request: energy_mj_per_req / 1000.0,
+            goodput_rps: goodput,
+            score: goodput * (1.0 - LATENCY_PRESSURE_WEIGHT * pressure),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exion_model::config::ModelKind;
+    use exion_sim::perf::SimAblation;
+
+    #[test]
+    fn enumeration_respects_the_budget_and_prunes_infeasible_cuts() {
+        let hw = HwConfig::exion4();
+        let mix = WorkloadMix::text_to_video();
+        let planner = PlacementPlanner::new(PlannerConfig::new(2));
+        let candidates = planner.enumerate(&hw, &mix);
+        assert!(!candidates.is_empty());
+        for p in &candidates {
+            assert!(p.total_instances() <= 2, "{} over budget", p.summary());
+            assert!(p.units() >= 1);
+        }
+        // TP=4/PP=4 need four instances: pruned at budget 2.
+        assert!(candidates.iter().all(|p| p.strategy.degree() <= 2));
+        // A budget of 4 admits them (and mixed replica+gang splits).
+        let wide = PlacementPlanner::new(PlannerConfig::new(4));
+        let candidates = wide.enumerate(&hw, &mix);
+        assert!(candidates
+            .iter()
+            .any(|p| p.strategy == PartitionStrategy::Tensor { ways: 4 }));
+        assert!(
+            candidates.iter().any(|p| p.replicas > 0 && p.gangs > 0),
+            "mixed placements enumerated"
+        );
+    }
+
+    #[test]
+    fn infeasible_pipeline_cut_is_pruned() {
+        let hw = HwConfig::exion4();
+        // MLD has few transformer blocks; a 64-stage pipeline cannot give
+        // every stage a block.
+        let mix = WorkloadMix {
+            entries: vec![(ModelKind::Mld, 1.0, 4.0)],
+        };
+        assert!(!gsc_feasible(
+            &hw,
+            &mix,
+            PartitionStrategy::Pipeline { stages: 64 }
+        ));
+        assert!(gsc_feasible(
+            &hw,
+            &mix,
+            PartitionStrategy::Pipeline { stages: 2 }
+        ));
+        assert!(gsc_feasible(&hw, &mix, PartitionStrategy::Replicated));
+        let mut config = PlannerConfig::new(64);
+        config.strategies = vec![PartitionStrategy::Pipeline { stages: 64 }];
+        let planner = PlacementPlanner::new(config);
+        let candidates = planner.enumerate(&hw, &mix);
+        assert!(candidates
+            .iter()
+            .all(|p| p.strategy == PartitionStrategy::Replicated));
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_ranked() {
+        let hw = HwConfig::exion4();
+        let mix = WorkloadMix::text_to_video();
+        let mut cost = CostModel::new(hw, SimAblation::All);
+        let planner = PlacementPlanner::new(PlannerConfig::new(2));
+        let a = planner.plan(&hw, &mix, 2.0, &mut cost);
+        let b = planner.plan(&hw, &mix, 2.0, &mut cost);
+        assert_eq!(a, b);
+        assert_eq!(a.chosen, a.candidates[0]);
+        for w in a.candidates.windows(2) {
+            assert!(w[0].score >= w[1].score, "beam must be sorted");
+        }
+        for c in &a.candidates {
+            assert!(c.capacity_rps > 0.0, "{}", c.label);
+            assert!(c.latency_ms > 0.0, "{}", c.label);
+            assert!((0.0..=1.0).contains(&c.slo_attainment), "{}", c.label);
+        }
+    }
+}

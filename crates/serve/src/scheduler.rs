@@ -415,6 +415,41 @@ impl Instance {
         std::mem::take(&mut self.evicted_latents)
     }
 
+    /// Summed GSC-resident bytes (weights and parked latents) — migration
+    /// accounting.
+    pub(crate) fn gsc_occupancy_bytes(&self) -> u64 {
+        self.gsc.occupancy_bytes()
+    }
+
+    /// Parks every running request straight to DRAM for a placement
+    /// migration: each latent pays the write-back transfer on this
+    /// instance's clock, the request re-enters `queue` with its step count
+    /// intact (a migration is a preemption — the counter travels with the
+    /// request), and the active weight pin is released so the teardown
+    /// leaves nothing pinned. Returns `(id, drain ms)` stamps.
+    pub(crate) fn drain_running(
+        &mut self,
+        queue: &mut Vec<Request>,
+        ctx: &SchedContext,
+    ) -> Vec<(u64, f64)> {
+        if let Some(model) = self.active_model {
+            self.gsc.set_pinned(self.weight_obj(model), false);
+        }
+        let mut stamps = Vec::new();
+        for mut r in std::mem::take(&mut self.running) {
+            let info = ctx.info(r.model);
+            self.latent_transfer(info.latent_bytes, ctx);
+            self.latent_spills += 1;
+            r.preemptions += 1;
+            self.preemptions += 1;
+            r.parked_on = None;
+            r.ready_ms = self.now_ms;
+            stamps.push((r.id, self.now_ms));
+            queue.push(r);
+        }
+        stamps
+    }
+
     /// Parks one running request at this iteration boundary. The latent
     /// goes to the *least-GSC-pressured* member of this unit — among the
     /// members that can actually house it (leader or `peers` follower,
@@ -441,18 +476,28 @@ impl Instance {
         // the latent (admission pre-check per member — evicting every
         // unpinned entry must suffice, else requesting would uselessly
         // push other tenants out first), rank by headroom not already
-        // committed to pins or parked latents. Strict improvement
-        // required, so the leader wins ties (and replicas, whose `peers`
-        // slice is empty, always park locally).
-        let mut sink: Option<(u64, Option<usize>)> = None; // None = leader
+        // committed to pins or parked latents. The selection key is the
+        // explicit total order `(headroom desc, member id asc)`: equal
+        // headroom always resolves to the lowest member id — the leader
+        // first, then followers in gang order — so gang runs stay
+        // byte-identical across platforms no matter how member headrooms
+        // collide (and replicas, whose `peers` slice is empty, always
+        // park locally).
+        let mut sink: Option<(u64, usize, Option<usize>)> = None; // (headroom, member id, peer idx; None = leader)
         if info.latent_bytes <= self.gsc.evictable_bytes() {
-            sink = Some((self.gsc.park_headroom_bytes(), None));
+            sink = Some((self.gsc.park_headroom_bytes(), self.id, None));
         }
         for (i, p) in peers.iter().enumerate() {
             if info.latent_bytes <= p.gsc.evictable_bytes() {
                 let h = p.gsc.park_headroom_bytes();
-                if sink.is_none_or(|(best, _)| h > best) {
-                    sink = Some((h, Some(i)));
+                let better = match sink {
+                    None => true,
+                    Some((best_h, best_id, _)) => {
+                        (h, std::cmp::Reverse(p.id)) > (best_h, std::cmp::Reverse(best_id))
+                    }
+                };
+                if better {
+                    sink = Some((h, p.id, Some(i)));
                 }
             }
         }
@@ -464,7 +509,7 @@ impl Instance {
                 self.latent_spills += 1;
                 r.parked_on = None;
             }
-            Some((_, None)) => {
+            Some((_, _, None)) => {
                 let out = self
                     .gsc
                     .request(latent, info.latent_bytes, refill_cost_ms, false);
@@ -475,7 +520,7 @@ impl Instance {
                 );
                 r.parked_on = Some(self.id);
             }
-            Some((_, Some(i))) => {
+            Some((_, _, Some(i))) => {
                 let peer = &mut peers[i];
                 // Ship the latent across the gang link to the chosen
                 // member; any latents its arrival evicts there are
@@ -1269,6 +1314,46 @@ mod tests {
         ));
         inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(inst.active_model, Some(ModelKind::Mdm));
+    }
+
+    #[test]
+    fn park_member_selection_tie_breaks_to_the_lowest_id() {
+        // Two peers with byte-identical headroom: the park must land on
+        // the lower member id (stable total order on equal headroom), not
+        // on whichever the iteration order happened to visit last.
+        let hw = HwConfig::exion4();
+        let mut cost = CostModel::new(hw, SimAblation::All);
+        let ctx = ctx_for(Arc::new(PreemptiveEdf), 8, &mut cost);
+        let mut leader = Instance::new(0, &hw, EvictionPolicy::Lru);
+        leader.set_unit(0, 3);
+        let mut peers: Vec<Instance> = (1..3)
+            .map(|id| {
+                let mut p = Instance::new(id, &hw, EvictionPolicy::Lru);
+                p.set_unit(0, 3);
+                p
+            })
+            .collect();
+        // The leader already hosts another parked latent, so both empty
+        // peers strictly beat it — and tie with each other exactly.
+        let occupied = ctx.info(ModelKind::Mld).latent_bytes;
+        leader
+            .gsc
+            .request(GscObject::Latent(99), occupied, 0.1, false);
+        assert_eq!(
+            peers[0].gsc.park_headroom_bytes(),
+            peers[1].gsc.park_headroom_bytes()
+        );
+        let steps = tiny(ModelKind::Mld).iterations;
+        let mut r = Request::new(5, ModelKind::Mld, 0.0, 1e9, steps);
+        r.steps_done = 1;
+        let mut queue = Vec::new();
+        leader.park(r, &mut queue, &ctx, &mut peers);
+        let parked = queue.iter().find(|q| q.id == 5).expect("parked");
+        assert_eq!(
+            parked.parked_on,
+            Some(1),
+            "equal headroom resolves to the lowest id"
+        );
     }
 
     #[test]

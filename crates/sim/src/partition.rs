@@ -69,11 +69,37 @@ impl PartitionStrategy {
     }
 }
 
+/// How the board fabric wires instances together — the shape of the links
+/// a gang's collectives run over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// A unidirectional ring: each member drives one link, every gang's
+    /// traffic crosses the same shared segments. The cheap board layout —
+    /// and the one the original collective model priced implicitly.
+    Ring,
+    /// A fully connected (all-to-all) fabric: each member pair owns a
+    /// dedicated link, so a tensor all-reduce spreads its payload across
+    /// `degree − 1` links in parallel and concurrent gangs never contend.
+    AllToAll,
+}
+
+impl Topology {
+    /// Short name for reports (`ring`, `all-to-all`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Ring => "ring",
+            Topology::AllToAll => "all-to-all",
+        }
+    }
+}
+
 /// The link between gang members (board-level die-to-die interconnect).
 ///
 /// The paper's instances scale DSC count within one chip; a multi-instance
 /// gang crosses a board-level link, slower than DRAM bandwidth but cheap in
-/// energy relative to DRAM refills — the trade sharding monetizes.
+/// energy relative to DRAM refills — the trade sharding monetizes. The
+/// [`Topology`] decides how many links a collective can drive at once and
+/// whether concurrent gangs contend for them.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Interconnect {
     /// Link bandwidth per direction (GB/s).
@@ -82,14 +108,43 @@ pub struct Interconnect {
     pub latency_us: f64,
     /// Transfer energy (pJ/bit) — below DRAM's ~15–20 pJ/bit.
     pub pj_per_bit: f64,
+    /// How the board fabric wires the members together.
+    pub topology: Topology,
 }
 
 impl Default for Interconnect {
     fn default() -> Self {
+        Self::ring()
+    }
+}
+
+impl Interconnect {
+    /// The default board fabric: a ring at 64 GB/s per link.
+    pub fn ring() -> Self {
         Self {
             link_gbps: 64.0,
             latency_us: 2.0,
             pj_per_bit: 4.0,
+            topology: Topology::Ring,
+        }
+    }
+
+    /// The same link parameters over a fully connected fabric.
+    pub fn all_to_all() -> Self {
+        Self {
+            topology: Topology::AllToAll,
+            ..Self::ring()
+        }
+    }
+
+    /// Bandwidth-sharing divisor when `concurrent_gangs` gangs drive
+    /// collectives over this fabric at once: ring segments are shared by
+    /// every gang's traffic, an all-to-all fabric gives each member pair a
+    /// dedicated link and never contends across gangs.
+    pub fn contention_factor(&self, concurrent_gangs: usize) -> f64 {
+        match self.topology {
+            Topology::Ring => concurrent_gangs.max(1) as f64,
+            Topology::AllToAll => 1.0,
         }
     }
 }
@@ -193,6 +248,11 @@ impl PartitionPlan {
         self.strategy
     }
 
+    /// The interconnect this plan prices its collectives over.
+    pub fn interconnect(&self) -> Interconnect {
+        self.interconnect
+    }
+
     /// Gang size (shards in the plan).
     pub fn num_shards(&self) -> usize {
         self.specs.len()
@@ -220,15 +280,55 @@ impl PartitionPlan {
         self.total_bytes
     }
 
+    /// The largest member footprint in the plan — the GSC-capacity
+    /// currency of placement feasibility checks (an uneven pipeline cut is
+    /// only as resident as its heaviest stage).
+    pub fn max_shard_bytes(&self) -> u64 {
+        self.shard_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The steady-state resident fraction the most loaded member can hold
+    /// in a GSC of `gsc_bytes` — what a placement planner projects each
+    /// gang member's warm fraction to be once traffic settles.
+    pub fn min_member_residency(&self, gsc_bytes: f64) -> f64 {
+        crate::residency::partial_residency(gsc_bytes, self.max_shard_bytes() as f64)
+    }
+
     /// Per-member interconnect bytes of one iteration at `batch` rows.
     pub fn collective_bytes(&self, batch: u64) -> u64 {
         self.collective_bytes_b1 * batch.max(1)
     }
 
+    /// Links each member can drive concurrently for this plan's
+    /// collectives: a tensor all-reduce over a fully connected fabric
+    /// spreads its payload across the `ways − 1` peer links, everything
+    /// else (ring steps, pipeline hand-offs — both neighbor-to-neighbor)
+    /// moves over one link at a time.
+    fn parallel_links(&self) -> f64 {
+        match (self.strategy, self.interconnect.topology) {
+            (PartitionStrategy::Tensor { ways }, Topology::AllToAll) => {
+                ways.saturating_sub(1).max(1) as f64
+            }
+            _ => 1.0,
+        }
+    }
+
     /// Wall-clock cost (ms) of one iteration's collectives at `batch` rows:
-    /// payload over the link plus per-launch latency.
+    /// payload over the fabric (spread across however many links the
+    /// topology lets one member drive) plus per-launch latency.
     pub fn collective_ms(&self, batch: u64) -> f64 {
-        self.collective_bytes(batch) as f64 / (self.interconnect.link_gbps * 1e6)
+        self.collective_ms_contended(batch, 1)
+    }
+
+    /// Like [`Self::collective_ms`], but with `concurrent_gangs` gangs
+    /// sharing the board fabric: ring segments divide their bandwidth
+    /// across every gang's traffic ([`Interconnect::contention_factor`]),
+    /// a fully connected fabric does not contend. The placement planner
+    /// prices candidate multi-gang placements with this term.
+    pub fn collective_ms_contended(&self, batch: u64, concurrent_gangs: usize) -> f64 {
+        let effective_gbps = self.interconnect.link_gbps * self.parallel_links()
+            / self.interconnect.contention_factor(concurrent_gangs);
+        self.collective_bytes(batch) as f64 / (effective_gbps.max(1e-9) * 1e6)
             + self.collective_ops as f64 * self.interconnect.latency_us * 1e-3
     }
 
@@ -497,6 +597,69 @@ mod tests {
         let (_, rep) = plan_for(ModelKind::Dit, PartitionStrategy::Replicated);
         assert_eq!(rep.collective_bytes(8), 0);
         assert_eq!(rep.collective_ms(8), 0.0);
+    }
+
+    #[test]
+    fn all_to_all_strictly_beats_ring_at_world_size_4() {
+        let model = ModelConfig::for_kind(ModelKind::Dit);
+        let strategy = PartitionStrategy::Tensor { ways: 4 };
+        let ring = PartitionPlan::new(&model, strategy, Interconnect::ring(), BPO);
+        let full = PartitionPlan::new(&model, strategy, Interconnect::all_to_all(), BPO);
+        // Same wire bytes, but the all-reduce payload spreads across the
+        // three dedicated peer links.
+        assert_eq!(ring.collective_bytes(4), full.collective_bytes(4));
+        assert!(
+            full.collective_ms(4) < ring.collective_ms(4),
+            "all-to-all {} vs ring {}",
+            full.collective_ms(4),
+            ring.collective_ms(4)
+        );
+        // At world size 2 there is only one peer either way.
+        let s2 = PartitionStrategy::Tensor { ways: 2 };
+        let ring2 = PartitionPlan::new(&model, s2, Interconnect::ring(), BPO);
+        let full2 = PartitionPlan::new(&model, s2, Interconnect::all_to_all(), BPO);
+        assert_eq!(ring2.collective_ms(1), full2.collective_ms(1));
+    }
+
+    #[test]
+    fn ring_contention_divides_bandwidth_all_to_all_does_not() {
+        let model = ModelConfig::for_kind(ModelKind::VideoCrafter2);
+        let strategy = PartitionStrategy::Tensor { ways: 2 };
+        let ring = PartitionPlan::new(&model, strategy, Interconnect::ring(), BPO);
+        let solo = ring.collective_ms_contended(1, 1);
+        let shared = ring.collective_ms_contended(1, 3);
+        assert_eq!(solo, ring.collective_ms(1));
+        // Three gangs on the ring: the bandwidth term triples, the launch
+        // latency term does not.
+        let launch = ring.collective_ops as f64 * ring.interconnect.latency_us * 1e-3;
+        assert!((shared - launch - 3.0 * (solo - launch)).abs() < 1e-12);
+        let full = PartitionPlan::new(&model, strategy, Interconnect::all_to_all(), BPO);
+        assert_eq!(
+            full.collective_ms_contended(1, 3),
+            full.collective_ms_contended(1, 1)
+        );
+        assert_eq!(Interconnect::ring().contention_factor(3), 3.0);
+        assert_eq!(Interconnect::all_to_all().contention_factor(3), 1.0);
+        assert_eq!(Topology::Ring.name(), "ring");
+        assert_eq!(Topology::AllToAll.name(), "all-to-all");
+    }
+
+    #[test]
+    fn capacity_helpers_bound_member_residency() {
+        let (model, plan) = plan_for(
+            ModelKind::VideoCrafter2,
+            PartitionStrategy::Pipeline { stages: 3 },
+        );
+        let max = plan.max_shard_bytes();
+        assert!(max >= plan.total_weight_bytes() / 3);
+        assert!(max <= plan.total_weight_bytes());
+        assert!((0..3).any(|s| plan.shard_weight_bytes(s) == max));
+        // A GSC holding the heaviest shard outright gives full residency;
+        // half of it gives half.
+        assert_eq!(plan.min_member_residency(max as f64), 1.0);
+        assert!((plan.min_member_residency(max as f64 / 2.0) - 0.5).abs() < 1e-12);
+        let (_, rep) = plan_for(ModelKind::VideoCrafter2, PartitionStrategy::Replicated);
+        assert_eq!(rep.max_shard_bytes(), model_weight_bytes(&model, BPO));
     }
 
     #[test]

@@ -59,6 +59,11 @@ impl SparsityProfile {
     /// # Panics
     ///
     /// Panics if sparsities are outside `[0, 1]`.
+    // One machine-code instance only: `powi`'s expansion is not pinned by
+    // IEEE semantics, so separately inlined copies of this function can
+    // disagree in the last ULP — and bit-identical profiles across call
+    // sites are load-bearing (memoized pricing, fingerprint parity tests).
+    #[inline(never)]
     pub fn analytic(inter_sparsity: f64, intra_sparsity: f64, tile_height: u32) -> Self {
         assert!(
             (0.0..=1.0).contains(&inter_sparsity),

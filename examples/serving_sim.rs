@@ -13,6 +13,8 @@
 //! small value; the default is the full 4 s trace).
 //! `EXION_SERVE_MODE=sharded` runs only the replicated-vs-sharded
 //! comparison (the CI sharded smoke step).
+//! `EXION_SERVE_MODE=planned` runs only the placement-planner comparison
+//! (the CI planner smoke step).
 //! `EXION_SERVE_ADMISSION=<name>` runs only the admission comparison,
 //! with `<name>` (an admission-registry name, e.g. `deadline`) validated
 //! against the registry (the CI admission smoke step).
@@ -22,7 +24,7 @@ use exion::serve::{
 };
 use exion::sim::config::HwConfig;
 use exion_bench::experiments::serve_sweep::{
-    admission_comparison, goodput_crossover, sharding_comparison,
+    admission_comparison, goodput_crossover, planner_comparison, sharding_comparison,
 };
 use exion_model::config::ModelKind;
 
@@ -69,6 +71,61 @@ fn sharded_comparison(horizon_ms: f64) {
                 "  {} vs replicated: one placement leads across the swept range",
                 sharded.label
             ),
+        }
+    }
+}
+
+/// Placement-planner comparison: auto-placement vs every hand-picked
+/// static placement on the text-to-video mix and a 2-instance budget, plus
+/// the diurnal online re-planning run (the CI planner smoke step).
+fn planned_comparison(horizon_ms: f64) {
+    println!(
+        "== EXION4 | placement planner vs hand-picked placements \
+         (text-to-video, 2-instance budget)"
+    );
+    let cmp = planner_comparison(&HwConfig::exion4(), Some(horizon_ms));
+    for (label, points) in cmp
+        .static_sweeps
+        .iter()
+        .map(|s| (s.label.clone(), &s.points))
+        .chain(std::iter::once(("planned".to_string(), &cmp.planned)))
+    {
+        println!("-- {label}");
+        for p in points {
+            let r = &p.report;
+            println!(
+                "  load {:>3.0}% | p50 {:>8.1} ms | p95 {:>8.1} ms | goodput {:>5.2} rps | \
+                 SLO {:>5.1}%",
+                100.0 * p.load_frac,
+                r.latency.p50,
+                r.latency.p95,
+                r.goodput_rps,
+                100.0 * r.slo_attainment,
+            );
+        }
+    }
+    for (frac, pick) in &cmp.picks {
+        println!("  planner pick at {:.0}% load: {pick}", 100.0 * frac);
+    }
+    if let Some(pr) = &cmp.diurnal.planner {
+        println!(
+            "  diurnal ramp: {} -> {} | {} re-plan(s), {:.1} MB migrated, \
+             mean forecast error {:.0}%",
+            pr.initial_placement,
+            pr.final_placement,
+            pr.replan_count(),
+            pr.migration_bytes() as f64 / 1e6,
+            100.0 * pr.mean_forecast_error(),
+        );
+        for r in &pr.replans {
+            println!(
+                "    re-plan at {:>6.0} ms: {} -> {} ({:.1} MB re-streamed, {} drained)",
+                r.at_ms,
+                r.from,
+                r.to,
+                r.migration_bytes as f64 / 1e6,
+                r.drained_requests,
+            );
         }
     }
 }
@@ -130,6 +187,12 @@ fn main() {
     if std::env::var("EXION_SERVE_MODE").as_deref() == Ok("sharded") {
         // CI sharded smoke: just the gang-scheduling path.
         sharded_comparison(horizon_ms);
+        return;
+    }
+    if std::env::var("EXION_SERVE_MODE").as_deref() == Ok("planned") {
+        // CI planner smoke: auto-placement (offline picks + online
+        // re-planning) only.
+        planned_comparison(horizon_ms);
         return;
     }
     if let Ok(name) = std::env::var("EXION_SERVE_ADMISSION") {
@@ -262,4 +325,10 @@ fn main() {
     // replicas' independent queues win back the throughput.
     println!();
     sharded_comparison(horizon_ms);
+
+    // Auto-placement: the planner picks the replicas-vs-gangs split per
+    // load regime by itself, and re-plans (with a priced migration) when
+    // the diurnal ramp's realized load diverges from its forecast.
+    println!();
+    planned_comparison(horizon_ms);
 }

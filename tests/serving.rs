@@ -15,11 +15,11 @@ use std::collections::HashSet;
 
 use exion::model::config::{ModelConfig, ModelKind};
 use exion::serve::{
-    policy, Placement, ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern,
-    WorkloadMix,
+    gsc_feasible, policy, CostModel, Placement, PlacementPlanner, PlannerConfig, ServeConfig,
+    ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
 };
 use exion::sim::config::HwConfig;
-use exion::sim::partition::{Interconnect, PartitionPlan, PartitionStrategy};
+use exion::sim::partition::{Interconnect, PartitionPlan, PartitionStrategy, Topology};
 use exion::sim::residency::{model_weight_bytes, EvictionPolicy, GscCache, GscObject};
 use exion_bench::experiments::serve_sweep::{bursty_trace, bursty_trace_over};
 use proptest::prelude::*;
@@ -646,6 +646,165 @@ proptest! {
                 prop_assert!(c.steps >= floor && c.steps < full, "budget band");
             } else {
                 prop_assert_eq!(c.steps, full);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Planner invariants: for any budget, forecast, and mix, the chosen
+    /// placement fits the budget, is GSC-feasible, and never scores below
+    /// the worst enumerated candidate (it *is* the argmax of the beam).
+    #[test]
+    fn planner_output_is_gsc_feasible_and_never_worst(
+        budget in 1usize..6,
+        load_decirps in 1u64..40,
+        mix_idx in 0usize..2,
+    ) {
+        let hw = HwConfig::exion4();
+        let mix = if mix_idx == 0 {
+            WorkloadMix::text_to_video()
+        } else {
+            WorkloadMix::text_to_motion()
+        };
+        let mut cost = CostModel::new(hw, exion::sim::perf::SimAblation::All);
+        let planner = PlacementPlanner::new(PlannerConfig::new(budget));
+        let forecast = load_decirps as f64 / 10.0;
+        let out = planner.plan(&hw, &mix, forecast, &mut cost);
+        let chosen = &out.chosen;
+        prop_assert!(chosen.placement.total_instances() <= budget.max(1));
+        prop_assert!(chosen.placement.units() >= 1);
+        prop_assert!(
+            chosen.placement.gangs == 0
+                || gsc_feasible(&hw, &mix, chosen.placement.strategy),
+            "{} is not GSC-feasible for the mix",
+            chosen.label
+        );
+        let worst = out
+            .candidates
+            .iter()
+            .map(|c| c.score)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            chosen.score >= worst,
+            "chosen {} scores {} below the worst candidate {}",
+            chosen.label,
+            chosen.score,
+            worst
+        );
+        prop_assert_eq!(chosen, &out.candidates[0]);
+        // Scores and projections stay finite and ordered.
+        for c in &out.candidates {
+            prop_assert!(c.score.is_finite());
+            prop_assert!(c.capacity_rps > 0.0);
+            prop_assert!((0.0..=1.0).contains(&c.slo_attainment));
+        }
+    }
+}
+
+#[test]
+fn all_to_all_strictly_beats_ring_collectives_at_world_size_4() {
+    // The topology satellite: same wire bytes, but a fully connected
+    // fabric spreads a tensor all-reduce across the three peer links.
+    let bpo = HwConfig::exion4().operand_bytes();
+    for kind in [ModelKind::VideoCrafter2, ModelKind::Dit] {
+        let model = ModelConfig::for_kind(kind);
+        let strategy = PartitionStrategy::Tensor { ways: 4 };
+        let ring = PartitionPlan::new(&model, strategy, Interconnect::ring(), bpo);
+        let full = PartitionPlan::new(&model, strategy, Interconnect::all_to_all(), bpo);
+        assert_eq!(ring.collective_bytes(8), full.collective_bytes(8));
+        assert!(
+            full.collective_ms(8) < ring.collective_ms(8),
+            "{}: all-to-all {} must beat ring {}",
+            kind.name(),
+            full.collective_ms(8),
+            ring.collective_ms(8)
+        );
+    }
+    assert_eq!(Interconnect::default().topology, Topology::Ring);
+}
+
+/// Runs the text-to-video mix under auto-placement on a diurnal ramp that
+/// forces at least one re-plan (mirrors `serve_sweep::planner_comparison`'s
+/// online half, at a test-sized horizon).
+fn planned_diurnal_run(seed: u64) -> ServeReport {
+    let hw = HwConfig::exion4();
+    let mix = WorkloadMix::text_to_video();
+    let capacity = ServeSimulator::new(ServeConfig::builder(hw).instances(2).build())
+        .capacity_estimate_rps(&mix);
+    let planner = PlacementPlanner::new(PlannerConfig::new(2).with_replanning(1_000.0, 0.35));
+    let mut sim = ServeSimulator::new(
+        ServeConfig::builder(hw)
+            .auto_placement(planner, 0.3 * capacity)
+            .build(),
+    );
+    sim.run(&TraceConfig {
+        pattern: TrafficPattern::Diurnal {
+            peak_rps: 0.9 * capacity,
+            trough_frac: 0.3,
+        },
+        horizon_ms: 4_000.0,
+        seed,
+        mix,
+    })
+}
+
+#[test]
+fn auto_placement_replans_conserve_requests_and_steps() {
+    let report = planned_diurnal_run(0x5E17E);
+    let pr = report.planner.as_ref().expect("planner accounting");
+    assert!(pr.replan_count() >= 1, "the ramp must force a re-plan");
+    assert!(pr.migration_bytes() > 0, "migrations are priced");
+    assert!(!pr.epochs.is_empty());
+    for e in &pr.epochs {
+        assert!(e.error >= 0.0);
+    }
+    for r in &pr.replans {
+        assert_ne!(r.from, r.to, "a re-plan event records a placement change");
+    }
+    // Conservation holds across the migration: every arrival completes
+    // exactly once, and drained requests resume without losing steps.
+    assert_eq!(report.completed, report.arrivals);
+    let ids: HashSet<u64> = report.completions.iter().map(|c| c.id).collect();
+    assert_eq!(ids.len(), report.completed);
+    let demanded: u64 = report
+        .completions
+        .iter()
+        .map(|c| ModelConfig::for_kind(c.model).iterations as u64)
+        .sum();
+    let executed: u64 = report.per_instance.iter().map(|s| s.rows_executed).sum();
+    assert_eq!(
+        demanded, executed,
+        "DDIM steps not conserved across migration"
+    );
+    // Determinism: the same seed reproduces the run bit for bit.
+    let again = planned_diurnal_run(0x5E17E);
+    assert_eq!(report, again);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Auto-placement conservation holds for any seed — whatever epochs,
+    /// re-plans, and drain timings a trace produces (including re-plans
+    /// firing while part of the cluster sits idle-jumped ahead), every
+    /// arrival still completes exactly once.
+    #[test]
+    fn auto_placement_conserves_across_seeds(seed in 0u64..10_000) {
+        let report = planned_diurnal_run(seed);
+        prop_assert_eq!(report.completed, report.arrivals);
+        let demanded: u64 = report
+            .completions
+            .iter()
+            .map(|c| ModelConfig::for_kind(c.model).iterations as u64)
+            .sum();
+        let executed: u64 = report.per_instance.iter().map(|s| s.rows_executed).sum();
+        prop_assert_eq!(demanded, executed);
+        if let Some(pr) = &report.planner {
+            for r in &pr.replans {
+                prop_assert!(r.at_ms.is_finite(), "migration hand-off must be finite");
             }
         }
     }
