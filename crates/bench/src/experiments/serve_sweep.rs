@@ -32,9 +32,10 @@
 //!   closed form.
 
 use exion_model::config::{ModelConfig, ModelKind};
+use exion_serve::telemetry::json::{push_f64, push_str};
 use exion_serve::{
-    admission, policy, Placement, PlacementPlanner, PlannerConfig, ServeConfig, ServeReport,
-    ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+    admission, policy, Placement, PlacementPlanner, PlannerConfig, RunProfile, ServeConfig,
+    ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
 };
 use exion_sim::config::HwConfig;
 use exion_sim::partition::PartitionStrategy;
@@ -576,6 +577,134 @@ pub fn measured_profile_comparison(
     (analytic_report, measured_report)
 }
 
+/// One self-metered point of the serving perf trajectory: a standard
+/// scenario plus the [`RunProfile`] its run left behind.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Stable scenario key (`BENCH_serve.json` rows are keyed on it).
+    pub scenario: &'static str,
+    /// Released arrivals the scenario processed.
+    pub arrivals: usize,
+    /// The run's self-metering.
+    pub profile: RunProfile,
+}
+
+/// Runs the standard perf-trajectory scenarios and self-meters each one:
+/// the single-instance batcher, the preemptive control plane under
+/// bursty load, a TP gang with collectives, and the planned diurnal ramp
+/// (planner scoring metered separately). Wall readings are machine- and
+/// run-dependent; the simulated side (arrivals, iterations, makespan) is
+/// deterministic, so trajectory files remain comparable point-to-point.
+pub fn perf_trajectory(horizon_cap_ms: Option<f64>) -> Vec<PerfPoint> {
+    let horizon_ms = horizon_cap_ms.unwrap_or(1_500.0).max(100.0);
+    let mix = WorkloadMix::multi_tenant();
+    let mut points = Vec::new();
+    let mut meter = |scenario: &'static str, config: ServeConfig, trace: &TraceConfig| {
+        let mut sim = ServeSimulator::new(config);
+        let report = sim.run(trace);
+        let profile = *sim.last_run_profile().expect("run leaves a profile");
+        points.push(PerfPoint {
+            scenario,
+            arrivals: report.arrivals,
+            profile,
+        });
+    };
+
+    let hw = HwConfig::exion4();
+    let capacity = ServeSimulator::new(ServeConfig::new(hw)).capacity_estimate_rps(&mix);
+    meter(
+        "poisson_90pct_exion4",
+        ServeConfig::new(hw),
+        &TraceConfig {
+            pattern: TrafficPattern::Poisson {
+                rate_rps: 0.9 * capacity,
+            },
+            horizon_ms,
+            seed: SWEEP_SEED,
+            mix: mix.clone(),
+        },
+    );
+
+    let server = HwConfig::exion24();
+    let server_capacity = ServeSimulator::new(ServeConfig::new(server)).capacity_estimate_rps(&mix);
+    meter(
+        "bursty_preemptive_edf_exion24",
+        ServeConfig::builder(server)
+            .policy_name("preemptive-edf")
+            .admission_name("deadline")
+            .build(),
+        &bursty_trace_over(server_capacity, 0.85, horizon_ms, mix.clone()),
+    );
+
+    let video = WorkloadMix::text_to_video();
+    meter(
+        "tp2_gang_video_exion4",
+        ServeConfig::builder(hw)
+            .placement(Placement::sharded(1, PartitionStrategy::Tensor { ways: 2 }))
+            .build(),
+        &TraceConfig {
+            pattern: TrafficPattern::Poisson {
+                rate_rps: 0.6 * capacity,
+            },
+            horizon_ms,
+            seed: SWEEP_SEED,
+            mix: video.clone(),
+        },
+    );
+
+    meter(
+        "planned_diurnal_exion4",
+        ServeConfig::builder(hw)
+            .auto_placement(
+                PlacementPlanner::new(
+                    PlannerConfig::new(2).with_replanning(horizon_ms / 4.0, 0.35),
+                ),
+                0.3 * capacity,
+            )
+            .build(),
+        &TraceConfig {
+            pattern: TrafficPattern::Diurnal {
+                peak_rps: 0.9 * capacity,
+                trough_frac: 0.3,
+            },
+            horizon_ms,
+            seed: SWEEP_SEED,
+            mix: video,
+        },
+    );
+    points
+}
+
+/// Renders a perf trajectory as the `BENCH_serve.json` document: one row
+/// per scenario with the simulated work done and the wall-clock it cost
+/// (hand-written JSON — the workspace carries no JSON dependency).
+pub fn perf_trajectory_json(points: &[PerfPoint]) -> String {
+    let mut out = String::from("{\"bench\":\"serve\",\"schema\":1,\"points\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"scenario\":");
+        push_str(&mut out, p.scenario);
+        out.push_str(&format!(
+            ",\"arrivals\":{},\"completed\":{},\"iterations\":{}",
+            p.arrivals, p.profile.completed, p.profile.iterations
+        ));
+        out.push_str(",\"makespan_ms\":");
+        push_f64(&mut out, p.profile.makespan_ms);
+        out.push_str(",\"wall_ms\":");
+        push_f64(&mut out, p.profile.wall_ms);
+        out.push_str(",\"planner_wall_ms\":");
+        push_f64(&mut out, p.profile.planner_wall_ms);
+        out.push_str(&format!(",\"planner_calls\":{}", p.profile.planner_calls));
+        out.push_str(",\"sim_ms_per_wall_ms\":");
+        push_f64(&mut out, p.profile.sim_ms_per_wall_ms());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Runs the full experiment.
 pub fn run() -> String {
     let mut out = String::from(
@@ -871,6 +1000,30 @@ pub fn run() -> String {
         ],
         &rows,
     ));
+
+    out.push_str(
+        "\nSelf-metered perf trajectory (the BENCH_serve.json scenarios):\n\
+         (simulated side is deterministic; wall readings vary by machine)\n",
+    );
+    let rows: Vec<Vec<String>> = perf_trajectory(None)
+        .iter()
+        .map(|p| {
+            vec![
+                p.scenario.to_string(),
+                format!("{}", p.arrivals),
+                format!("{}", p.profile.iterations),
+                format!("{:.0}", p.profile.makespan_ms),
+                format!("{:.1}", p.profile.wall_ms),
+                format!("{:.0}", p.profile.sim_ms_per_wall_ms()),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "scenario", "arrivals", "iters", "sim ms", "wall ms", "sim/wall",
+        ],
+        &rows,
+    ));
     out
 }
 
@@ -1103,7 +1256,30 @@ mod tests {
         assert_eq!(analytic.completed, analytic.arrivals);
         assert_eq!(measured.completed, measured.arrivals);
         // The functional measurement differs from the closed form, so the
-        // priced latencies must differ too (either direction).
-        assert_ne!(analytic.latency.p50, measured.latency.p50);
+        // priced latencies must differ too (either direction). Compare the
+        // mean — exact under the streaming histogram, where quantized
+        // percentiles may land in the same bucket.
+        assert_ne!(analytic.latency.mean, measured.latency.mean);
+    }
+
+    #[test]
+    fn perf_trajectory_meters_every_scenario() {
+        let points = perf_trajectory(Some(400.0));
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.arrivals > 0, "{}: no traffic", p.scenario);
+            assert!(p.profile.iterations > 0, "{}: no iterations", p.scenario);
+            assert!(p.profile.wall_ms > 0.0, "{}: unmetered", p.scenario);
+            assert!(p.profile.makespan_ms > 0.0);
+        }
+        // The planned scenario must meter its planner scoring.
+        let planned = points
+            .iter()
+            .find(|p| p.scenario == "planned_diurnal_exion4")
+            .unwrap();
+        assert!(planned.profile.planner_calls >= 1);
+        let json = perf_trajectory_json(&points);
+        assert!(exion_serve::telemetry::json::is_well_formed(&json));
+        assert!(json.contains("\"sim_ms_per_wall_ms\""));
     }
 }

@@ -24,11 +24,16 @@ use exion_sim::config::HwConfig;
 use exion_sim::partition::PartitionStrategy;
 use exion_sim::perf::SimAblation;
 use exion_sim::residency::EvictionPolicy;
+use exion_telemetry::{
+    InstantMarker, LogHistogram, NullSink, Registry, RequestEvent, Sink, SliceKind, SpanRecord,
+    StopWatch, TimelineSlice,
+};
 
 use crate::admission::{self, AdmissionController, AdmissionDecision, AdmissionView, AdmitAll};
 use crate::cost::CostModel;
 use crate::metrics::{
-    queue_depth_stats, EpochStat, LatencyStats, PlannerReport, ReplanEvent, ServeReport,
+    queue_depth_stats, EpochStat, LatencyStats, MetricSample, MetricsSnapshot, PlannerReport,
+    ReplanEvent, ServeReport,
 };
 use crate::placement::{Gang, Placement};
 use crate::planner::PlacementPlanner;
@@ -85,6 +90,11 @@ pub enum ConfigError {
         /// What was wrong.
         reason: String,
     },
+    /// The telemetry sampling interval cannot schedule snapshots.
+    InvalidStatsInterval {
+        /// The declared interval (ms).
+        interval_ms: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -109,6 +119,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::InvalidPlanner { reason } => {
                 write!(f, "auto-placement planner misconfigured: {reason}")
             }
+            ConfigError::InvalidStatsInterval { interval_ms } => write!(
+                f,
+                "telemetry stats interval must be positive and finite, got {interval_ms} ms"
+            ),
         }
     }
 }
@@ -139,6 +153,12 @@ pub struct ServeConfig {
     /// for the traced mix and re-plans at epoch boundaries; the static
     /// `placement` field is ignored.
     pub auto_placement: Option<AutoPlacement>,
+    /// Telemetry sampling interval (ms of simulated time): when set, the
+    /// cluster counter/gauge registry is snapshotted into
+    /// [`ServeReport::series`] every interval (in addition to planner
+    /// epoch boundaries). `None` (the default) samples at epoch
+    /// boundaries only.
+    pub stats_interval_ms: Option<f64>,
 }
 
 impl ServeConfig {
@@ -161,6 +181,7 @@ impl ServeConfig {
             admission: Arc::new(AdmitAll),
             eviction: EvictionPolicy::Lru,
             auto_placement: None,
+            stats_interval_ms: None,
         }
     }
 }
@@ -283,6 +304,15 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Samples the cluster counter/gauge registry into the report's
+    /// time-series every `interval_ms` of simulated time (planner epoch
+    /// boundaries are always sampled; this adds a fixed cadence for
+    /// statically placed runs).
+    pub fn stats_interval_ms(mut self, interval_ms: f64) -> Self {
+        self.inner.stats_interval_ms = Some(interval_ms);
+        self
+    }
+
     /// The finished, validated configuration.
     ///
     /// # Errors
@@ -298,6 +328,11 @@ impl ServeConfigBuilder {
             return Err(ConfigError::EmptyPlacement);
         }
         validate_gangs(&placement)?;
+        if let Some(interval_ms) = self.inner.stats_interval_ms {
+            if !interval_ms.is_finite() || interval_ms <= 0.0 {
+                return Err(ConfigError::InvalidStatsInterval { interval_ms });
+            }
+        }
         if let Some(ap) = &mut self.inner.auto_placement {
             // The planner must price candidates at the deployment's real
             // batch bound, whatever order the builder calls came in.
@@ -414,6 +449,159 @@ fn build_units(
     units
 }
 
+/// Declares one timeline track per member instance of `units` on `sink`
+/// (called at cluster build and after every migration, so retired and new
+/// instances each keep their own named track in the exported trace).
+fn declare_unit_tracks(units: &[Gang], sink: &mut dyn Sink) {
+    for unit in units {
+        let label = unit.strategy().label();
+        for (slot, m) in unit.members.iter().enumerate() {
+            let name = if unit.members.len() == 1 {
+                format!("inst {} ({label})", m.id)
+            } else {
+                format!("inst {} ({label} member {slot})", m.id)
+            };
+            sink.declare_track(m.id as u32, name);
+        }
+    }
+}
+
+/// Emits one [`SliceKind::Idle`] slice per member of `unit` covering the
+/// gap the idle clock is about to jump over, so exported timelines show
+/// contiguous busy/idle coverage instead of silent holes.
+fn emit_idle_slices(unit: &Gang, wake_ms: f64, sink: &mut dyn Sink) {
+    let start_ms = unit.now_ms();
+    let dur_ms = wake_ms - start_ms;
+    if dur_ms <= 0.0 {
+        return;
+    }
+    for m in &unit.members {
+        sink.slice(TimelineSlice {
+            instance: m.id as u32,
+            kind: SliceKind::Idle,
+            start_ms,
+            dur_ms,
+            label: "idle",
+            batch: 0,
+        });
+    }
+}
+
+/// Self-metering of one simulator run: wall-clock cost beside the
+/// simulated time it bought. Deliberately kept *outside* [`ServeReport`]
+/// — wall readings are non-deterministic and must never enter the state
+/// determinism tests compare. Retrieve with
+/// [`ServeSimulator::last_run_profile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunProfile {
+    /// Total wall-clock of the run (ms).
+    pub wall_ms: f64,
+    /// Wall-clock spent scoring placements (offline pick + epoch
+    /// re-plans, ms).
+    pub planner_wall_ms: f64,
+    /// Planner scoring passes (1 offline + executed re-scores).
+    pub planner_calls: u64,
+    /// Denoising iterations the cluster executed.
+    pub iterations: u64,
+    /// Simulated makespan the run produced (ms).
+    pub makespan_ms: f64,
+    /// Requests completed.
+    pub completed: usize,
+}
+
+impl RunProfile {
+    /// Simulated milliseconds bought per wall-clock millisecond — the
+    /// headline `BENCH_serve.json` trajectory metric (0.0 when the run
+    /// was too fast to measure).
+    pub fn sim_ms_per_wall_ms(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.makespan_ms / self.wall_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall-clock spent stepping the cluster (everything outside planner
+    /// scoring, ms).
+    pub fn cluster_wall_ms(&self) -> f64 {
+        (self.wall_ms - self.planner_wall_ms).max(0.0)
+    }
+}
+
+/// The cluster's counter/gauge registry plus the snapshots taken at epoch
+/// boundaries. Counters arrive as running totals (the cluster's existing
+/// accumulators) and are diffed against the previous snapshot, so the hot
+/// loop never touches the registry.
+struct SeriesRecorder {
+    registry: Registry,
+    series: Vec<MetricsSnapshot>,
+    last: Vec<(&'static str, u64)>,
+}
+
+/// Counter names in registration (= snapshot) order.
+const SERIES_COUNTERS: [&str; 8] = [
+    "arrivals_released",
+    "enqueued",
+    "shed",
+    "degraded",
+    "completed",
+    "preemption_parks",
+    "resumes",
+    "migration_drains",
+];
+
+/// Gauge names in registration (= snapshot) order.
+const SERIES_GAUGES: [&str; 3] = ["queue_depth", "inflight_rows", "clock_ms"];
+
+impl SeriesRecorder {
+    fn new() -> Self {
+        let mut registry = Registry::new();
+        let mut last = Vec::with_capacity(SERIES_COUNTERS.len());
+        for name in SERIES_COUNTERS {
+            registry.counter_add(name, 0);
+            last.push((name, 0u64));
+        }
+        for name in SERIES_GAUGES {
+            registry.gauge_set(name, 0.0);
+        }
+        Self {
+            registry,
+            series: Vec::new(),
+            last,
+        }
+    }
+
+    /// Takes one snapshot at `at_ms`: `counters` are running totals in
+    /// [`SERIES_COUNTERS`] order, `gauges` current levels in
+    /// [`SERIES_GAUGES`] order.
+    fn snapshot(&mut self, at_ms: f64, counters: [u64; 8], gauges: [f64; 3]) {
+        for ((name, prev), total) in self.last.iter_mut().zip(counters) {
+            debug_assert!(total >= *prev, "counter {name} went backward");
+            self.registry.counter_add(name, total.saturating_sub(*prev));
+            *prev = total;
+        }
+        for (name, value) in SERIES_GAUGES.into_iter().zip(gauges) {
+            self.registry.gauge_set(name, value);
+        }
+        self.series.push(MetricsSnapshot {
+            at_ms,
+            values: self
+                .registry
+                .snapshot()
+                .into_iter()
+                .map(|(name, value)| MetricSample {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+        });
+    }
+
+    fn into_series(self) -> Vec<MetricsSnapshot> {
+        self.series
+    }
+}
+
 /// Request-level serving simulator over a cluster of EXION instances.
 #[derive(Debug, Clone)]
 pub struct ServeSimulator {
@@ -421,6 +609,7 @@ pub struct ServeSimulator {
     cost: CostModel,
     model_configs: HashMap<ModelKind, ModelConfig>,
     partition_plans: HashMap<(ModelKind, PartitionStrategy), exion_sim::partition::PartitionPlan>,
+    last_profile: Option<RunProfile>,
 }
 
 impl ServeSimulator {
@@ -433,12 +622,21 @@ impl ServeSimulator {
             cost,
             model_configs: HashMap::new(),
             partition_plans: HashMap::new(),
+            last_profile: None,
         }
     }
 
     /// The cluster configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Self-metering of the most recent [`Self::run`] /
+    /// [`Self::run_traced`]: wall-clock beside the simulated time it
+    /// bought (`None` before the first run). Kept out of the
+    /// [`ServeReport`] because wall readings are non-deterministic.
+    pub fn last_run_profile(&self) -> Option<&RunProfile> {
+        self.last_profile.as_ref()
     }
 
     /// Installs a measured sparsity profile for `kind` (e.g. from
@@ -563,6 +761,21 @@ impl ServeSimulator {
     /// placement, so goodput is comparable across replicated and sharded
     /// deployments of the same trace.
     pub fn run(&mut self, trace: &TraceConfig) -> ServeReport {
+        self.run_traced(trace, &mut NullSink)
+    }
+
+    /// [`Self::run`] with telemetry emitted to `sink`: request-lifecycle
+    /// spans, per-instance timeline slices, and planner markers (see
+    /// [`exion_telemetry`]). The sink is a pure observer — it only ever
+    /// receives copies of simulation facts — so the produced report (and
+    /// every completion in it) is byte-identical to an untraced run; the
+    /// telemetry tests pin that property. With the default [`NullSink`]
+    /// every emission site reduces to one branch.
+    pub fn run_traced(&mut self, trace: &TraceConfig, sink: &mut dyn Sink) -> ServeReport {
+        let run_start = std::time::Instant::now();
+        let mut planner_watch = StopWatch::new();
+        let mut executed_iterations: u64 = 0;
+        let traced = sink.enabled();
         let arrivals = generate(trace);
         let max_batch = self.config.max_batch as u64;
         let mut pending: Vec<Request> = Vec::with_capacity(arrivals.len());
@@ -588,9 +801,13 @@ impl ServeSimulator {
         let auto = self.config.auto_placement.clone();
         let (mut placement, mut planner_state) = match &auto {
             Some(ap) => {
-                let outcome =
-                    ap.planner
-                        .plan(&self.config.hw, &trace.mix, ap.forecast_rps, &mut self.cost);
+                let outcome = ap.planner.plan_timed(
+                    &self.config.hw,
+                    &trace.mix,
+                    ap.forecast_rps,
+                    &mut self.cost,
+                    &mut planner_watch,
+                );
                 let chosen = outcome.chosen.placement;
                 let state = PlannerState {
                     planner: ap.planner.clone(),
@@ -630,6 +847,27 @@ impl ServeSimulator {
         let mut degraded_requests = 0usize;
         let mut depth_events: Vec<(f64, i64)> = Vec::new();
         let mut next_arrival = 0usize;
+        if traced {
+            declare_unit_tracks(&units, sink);
+        }
+
+        // Streaming latency/queue-delay histograms: completions are folded
+        // in as they happen, so report percentiles never sort the full
+        // sample (O(1) memory at any trace scale).
+        let mut latency_hist = LogHistogram::default();
+        let mut queue_hist = LogHistogram::default();
+
+        // Counter/gauge time-series: snapshots fire at planner epoch
+        // boundaries and (when configured) every `stats_interval_ms` of
+        // simulated time. Running totals the recorder diffs at snapshot
+        // time; the hot loop only bumps plain integers.
+        let mut series_rec = SeriesRecorder::new();
+        let mut enqueued_total: u64 = 0;
+        let mut parks_total: u64 = 0;
+        let mut resumes_total: u64 = 0;
+        let mut drains_total: u64 = 0;
+        let stats_interval = self.config.stats_interval_ms;
+        let mut next_sample_ms = stats_interval.unwrap_or(f64::INFINITY);
 
         // Per-model scheduling constants (periods, weight/latent footprints,
         // refill costs, partition plans) are computed once per traced kind —
@@ -649,6 +887,28 @@ impl ServeSimulator {
                 .expect("at least one unit");
             if units[i].now_ms().is_infinite() {
                 break; // every unit is drained
+            }
+
+            // Fixed-cadence registry snapshots (when configured): fire for
+            // every interval boundary the cluster-wide minimum clock has
+            // passed. Pure observation — nothing feeds back into the run.
+            while units[i].now_ms() >= next_sample_ms {
+                let inflight: usize = units.iter().map(|u| u.leader().running.len()).sum();
+                series_rec.snapshot(
+                    next_sample_ms,
+                    [
+                        next_arrival as u64,
+                        enqueued_total,
+                        sheds.len() as u64,
+                        degraded_requests as u64,
+                        completions.len() as u64,
+                        parks_total,
+                        resumes_total,
+                        drains_total,
+                    ],
+                    [queue.len() as f64, inflight as f64, next_sample_ms],
+                );
+                next_sample_ms += stats_interval.expect("sampling only runs when configured");
             }
 
             // Epoch boundaries (auto-placement only): once the *cluster-wide
@@ -678,6 +938,23 @@ impl ServeSimulator {
                         realized_rps: realized,
                         error,
                     });
+                    // Every epoch boundary snapshots the registry into the
+                    // report time-series.
+                    let inflight: usize = units.iter().map(|u| u.leader().running.len()).sum();
+                    series_rec.snapshot(
+                        epoch_end,
+                        [
+                            next_arrival as u64,
+                            enqueued_total,
+                            sheds.len() as u64,
+                            degraded_requests as u64,
+                            completions.len() as u64,
+                            parks_total,
+                            resumes_total,
+                            drains_total,
+                        ],
+                        [queue.len() as f64, inflight as f64, epoch_end],
+                    );
                     state.epoch_start_ms = epoch_end;
                     // Hysteresis: small errors keep the placement and the
                     // forecast; an empty epoch carries no load signal.
@@ -685,10 +962,13 @@ impl ServeSimulator {
                         continue;
                     }
                     state.forecast_rps = realized;
-                    let outcome =
-                        state
-                            .planner
-                            .plan(&self.config.hw, &trace.mix, realized, &mut self.cost);
+                    let outcome = state.planner.plan_timed(
+                        &self.config.hw,
+                        &trace.mix,
+                        realized,
+                        &mut self.cost,
+                        &mut planner_watch,
+                    );
                     let new_placement = outcome.chosen.placement;
                     if new_placement == placement {
                         continue;
@@ -707,13 +987,43 @@ impl ServeSimulator {
                     let mut t_start = now;
                     for unit in units.iter_mut() {
                         let was_busy = !unit.is_idle();
+                        let drain_from = unit.now_ms();
                         let stamps = unit.drain_for_migration(&mut queue, &ctx);
                         drained += stamps.len();
+                        drains_total += stamps.len() as u64;
                         if was_busy {
                             t_start = t_start.max(unit.now_ms());
                         }
                         for &(_, at_ms) in &stamps {
                             depth_events.push((at_ms, 1));
+                        }
+                        if traced {
+                            let drain_ms = unit.now_ms() - drain_from;
+                            if drain_ms > 0.0 {
+                                for m in &unit.members {
+                                    sink.slice(TimelineSlice {
+                                        instance: m.id as u32,
+                                        kind: SliceKind::Drain,
+                                        start_ms: drain_from,
+                                        dur_ms: drain_ms,
+                                        label: "drain",
+                                        batch: stamps.len() as u32,
+                                    });
+                                }
+                            }
+                            for &(id, at_ms) in &stamps {
+                                let model = queue
+                                    .iter()
+                                    .find(|r| r.id == id)
+                                    .map(|r| r.model.name())
+                                    .unwrap_or("unknown");
+                                sink.span(SpanRecord {
+                                    at_ms,
+                                    request: id,
+                                    model,
+                                    event: RequestEvent::Migrated,
+                                });
+                            }
                         }
                     }
                     // Queued requests parked on a retiring member: the
@@ -738,6 +1048,19 @@ impl ServeSimulator {
                         migration_bytes,
                         drained_requests: drained,
                     });
+                    if traced {
+                        sink.instant(InstantMarker {
+                            at_ms: t_start,
+                            name: "replan",
+                            detail: format!(
+                                "{} -> {} ({} drained, {} bytes)",
+                                placement.summary(),
+                                new_placement.summary(),
+                                drained,
+                                migration_bytes
+                            ),
+                        });
+                    }
                     state.report.final_placement = new_placement.summary();
                     let birth = units_birth_ms;
                     retired.extend(units.drain(..).map(|u| (u, birth, t_start)));
@@ -751,6 +1074,9 @@ impl ServeSimulator {
                     units_birth_ms = t_start;
                     for unit in units.iter_mut() {
                         unit.jump_to(t_start);
+                    }
+                    if traced {
+                        declare_unit_tracks(&units, sink);
                     }
                     migrated = true;
                 }
@@ -778,12 +1104,44 @@ impl ServeSimulator {
                     let view = AdmissionView::new(decided_at, &queue, &units, &ctx);
                     admission.decide(&r, &view)
                 };
+                if traced {
+                    sink.span(SpanRecord {
+                        at_ms: r.arrival_ms,
+                        request: r.id,
+                        model: r.model.name(),
+                        event: RequestEvent::Arrival,
+                    });
+                }
                 match decision {
-                    AdmissionDecision::Accept => {}
+                    AdmissionDecision::Accept => {
+                        if traced {
+                            sink.span(SpanRecord {
+                                at_ms: decided_at,
+                                request: r.id,
+                                model: r.model.name(),
+                                event: RequestEvent::Admitted,
+                            });
+                        }
+                    }
                     AdmissionDecision::Degrade { steps } => {
                         r.degrade_to(steps);
                         if r.degraded {
                             degraded_requests += 1;
+                        }
+                        if traced {
+                            let event = if r.degraded {
+                                RequestEvent::Degraded {
+                                    steps: r.total_steps as u32,
+                                }
+                            } else {
+                                RequestEvent::Admitted
+                            };
+                            sink.span(SpanRecord {
+                                at_ms: decided_at,
+                                request: r.id,
+                                model: r.model.name(),
+                                event,
+                            });
                         }
                     }
                     AdmissionDecision::Shed => {
@@ -794,17 +1152,38 @@ impl ServeSimulator {
                             model: r.model,
                             at_ms: decided_at,
                         });
+                        if traced {
+                            sink.span(SpanRecord {
+                                at_ms: decided_at,
+                                request: r.id,
+                                model: r.model.name(),
+                                event: RequestEvent::Shed,
+                            });
+                        }
                         continue;
                     }
                 }
                 depth_events.push((r.arrival_ms, 1));
+                enqueued_total += 1;
+                if traced {
+                    sink.span(SpanRecord {
+                        at_ms: decided_at,
+                        request: r.id,
+                        model: r.model.name(),
+                        event: RequestEvent::Enqueued,
+                    });
+                }
                 queue.push(r);
             }
 
             if units[i].is_idle() && queue.is_empty() {
                 if next_arrival < pending.len() {
                     // Jump the idle clock to the next arrival.
-                    units[i].jump_to(pending[next_arrival].arrival_ms);
+                    let wake = pending[next_arrival].arrival_ms;
+                    if traced && wake > units[i].now_ms() {
+                        emit_idle_slices(&units[i], wake, sink);
+                    }
+                    units[i].jump_to(wake);
                 } else {
                     units[i].jump_to(f64::INFINITY);
                 }
@@ -814,6 +1193,51 @@ impl ServeSimulator {
             // Iteration boundary: admit (possibly preempting), then execute
             // one iteration.
             let outcome = units[i].admit(&mut queue, &ctx);
+            parks_total += outcome.parked.len() as u64;
+            resumes_total += outcome.resumed.len() as u64;
+            if traced {
+                let inst = units[i].leader().id as u32;
+                for &(id, at_ms) in &outcome.parked {
+                    // The park pushed the request back into the queue; read
+                    // its model (and the member actually holding the latent)
+                    // from there.
+                    let (model, holder) = queue
+                        .iter()
+                        .find(|r| r.id == id)
+                        .map(|r| {
+                            (
+                                r.model.name(),
+                                r.parked_on.map(|p| p as u32).unwrap_or(inst),
+                            )
+                        })
+                        .unwrap_or(("unknown", inst));
+                    sink.span(SpanRecord {
+                        at_ms,
+                        request: id,
+                        model,
+                        event: RequestEvent::Parked { instance: holder },
+                    });
+                }
+                let model = units[i]
+                    .leader()
+                    .active_model
+                    .map(|m| m.name())
+                    .unwrap_or("unknown");
+                for &(id, at_ms) in &outcome.admitted {
+                    let resumed = outcome.resumed.iter().any(|&(rid, _)| rid == id);
+                    let event = if resumed {
+                        RequestEvent::Resumed { instance: inst }
+                    } else {
+                        RequestEvent::BatchJoin { instance: inst }
+                    };
+                    sink.span(SpanRecord {
+                        at_ms,
+                        request: id,
+                        model,
+                        event,
+                    });
+                }
+            }
             for &(_, at_ms) in &outcome.parked {
                 depth_events.push((at_ms, 1));
             }
@@ -856,10 +1280,105 @@ impl ServeSimulator {
                 // so the wake target is finite and strictly ahead.
                 let wake = next_ready.min(next_arr);
                 debug_assert!(wake > units[i].now_ms(), "idle wake must advance");
+                if traced && wake > units[i].now_ms() {
+                    emit_idle_slices(&units[i], wake, sink);
+                }
                 units[i].jump_to(wake);
                 continue;
             }
-            completions.extend(units[i].execute_iteration(&mut self.cost, &ctx));
+            let iter_start = units[i].now_ms();
+            let (coll_ms_before, _) = if traced {
+                units[i].collective_totals()
+            } else {
+                (0.0, 0)
+            };
+            let refill_before = if traced {
+                units[i].member_refill_bytes()
+            } else {
+                Vec::new()
+            };
+            let batch = units[i].leader().running.len() as u32;
+            let new_done = units[i].execute_iteration(&mut self.cost, &ctx);
+            executed_iterations += 1;
+            if traced {
+                let iter_end = units[i].now_ms();
+                let dur_ms = iter_end - iter_start;
+                let (coll_ms_after, _) = units[i].collective_totals();
+                let coll_ms = (coll_ms_after - coll_ms_before).min(dur_ms);
+                let refill_after = units[i].member_refill_bytes();
+                let label = units[i]
+                    .leader()
+                    .active_model
+                    .map(|m| m.name())
+                    .unwrap_or("iteration");
+                for (slot, m) in units[i].members.iter().enumerate() {
+                    if dur_ms > 0.0 {
+                        sink.slice(TimelineSlice {
+                            instance: m.id as u32,
+                            kind: SliceKind::Busy,
+                            start_ms: iter_start,
+                            dur_ms,
+                            label,
+                            batch,
+                        });
+                    }
+                    // Weight-refill traffic this iteration, priced at DRAM
+                    // bandwidth and drawn nested at the head of the slice.
+                    let refill_bytes = refill_after[slot].1 - refill_before[slot].1;
+                    if refill_bytes > 0 {
+                        let refill_ms = ctx.transfer_ms(refill_bytes).min(dur_ms);
+                        if refill_ms > 0.0 {
+                            sink.slice(TimelineSlice {
+                                instance: m.id as u32,
+                                kind: SliceKind::Refill,
+                                start_ms: iter_start,
+                                dur_ms: refill_ms,
+                                label: "weight refill",
+                                batch,
+                            });
+                        }
+                    }
+                    // Collective time is charged at the tail of the
+                    // iteration (activations sync before the boundary).
+                    if coll_ms > 0.0 {
+                        sink.slice(TimelineSlice {
+                            instance: m.id as u32,
+                            kind: SliceKind::Collective,
+                            start_ms: iter_end - coll_ms,
+                            dur_ms: coll_ms,
+                            label: "collective",
+                            batch,
+                        });
+                    }
+                }
+                let inst = units[i].leader().id as u32;
+                for r in &units[i].leader().running {
+                    sink.span(SpanRecord {
+                        at_ms: iter_end,
+                        request: r.id,
+                        model: r.model.name(),
+                        event: RequestEvent::Iteration {
+                            instance: inst,
+                            step: r.steps_done as u32,
+                        },
+                    });
+                }
+                for c in &new_done {
+                    sink.span(SpanRecord {
+                        at_ms: c.finished_ms,
+                        request: c.id,
+                        model: c.model.name(),
+                        event: RequestEvent::Completed {
+                            instance: c.instance as u32,
+                        },
+                    });
+                }
+            }
+            for c in &new_done {
+                latency_hist.record(c.latency_ms());
+                queue_hist.record(c.queue_ms());
+            }
+            completions.extend(new_done);
             // Weight refills can evict parked latents too.
             for id in units[i].take_evicted_latents() {
                 for r in queue.iter_mut().filter(|r| r.id == id) {
@@ -874,6 +1393,18 @@ impl ServeSimulator {
         // window (birth to death; the final units live to the makespan).
         let birth = units_birth_ms;
         retired.extend(units.into_iter().map(|u| (u, birth, f64::INFINITY)));
+        let makespan_ms = completions
+            .iter()
+            .map(|c| c.finished_ms)
+            .fold(0.0, f64::max);
+        self.last_profile = Some(RunProfile {
+            wall_ms: run_start.elapsed().as_secs_f64() * 1e3,
+            planner_wall_ms: planner_watch.wall_ms(),
+            planner_calls: planner_watch.laps(),
+            iterations: executed_iterations,
+            makespan_ms,
+            completed: completions.len(),
+        });
         self.report(
             trace,
             &arrivals,
@@ -884,6 +1415,9 @@ impl ServeSimulator {
             &retired,
             &placement,
             planner_state.map(|s| s.report),
+            &latency_hist,
+            &queue_hist,
+            series_rec.into_series(),
         )
     }
 
@@ -899,6 +1433,9 @@ impl ServeSimulator {
         units: &[(Gang, f64, f64)],
         placement: &Placement,
         planner: Option<PlannerReport>,
+        latency_hist: &LogHistogram,
+        queue_hist: &LogHistogram,
+        series: Vec<MetricsSnapshot>,
     ) -> ServeReport {
         let makespan_ms = completions
             .iter()
@@ -906,10 +1443,11 @@ impl ServeSimulator {
             .fold(0.0, f64::max);
         let makespan_s = (makespan_ms / 1000.0).max(1e-9);
         let within_slo = completions.iter().filter(|c| c.within_slo()).count();
-        let latency =
-            LatencyStats::from_unsorted(completions.iter().map(|c| c.latency_ms()).collect());
-        let queue_delay =
-            LatencyStats::from_unsorted(completions.iter().map(|c| c.queue_ms()).collect());
+        // Percentiles come from the streaming histograms the run loop fed —
+        // no full-sample sort; error is bounded by one log-bucket width.
+        debug_assert_eq!(latency_hist.count(), completions.len() as u64);
+        let latency = LatencyStats::from_histogram(latency_hist);
+        let queue_delay = LatencyStats::from_histogram(queue_hist);
         let (mean_queue_depth, peak_queue_depth) = queue_depth_stats(depth_events, makespan_ms);
         // Utilization is busy time over each unit's *live* window (birth to
         // retirement, or the makespan for the final units) — a migrated
@@ -1001,6 +1539,7 @@ impl ServeSimulator {
             collective_ms: per_gang.iter().map(|g| g.collective_ms).sum(),
             collective_bytes: per_gang.iter().map(|g| g.collective_bytes).sum(),
             planner,
+            series,
             per_gang,
             per_instance,
             completions,
@@ -1071,8 +1610,10 @@ mod tests {
             .try_build();
         assert!(matches!(oversized, Err(ConfigError::OversizedGang { .. })));
         // A link that cannot move bytes.
-        let mut dead_link = exion_sim::partition::Interconnect::default();
-        dead_link.link_gbps = 0.0;
+        let dead_link = exion_sim::partition::Interconnect {
+            link_gbps: 0.0,
+            ..Default::default()
+        };
         let invalid = ServeConfig::builder(hw)
             .placement(
                 Placement::sharded(1, PartitionStrategy::Tensor { ways: 2 })

@@ -51,9 +51,19 @@
 //!   *fraction* of the model's weight working set GSC-resident (partial
 //!   refills, not a warm/cold flag), under the analytic sparsity profile or
 //!   a measured override (`exion-bench::profiles`);
-//! * [`metrics`] — p50/p95/p99 latency, goodput, SLO attainment,
+//! * [`metrics`] — p50/p95/p99 latency (from streaming log-bucketed
+//!   histograms, no full-sample sort), goodput, SLO attainment,
 //!   utilization, queue depth, joules per request, preemption counts,
-//!   residency hit-rate, refill bytes, and shed/degrade accounting.
+//!   residency hit-rate, refill bytes, shed/degrade accounting, and
+//!   fixed-cadence metric time-series ([`MetricsSnapshot`]);
+//! * [`telemetry`] (re-export of `exion-telemetry`) — a pure-observer
+//!   instrumentation plane: request-lifecycle spans and per-instance
+//!   busy/idle/collective/refill/drain timeline slices are emitted through
+//!   a [`Sink`] by [`ServeSimulator::run_traced`], exportable as Chrome
+//!   trace-event JSON ([`chrome_trace_json`], loadable in Perfetto /
+//!   `chrome://tracing`); a run with a sink attached produces a report
+//!   identical to one without, and [`ServeSimulator::last_run_profile`]
+//!   self-meters the wall-clock cost of every run.
 //!
 //! # Example
 //!
@@ -88,17 +98,26 @@ pub mod request;
 pub mod scheduler;
 pub mod trace;
 
+/// The instrumentation crate, re-exported so downstream users need not
+/// depend on `exion-telemetry` directly.
+pub use exion_telemetry as telemetry;
+
 pub use admission::{
     AdmissionController, AdmissionDecision, AdmissionRegistry, AdmissionView, AdmitAll,
     DeadlineFeasibility,
 };
-pub use cluster::{ServeConfig, ServeConfigBuilder, ServeSimulator};
+pub use cluster::{RunProfile, ServeConfig, ServeConfigBuilder, ServeSimulator};
 pub use cost::CostModel;
 pub use exion_sim::partition::Topology;
 pub use exion_sim::partition::{Interconnect, PartitionPlan, PartitionStrategy};
 pub use exion_sim::residency::EvictionPolicy;
+pub use exion_telemetry::{
+    chrome_trace_json, LogHistogram, MemorySink, NullSink, RequestEvent, Sink, SliceKind,
+    SpanRecord, TimelineSlice,
+};
 pub use metrics::{
-    EpochStat, GangStats, InstanceStats, LatencyStats, PlannerReport, ReplanEvent, ServeReport,
+    EpochStat, GangStats, InstanceStats, LatencyStats, MetricSample, MetricsSnapshot,
+    PlannerReport, ReplanEvent, ServeReport,
 };
 pub use placement::{Gang, Placement};
 pub use planner::{gsc_feasible, CandidateScore, PlacementPlanner, PlanOutcome, PlannerConfig};

@@ -1,10 +1,13 @@
 //! Serving metrics: tail latency, goodput, utilization, energy per request.
 
+use exion_telemetry::LogHistogram;
 use serde::{Deserialize, Serialize};
 
 use crate::request::{Completion, ShedRecord};
 
-/// Nearest-rank percentile of an ascending-sorted slice (`q ∈ [0, 1]`).
+/// Nearest-rank percentile of an ascending-sorted slice (`q ∈ [0, 1]`) —
+/// the exact reference the streaming-histogram error-bound tests compare
+/// against.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -13,7 +16,15 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Distribution summary of a latency-like sample.
+/// Distribution summary of a latency-like sample, read off a streaming
+/// log-bucketed [`LogHistogram`] — O(1) memory however many samples were
+/// recorded.
+///
+/// Percentiles are nearest-rank estimates within one histogram bucket
+/// (≤ [`LogHistogram::growth`] relative, about 4.1% at the default
+/// resolution) of the exact sorted-sample value; `mean`, `max`, and
+/// `count` are exact. When `count == 0` every field is 0.0 — check
+/// [`Self::is_empty`] to tell an empty sample from a real all-zero one.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Median (ms).
@@ -22,34 +33,76 @@ pub struct LatencyStats {
     pub p95: f64,
     /// 99th percentile (ms).
     pub p99: f64,
-    /// Mean (ms).
+    /// Mean (ms, exact).
     pub mean: f64,
-    /// Maximum (ms).
+    /// Maximum (ms, exact).
     pub max: f64,
+    /// Samples recorded — 0 marks an empty distribution whose zeros carry
+    /// no information.
+    pub count: u64,
 }
 
 impl LatencyStats {
-    /// Stats of an unsorted sample (all zeros when empty).
-    pub fn from_unsorted(mut samples: Vec<f64>) -> Self {
-        if samples.is_empty() {
-            return Self {
-                p50: 0.0,
-                p95: 0.0,
-                p99: 0.0,
-                mean: 0.0,
-                max: 0.0,
-            };
+    /// The empty distribution (all zeros, `count == 0`).
+    pub const EMPTY: Self = Self {
+        p50: 0.0,
+        p95: 0.0,
+        p99: 0.0,
+        mean: 0.0,
+        max: 0.0,
+        count: 0,
+    };
+
+    /// Reads the summary off a streaming histogram.
+    pub fn from_histogram(h: &LogHistogram) -> Self {
+        if h.is_empty() {
+            return Self::EMPTY;
         }
-        samples.sort_by(f64::total_cmp);
-        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         Self {
-            p50: percentile(&samples, 0.50),
-            p95: percentile(&samples, 0.95),
-            p99: percentile(&samples, 0.99),
-            mean,
-            max: *samples.last().expect("non-empty after the early return"),
+            p50: h.percentile(0.50),
+            p95: h.percentile(0.95),
+            p99: h.percentile(0.99),
+            mean: h.mean(),
+            max: h.max(),
+            count: h.count(),
         }
     }
+
+    /// Streams `samples` through a default-resolution histogram and reads
+    /// the summary off it — the one-shot path for derived views (e.g.
+    /// per-class latency).
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = LogHistogram::default();
+        for s in samples {
+            h.record(s);
+        }
+        Self::from_histogram(&h)
+    }
+
+    /// Whether the distribution recorded no samples (its zeros are
+    /// placeholders, not measurements).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// One named value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Metric name (registry registration order is preserved).
+    pub name: String,
+    /// Value at the snapshot instant (counters as `f64`).
+    pub value: f64,
+}
+
+/// The cluster's counter/gauge registry captured at one epoch boundary —
+/// the rows of [`ServeReport::series`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Simulated time of the snapshot (ms).
+    pub at_ms: f64,
+    /// Every registered metric, in registration order.
+    pub values: Vec<MetricSample>,
 }
 
 /// Per-instance accounting.
@@ -247,6 +300,11 @@ pub struct ServeReport {
     /// Planner accounting: chosen placement, re-plans, migration bytes,
     /// and per-epoch forecast error (`None` for statically placed runs).
     pub planner: Option<PlannerReport>,
+    /// Counter/gauge time-series: the cluster registry snapshotted at
+    /// planner epoch boundaries (and at the configured
+    /// `stats_interval_ms`, when set), in time order. Empty for static
+    /// runs without a sampling interval.
+    pub series: Vec<MetricsSnapshot>,
     /// Per-unit accounting (replicas and gangs alike; retired pre-migration
     /// units included, in retirement-then-active order).
     pub per_gang: Vec<GangStats>,
@@ -263,12 +321,11 @@ impl ServeReport {
     /// the class completed nothing) — the per-tenant tail view preemption
     /// experiments compare.
     pub fn class_latency(&self, kind: exion_model::config::ModelKind) -> LatencyStats {
-        LatencyStats::from_unsorted(
+        LatencyStats::from_samples(
             self.completions
                 .iter()
                 .filter(|c| c.model == kind)
-                .map(|c| c.latency_ms())
-                .collect(),
+                .map(|c| c.latency_ms()),
         )
     }
 
@@ -348,11 +405,47 @@ mod tests {
 
     #[test]
     fn stats_of_constant_sample() {
-        let s = LatencyStats::from_unsorted(vec![7.0; 32]);
+        // Percentile estimates clamp to the observed [min, max], so a
+        // constant sample stays exact even through the histogram.
+        let s = LatencyStats::from_samples(vec![7.0; 32]);
         assert_eq!(s.p50, 7.0);
         assert_eq!(s.p99, 7.0);
         assert_eq!(s.mean, 7.0);
         assert_eq!(s.max, 7.0);
+        assert_eq!(s.count, 32);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_sample_is_distinguishable_from_zero_latencies() {
+        let empty = LatencyStats::from_samples(std::iter::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty, LatencyStats::EMPTY);
+        // A real all-zero sample reports the same percentiles but a
+        // non-zero count.
+        let zeros = LatencyStats::from_samples(vec![0.0; 5]);
+        assert!(!zeros.is_empty());
+        assert_eq!(zeros.count, 5);
+        assert_eq!(zeros.p99, 0.0);
+        assert_ne!(zeros, empty);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_exact_sorted_percentiles() {
+        let samples: Vec<f64> = (1..=1000).map(|i| (i * i) as f64 / 37.0).collect();
+        let s = LatencyStats::from_samples(samples.iter().copied());
+        let mut sorted = samples;
+        sorted.sort_by(f64::total_cmp);
+        let growth = exion_telemetry::LogHistogram::default().growth();
+        for (est, q) in [(s.p50, 0.50), (s.p95, 0.95), (s.p99, 0.99)] {
+            let exact = percentile(&sorted, q);
+            assert!(
+                est / exact <= growth && exact / est <= growth,
+                "p{q}: {est} vs {exact}"
+            );
+        }
+        assert_eq!(s.max, *sorted.last().unwrap());
+        assert_eq!(s.count, 1000);
     }
 
     #[test]

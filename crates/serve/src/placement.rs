@@ -291,6 +291,23 @@ impl Gang {
         self.members.iter().map(Instance::gsc_occupancy_bytes).sum()
     }
 
+    /// Cumulative interconnect-collective accounting `(ms, bytes)` —
+    /// telemetry reads the per-iteration delta to size collective slices
+    /// on the timeline (always zero for replicas).
+    pub fn collective_totals(&self) -> (f64, u64) {
+        (self.collective_ms, self.collective_bytes)
+    }
+
+    /// Per-member `(instance id, cumulative DRAM weight-refill bytes)` —
+    /// telemetry reads the per-iteration delta to size refill slices on
+    /// each member's timeline track.
+    pub fn member_refill_bytes(&self) -> Vec<(usize, u64)> {
+        self.members
+            .iter()
+            .map(|m| (m.id, m.refill_bytes_so_far()))
+            .collect()
+    }
+
     /// Executes one denoising iteration of the unit's running batch.
     ///
     /// Replicas delegate to [`Instance::execute_iteration`]. A sharded gang

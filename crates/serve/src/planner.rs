@@ -253,6 +253,24 @@ impl PlacementPlanner {
         out
     }
 
+    /// [`Self::plan`] with its wall-clock cost accumulated into `watch` —
+    /// the self-metering hook the cluster loop wraps every offline pick
+    /// and epoch re-score in, so run profiles can report how much of a
+    /// run's wall time went to planner scoring.
+    pub fn plan_timed(
+        &self,
+        hw: &HwConfig,
+        mix: &WorkloadMix,
+        forecast_rps: f64,
+        cost: &mut CostModel,
+        watch: &mut exion_telemetry::StopWatch,
+    ) -> PlanOutcome {
+        let t0 = std::time::Instant::now();
+        let outcome = self.plan(hw, mix, forecast_rps, cost);
+        watch.add(t0.elapsed());
+        outcome
+    }
+
     /// Plans a placement for `mix` at the forecast offered load on `hw`,
     /// pricing candidates through `cost`. Always returns a plan: if every
     /// gang strategy is infeasible the replicated candidates remain (a

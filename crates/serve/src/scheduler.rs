@@ -212,6 +212,10 @@ pub struct AdmitOutcome {
     pub admitted: Vec<(u64, f64)>,
     /// `(request id, boundary ms)` per parked request.
     pub parked: Vec<(u64, f64)>,
+    /// `(request id, boundary ms)` per admitted request that resumed from
+    /// a previous park (a subset of `admitted`) — telemetry distinguishes
+    /// fresh batch-joins from resumes.
+    pub resumed: Vec<(u64, f64)>,
 }
 
 /// One accelerator instance's scheduler state.
@@ -791,6 +795,7 @@ impl Instance {
             let mut r = queue.swap_remove(idx);
             if r.steps_done > 0 {
                 self.resume(&mut r, ctx, peers);
+                outcome.resumed.push((r.id, self.now_ms));
             }
             if r.admitted_ms.is_none() {
                 r.admitted_ms = Some(self.now_ms);
@@ -932,6 +937,12 @@ impl Instance {
             .iteration(&info.config, batch, phase, warm_frac)
             .expect("non-empty batch and in-range step");
         self.finish_iteration(c.latency_ms, c.energy_mj, phase)
+    }
+
+    /// Cumulative weight bytes streamed from DRAM — telemetry reads the
+    /// per-iteration delta to size refill slices on the timeline.
+    pub(crate) fn refill_bytes_so_far(&self) -> u64 {
+        self.weight_refill_bytes
     }
 
     /// Final accounting over a makespan.

@@ -1,0 +1,223 @@
+//! Minimal JSON emission (and validation) helpers — the workspace builds
+//! offline with no `serde_json`, so trace export writes JSON by hand.
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number (non-finite values become `0`, which JSON
+/// cannot represent).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// Whether `s` is one well-formed JSON value (the whole input, surrounded
+/// by optional whitespace). A deliberately small recursive-descent check —
+/// enough for tests and smoke steps to validate emitted traces without a
+/// JSON dependency.
+pub fn is_well_formed(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if !value(b, &mut i) {
+        return false;
+    }
+    skip_ws(b, &mut i);
+    i == b.len()
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> bool {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, i),
+        _ => false,
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> bool {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> bool {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, i);
+        if !string(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return false;
+        }
+        *i += 1;
+        if !value(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> bool {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return true;
+    }
+    loop {
+        if !value(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> bool {
+    if b.get(*i) != Some(&b'"') {
+        return false;
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return true;
+            }
+            b'\\' => *i += 2,
+            _ => *i += 1,
+        }
+    }
+    false
+}
+
+fn number(b: &[u8], i: &mut usize) -> bool {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while matches!(b.get(*i), Some(b'0'..=b'9')) {
+        *i += 1;
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        while matches!(b.get(*i), Some(b'0'..=b'9')) {
+            *i += 1;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        while matches!(b.get(*i), Some(b'0'..=b'9')) {
+            *i += 1;
+        }
+    }
+    *i > start && matches!(b[start], b'-' | b'0'..=b'9') && b[*i - 1].is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_stay_finite() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        out.push(',');
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "1.5,0");
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            " { \"a\" : [1, -2.5, 1e9, true, false, null, \"s\\\"x\"] } ",
+            "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":1.25}]}",
+            "3.25",
+        ] {
+            assert!(is_well_formed(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{a:1}",
+            "[1 2]",
+            "tru",
+            "1.",
+            "{\"a\":1}extra",
+            "\"unterminated",
+        ] {
+            assert!(!is_well_formed(bad), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Self-metering: wall-clock accumulators for scoped timing of simulator
+//! phases (cluster stepping, planner scoring).
+//!
+//! Wall-clock readings are inherently non-deterministic, so nothing here
+//! may enter a simulation report that determinism tests compare — the
+//! serving simulator keeps its `RunProfile` beside the report, not inside
+//! it.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time over any number of scoped laps.
+///
+/// ```
+/// use exion_telemetry::StopWatch;
+/// let mut watch = StopWatch::new();
+/// let t0 = std::time::Instant::now();
+/// let sum: u64 = (0..1000u64).sum();
+/// watch.add(t0.elapsed());
+/// assert_eq!(watch.laps(), 1);
+/// assert!(watch.wall_ms() >= 0.0 && sum > 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StopWatch {
+    nanos: u64,
+    laps: u64,
+}
+
+impl StopWatch {
+    /// A zeroed stopwatch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one lap of `elapsed` wall-clock time.
+    pub fn add(&mut self, elapsed: Duration) {
+        self.nanos = self.nanos.saturating_add(elapsed.as_nanos() as u64);
+        self.laps += 1;
+    }
+
+    /// Times `f` as one lap and returns its result.
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add(t0.elapsed());
+        r
+    }
+
+    /// Accumulated wall-clock milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+
+    /// Laps recorded.
+    pub fn laps(&self) -> u64 {
+        self.laps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_accumulate() {
+        let mut w = StopWatch::new();
+        assert_eq!(w.wall_ms(), 0.0);
+        let x = w.time(|| 21 * 2);
+        assert_eq!(x, 42);
+        w.add(Duration::from_millis(2));
+        assert_eq!(w.laps(), 2);
+        assert!(w.wall_ms() >= 2.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! A small insertion-ordered counter/gauge registry.
+//!
+//! The serving loop keeps one [`Registry`] of cluster-level counters
+//! (arrivals, completions, sheds, …) and gauges (queue depth, in-flight
+//! rows) and snapshots it at epoch boundaries into the report's
+//! time-series. Names are `&'static str` and lookup is a linear scan —
+//! registries hold a handful of entries and the snapshot order must be
+//! deterministic (first registration wins), so a hash map buys nothing.
+
+/// One metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Metric {
+    /// Monotone accumulator.
+    Counter(u64),
+    /// Last-write-wins level.
+    Gauge(f64),
+}
+
+/// An insertion-ordered set of named counters and gauges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    entries: Vec<(&'static str, Metric)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name`, registering it at zero first if
+    /// unseen. Registering every counter with `delta = 0` up front pins
+    /// the snapshot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a gauge.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        for (n, m) in &mut self.entries {
+            if *n == name {
+                match m {
+                    Metric::Counter(c) => *c += delta,
+                    Metric::Gauge(_) => panic!("{name:?} is a gauge, not a counter"),
+                }
+                return;
+            }
+        }
+        self.entries.push((name, Metric::Counter(delta)));
+    }
+
+    /// Sets gauge `name` to `value`, registering it if unseen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a counter.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        for (n, m) in &mut self.entries {
+            if *n == name {
+                match m {
+                    Metric::Gauge(g) => *g = value,
+                    Metric::Counter(_) => panic!("{name:?} is a counter, not a gauge"),
+                }
+                return;
+            }
+        }
+        self.entries.push((name, Metric::Gauge(value)));
+    }
+
+    /// The current value of `name` (counters as `f64`), if registered.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => *c as f64,
+                Metric::Gauge(g) => *g,
+            })
+    }
+
+    /// Every `(name, value)` in registration order — the deterministic
+    /// snapshot epoch boundaries record.
+    pub fn snapshot(&self) -> Vec<(&'static str, f64)> {
+        self.entries
+            .iter()
+            .map(|(n, m)| {
+                (
+                    *n,
+                    match m {
+                        Metric::Counter(c) => *c as f64,
+                        Metric::Gauge(g) => *g,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = Registry::new();
+        r.counter_add("completed", 0);
+        r.gauge_set("queue_depth", 3.0);
+        r.counter_add("completed", 2);
+        r.counter_add("completed", 1);
+        r.gauge_set("queue_depth", 1.0);
+        assert_eq!(r.get("completed"), Some(3.0));
+        assert_eq!(r.get("queue_depth"), Some(1.0));
+        assert_eq!(r.get("missing"), None);
+        // Snapshot order is registration order.
+        let snap = r.snapshot();
+        assert_eq!(snap[0].0, "completed");
+        assert_eq!(snap[1].0, "queue_depth");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a gauge")]
+    fn kind_confusion_panics() {
+        let mut r = Registry::new();
+        r.gauge_set("x", 1.0);
+        r.counter_add("x", 1);
+    }
+}

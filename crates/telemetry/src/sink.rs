@@ -1,0 +1,226 @@
+//! The `Sink` trait the serving stack emits telemetry through, and its two
+//! built-in implementations: the near-zero-cost [`NullSink`] default and
+//! the in-memory recorder [`MemorySink`].
+
+use crate::span::SpanRecord;
+
+/// What a [`TimelineSlice`] represents on an instance's track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceKind {
+    /// Executing denoising iterations.
+    Busy,
+    /// Clock jumped forward with no work (queue empty or nothing ready).
+    Idle,
+    /// Gang-interconnect collective time inside an iteration.
+    Collective,
+    /// Weight bytes streamed from DRAM during an iteration (estimated
+    /// duration: bytes at the DRAM refill rate, clamped to the iteration).
+    Refill,
+    /// A placement migration draining the unit's running batch.
+    Drain,
+}
+
+impl SliceKind {
+    /// Stable category label (Chrome-trace `cat` field).
+    pub fn category(&self) -> &'static str {
+        match self {
+            SliceKind::Busy => "busy",
+            SliceKind::Idle => "idle",
+            SliceKind::Collective => "collective",
+            SliceKind::Refill => "refill",
+            SliceKind::Drain => "drain",
+        }
+    }
+}
+
+/// One duration slice on a per-instance timeline track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSlice {
+    /// Instance id the slice belongs to (gang members get their own
+    /// tracks).
+    pub instance: u32,
+    /// What the instance was doing.
+    pub kind: SliceKind,
+    /// Slice start (simulated ms).
+    pub start_ms: f64,
+    /// Slice duration (simulated ms).
+    pub dur_ms: f64,
+    /// Display label (the model name for busy slices, the kind's category
+    /// otherwise).
+    pub label: &'static str,
+    /// Batch rows occupying the unit during the slice (0 when not
+    /// applicable).
+    pub batch: u32,
+}
+
+/// A point-in-time marker (planner re-plans, epoch boundaries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantMarker {
+    /// When the marker fired (simulated ms).
+    pub at_ms: f64,
+    /// Marker name (e.g. `replan`).
+    pub name: &'static str,
+    /// Free-form detail (e.g. the placement switch).
+    pub detail: String,
+}
+
+/// Where the serving stack emits telemetry. Implementations are pure
+/// observers: they receive copies of simulation facts and must not feed
+/// anything back.
+///
+/// [`Sink::enabled`] is the hot-loop gate — emission sites check it once
+/// per scope and skip building records entirely when it is `false`, so the
+/// default [`NullSink`] costs one branch.
+pub trait Sink: std::fmt::Debug {
+    /// Whether emission sites should bother producing records.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A request-lifecycle transition.
+    fn span(&mut self, record: SpanRecord);
+
+    /// A per-instance timeline slice.
+    fn slice(&mut self, slice: TimelineSlice);
+
+    /// A point-in-time marker.
+    fn instant(&mut self, marker: InstantMarker);
+
+    /// Declares (or renames) the display label of instance `instance`'s
+    /// timeline track.
+    fn declare_track(&mut self, instance: u32, name: String);
+}
+
+/// The default sink: discards everything and reports itself disabled so
+/// emission sites skip record construction entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span(&mut self, _record: SpanRecord) {}
+
+    fn slice(&mut self, _slice: TimelineSlice) {}
+
+    fn instant(&mut self, _marker: InstantMarker) {}
+
+    fn declare_track(&mut self, _instance: u32, _name: String) {}
+}
+
+/// Records everything in memory, in emission order — the input to
+/// [`crate::chrome_trace_json`] and the telemetry tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    /// Request-lifecycle events, in emission order.
+    pub spans: Vec<SpanRecord>,
+    /// Per-instance timeline slices, in emission order.
+    pub slices: Vec<TimelineSlice>,
+    /// Point-in-time markers, in emission order.
+    pub instants: Vec<InstantMarker>,
+    /// Declared `(instance, label)` track names (last declaration wins).
+    pub tracks: Vec<(u32, String)>,
+}
+
+impl MemorySink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total recorded events across all channels.
+    pub fn len(&self) -> usize {
+        self.spans.len() + self.slices.len() + self.instants.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The lifecycle events of request `id`, in emission order.
+    pub fn spans_of(&self, id: u64) -> Vec<SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.request == id)
+            .copied()
+            .collect()
+    }
+}
+
+impl Sink for MemorySink {
+    fn span(&mut self, record: SpanRecord) {
+        self.spans.push(record);
+    }
+
+    fn slice(&mut self, slice: TimelineSlice) {
+        self.slices.push(slice);
+    }
+
+    fn instant(&mut self, marker: InstantMarker) {
+        self.instants.push(marker);
+    }
+
+    fn declare_track(&mut self, instance: u32, name: String) {
+        self.tracks.push((instance, name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::RequestEvent;
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        let mut sink = NullSink;
+        assert!(!sink.enabled());
+        sink.span(SpanRecord {
+            at_ms: 0.0,
+            request: 0,
+            model: "m",
+            event: RequestEvent::Arrival,
+        });
+        sink.declare_track(0, "x".to_string());
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let mut sink = MemorySink::new();
+        assert!(sink.is_empty());
+        for (i, ev) in [
+            RequestEvent::Arrival,
+            RequestEvent::Enqueued,
+            RequestEvent::Completed { instance: 0 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            sink.span(SpanRecord {
+                at_ms: i as f64,
+                request: 7,
+                model: "m",
+                event: ev,
+            });
+        }
+        sink.slice(TimelineSlice {
+            instance: 0,
+            kind: SliceKind::Busy,
+            start_ms: 0.0,
+            dur_ms: 2.0,
+            label: "m",
+            batch: 1,
+        });
+        sink.instant(InstantMarker {
+            at_ms: 1.0,
+            name: "replan",
+            detail: "a -> b".to_string(),
+        });
+        assert_eq!(sink.len(), 5);
+        let chain = sink.spans_of(7);
+        assert_eq!(chain.len(), 3);
+        assert!(chain.last().unwrap().event.is_terminal());
+    }
+}

@@ -1,0 +1,126 @@
+//! Typed request-lifecycle events.
+//!
+//! Every request moves through the chain *arrival → admission decision
+//! (admit / shed / degrade) → enqueue → batch-join → per-iteration
+//! boundary → park/resume → migration → completion*; each transition is
+//! one [`SpanRecord`] stamped with the simulated time it fired at. Sheds
+//! and completions are the only terminal events, so a well-formed chain
+//! has exactly one [`RequestEvent::Arrival`] and exactly one terminal —
+//! the conservation property the telemetry tests assert.
+
+/// One transition in a request's lifecycle. Instance ids identify the
+/// scheduling-unit member the transition happened on (the unit leader for
+/// batch-level events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestEvent {
+    /// The request was released to the admission controller.
+    Arrival,
+    /// Admission accepted the request untouched.
+    Admitted,
+    /// Admission degraded the request to a reduced DDIM step budget.
+    Degraded {
+        /// The granted step budget.
+        steps: u32,
+    },
+    /// Admission refused the request (terminal: it never queues).
+    Shed,
+    /// The request entered the shared queue.
+    Enqueued,
+    /// The request joined a unit's running batch.
+    BatchJoin {
+        /// Leader instance id of the admitting unit.
+        instance: u32,
+    },
+    /// The request finished one denoising iteration and remains running.
+    Iteration {
+        /// Leader instance id of the executing unit.
+        instance: u32,
+        /// Denoising steps completed so far.
+        step: u32,
+    },
+    /// The request was preempted: its batch slot was given up and its
+    /// latent parked (GSC or DRAM).
+    Parked {
+        /// Leader instance id of the parking unit.
+        instance: u32,
+    },
+    /// A previously parked request re-joined a batch.
+    Resumed {
+        /// Leader instance id of the resuming unit.
+        instance: u32,
+    },
+    /// A placement migration drained the request back into the queue.
+    Migrated,
+    /// The request finished its final iteration (terminal).
+    Completed {
+        /// Leader instance id of the completing unit.
+        instance: u32,
+    },
+}
+
+impl RequestEvent {
+    /// Whether this event ends the request's chain.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, RequestEvent::Shed | RequestEvent::Completed { .. })
+    }
+
+    /// Short stable label (Chrome-trace event names, debugging).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestEvent::Arrival => "arrival",
+            RequestEvent::Admitted => "admitted",
+            RequestEvent::Degraded { .. } => "degraded",
+            RequestEvent::Shed => "shed",
+            RequestEvent::Enqueued => "enqueued",
+            RequestEvent::BatchJoin { .. } => "batch-join",
+            RequestEvent::Iteration { .. } => "iteration",
+            RequestEvent::Parked { .. } => "parked",
+            RequestEvent::Resumed { .. } => "resumed",
+            RequestEvent::Migrated => "migrated",
+            RequestEvent::Completed { .. } => "completed",
+        }
+    }
+}
+
+/// One emitted lifecycle event: which request, when (simulated ms), and
+/// what happened. `model` is the request's model label (model names are
+/// static in the simulator, so records stay `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Simulated time the transition fired (ms).
+    pub at_ms: f64,
+    /// Request id.
+    pub request: u64,
+    /// Model label of the request.
+    pub model: &'static str,
+    /// The transition.
+    pub event: RequestEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_labels() {
+        assert!(RequestEvent::Shed.is_terminal());
+        assert!(RequestEvent::Completed { instance: 3 }.is_terminal());
+        for e in [
+            RequestEvent::Arrival,
+            RequestEvent::Admitted,
+            RequestEvent::Degraded { steps: 10 },
+            RequestEvent::Enqueued,
+            RequestEvent::BatchJoin { instance: 0 },
+            RequestEvent::Iteration {
+                instance: 0,
+                step: 1,
+            },
+            RequestEvent::Parked { instance: 0 },
+            RequestEvent::Resumed { instance: 0 },
+            RequestEvent::Migrated,
+        ] {
+            assert!(!e.is_terminal(), "{e:?}");
+            assert!(!e.label().is_empty());
+        }
+    }
+}

@@ -18,13 +18,21 @@
 //! `EXION_SERVE_ADMISSION=<name>` runs only the admission comparison,
 //! with `<name>` (an admission-registry name, e.g. `deadline`) validated
 //! against the registry (the CI admission smoke step).
+//! `EXION_SERVE_TRACE=<path>` additionally runs one representative traced
+//! scenario for the selected mode and writes its timeline as Chrome
+//! trace-event JSON to `<path>` (load in Perfetto or `chrome://tracing`).
+//! `EXION_SERVE_BENCH=<path>` self-meters the standard perf-trajectory
+//! scenarios and writes the `BENCH_serve.json` document to `<path>`.
 
 use exion::serve::{
-    admission, policy, ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+    admission, chrome_trace_json, policy, MemorySink, Placement, PlacementPlanner, PlannerConfig,
+    ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
 };
 use exion::sim::config::HwConfig;
+use exion::sim::partition::PartitionStrategy;
 use exion_bench::experiments::serve_sweep::{
-    admission_comparison, goodput_crossover, planner_comparison, sharding_comparison,
+    admission_comparison, goodput_crossover, perf_trajectory, perf_trajectory_json,
+    planner_comparison, sharding_comparison,
 };
 use exion_model::config::ModelKind;
 
@@ -181,18 +189,140 @@ fn admission_section(horizon_ms: f64, subject: &str) {
     }
 }
 
+/// `EXION_SERVE_TRACE=<path>`: run one representative traced scenario for
+/// `mode` and dump its timeline as Chrome trace-event JSON. The traced
+/// run is dedicated (the comparisons above stay untraced), and telemetry
+/// is a pure observer, so the numbers printed elsewhere are unaffected.
+fn maybe_export_chrome_trace(horizon_ms: f64, mode: &str) {
+    let Ok(path) = std::env::var("EXION_SERVE_TRACE") else {
+        return;
+    };
+    let hw = HwConfig::exion4();
+    let capacity = ServeSimulator::new(ServeConfig::new(hw))
+        .capacity_estimate_rps(&WorkloadMix::multi_tenant());
+    let (config, trace) = match mode {
+        // Auto-placement over a diurnal ramp: re-plans show up as replan
+        // instants and migration-drain slices.
+        "planned" => (
+            ServeConfig::builder(hw).auto_placement(
+                PlacementPlanner::new(
+                    PlannerConfig::new(2).with_replanning(horizon_ms / 4.0, 0.35),
+                ),
+                0.3 * capacity,
+            ),
+            TraceConfig {
+                pattern: TrafficPattern::Diurnal {
+                    peak_rps: 0.9 * capacity,
+                    trough_frac: 0.3,
+                },
+                horizon_ms,
+                seed: 42,
+                mix: WorkloadMix::text_to_video(),
+            },
+        ),
+        // A TP=2 gang: every iteration carries collective slices on both
+        // member tracks.
+        "sharded" => (
+            ServeConfig::builder(hw)
+                .placement(Placement::sharded(1, PartitionStrategy::Tensor { ways: 2 })),
+            TraceConfig {
+                pattern: TrafficPattern::Poisson {
+                    rate_rps: 0.8 * capacity,
+                },
+                horizon_ms,
+                seed: 42,
+                mix: WorkloadMix::text_to_video(),
+            },
+        ),
+        // Deadline admission past the knee: shed terminals and degraded
+        // admissions join the span chains.
+        "admission" => (
+            ServeConfig::builder(hw)
+                .policy_name("preemptive-edf")
+                .admission_name("deadline"),
+            TraceConfig {
+                pattern: TrafficPattern::Bursty {
+                    rate_rps: 1.0,
+                    burst_multiplier: 4.0,
+                    mean_dwell_ms: 400.0,
+                }
+                .with_mean_rps(1.3 * capacity),
+                horizon_ms,
+                seed: 42,
+                mix: WorkloadMix::multi_tenant(),
+            },
+        ),
+        // Default: the single-instance multi-tenant batcher at 90% load.
+        _ => (
+            ServeConfig::builder(hw).policy_name("sparsity-aware"),
+            TraceConfig {
+                pattern: TrafficPattern::Poisson {
+                    rate_rps: 0.9 * capacity,
+                },
+                horizon_ms,
+                seed: 42,
+                mix: WorkloadMix::multi_tenant(),
+            },
+        ),
+    };
+    let mut sink = MemorySink::new();
+    let mut sim = ServeSimulator::new(config.build());
+    let report = sim.run_traced(&trace, &mut sink);
+    let json = chrome_trace_json(&sink);
+    std::fs::write(&path, &json).expect("write Chrome trace");
+    let profile = sim.last_run_profile().expect("traced run leaves a profile");
+    println!(
+        "wrote Chrome trace for mode {mode:?} to {path}: {} spans, {} slices, \
+         {} instants over {} requests ({:.0} sim-ms/wall-ms)",
+        sink.spans.len(),
+        sink.slices.len(),
+        sink.instants.len(),
+        report.arrivals,
+        profile.sim_ms_per_wall_ms(),
+    );
+}
+
+/// `EXION_SERVE_BENCH=<path>`: self-meter the standard perf-trajectory
+/// scenarios and write the `BENCH_serve.json` document.
+fn maybe_export_bench(horizon_ms: f64) {
+    let Ok(path) = std::env::var("EXION_SERVE_BENCH") else {
+        return;
+    };
+    let points = perf_trajectory(Some(horizon_ms));
+    std::fs::write(&path, perf_trajectory_json(&points)).expect("write BENCH_serve.json");
+    println!(
+        "wrote perf trajectory ({} scenarios) to {path}",
+        points.len()
+    );
+    for p in &points {
+        println!(
+            "  {:>30}: {:>5} arrivals | {:>6} iters | sim {:>6.0} ms | wall {:>7.1} ms | \
+             {:>5.0} sim-ms/wall-ms",
+            p.scenario,
+            p.arrivals,
+            p.profile.iterations,
+            p.profile.makespan_ms,
+            p.profile.wall_ms,
+            p.profile.sim_ms_per_wall_ms(),
+        );
+    }
+}
+
 fn main() {
     let mix = WorkloadMix::multi_tenant();
     let horizon_ms = horizon_ms();
+    maybe_export_bench(horizon_ms);
     if std::env::var("EXION_SERVE_MODE").as_deref() == Ok("sharded") {
         // CI sharded smoke: just the gang-scheduling path.
         sharded_comparison(horizon_ms);
+        maybe_export_chrome_trace(horizon_ms, "sharded");
         return;
     }
     if std::env::var("EXION_SERVE_MODE").as_deref() == Ok("planned") {
         // CI planner smoke: auto-placement (offline picks + online
         // re-planning) only.
         planned_comparison(horizon_ms);
+        maybe_export_chrome_trace(horizon_ms, "planned");
         return;
     }
     if let Ok(name) = std::env::var("EXION_SERVE_ADMISSION") {
@@ -205,6 +335,7 @@ fn main() {
             admission::BUILTIN_ADMISSION_NAMES
         );
         admission_section(horizon_ms, &name);
+        maybe_export_chrome_trace(horizon_ms, "admission");
         return;
     }
     let load_fractions = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.5];
@@ -331,4 +462,7 @@ fn main() {
     // the diurnal ramp's realized load diverges from its forecast.
     println!();
     planned_comparison(horizon_ms);
+
+    println!();
+    maybe_export_chrome_trace(horizon_ms, "default");
 }
