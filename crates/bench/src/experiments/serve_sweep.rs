@@ -589,97 +589,135 @@ pub struct PerfPoint {
     pub profile: RunProfile,
 }
 
-/// Runs the standard perf-trajectory scenarios and self-meters each one:
-/// the single-instance batcher, the preemptive control plane under
-/// bursty load, a TP gang with collectives, and the planned diurnal ramp
-/// (planner scoring metered separately). Wall readings are machine- and
+/// The four standard perf-trajectory scenarios at `horizon_ms`: the
+/// single-instance batcher, the preemptive control plane under bursty
+/// load, a TP gang with collectives, and the planned diurnal ramp. One
+/// definition shared by [`perf_trajectory`] and the event-core
+/// fingerprint tests, so the metered scenarios and the behavior-pinned
+/// ones cannot diverge.
+pub fn standard_scenarios(horizon_ms: f64) -> Vec<(&'static str, ServeConfig, TraceConfig)> {
+    let mix = WorkloadMix::multi_tenant();
+    let hw = HwConfig::exion4();
+    let capacity = ServeSimulator::new(ServeConfig::new(hw)).capacity_estimate_rps(&mix);
+    let server = HwConfig::exion24();
+    let server_capacity = ServeSimulator::new(ServeConfig::new(server)).capacity_estimate_rps(&mix);
+    let video = WorkloadMix::text_to_video();
+    vec![
+        (
+            "poisson_90pct_exion4",
+            ServeConfig::new(hw),
+            TraceConfig {
+                pattern: TrafficPattern::Poisson {
+                    rate_rps: 0.9 * capacity,
+                },
+                horizon_ms,
+                seed: SWEEP_SEED,
+                mix: mix.clone(),
+            },
+        ),
+        (
+            "bursty_preemptive_edf_exion24",
+            ServeConfig::builder(server)
+                .policy_name("preemptive-edf")
+                .admission_name("deadline")
+                .build(),
+            bursty_trace_over(server_capacity, 0.85, horizon_ms, mix),
+        ),
+        (
+            "tp2_gang_video_exion4",
+            ServeConfig::builder(hw)
+                .placement(Placement::sharded(1, PartitionStrategy::Tensor { ways: 2 }))
+                .build(),
+            TraceConfig {
+                pattern: TrafficPattern::Poisson {
+                    rate_rps: 0.6 * capacity,
+                },
+                horizon_ms,
+                seed: SWEEP_SEED,
+                mix: video.clone(),
+            },
+        ),
+        (
+            "planned_diurnal_exion4",
+            ServeConfig::builder(hw)
+                .auto_placement(
+                    PlacementPlanner::new(
+                        PlannerConfig::new(2).with_replanning(horizon_ms / 4.0, 0.35),
+                    ),
+                    0.3 * capacity,
+                )
+                .build(),
+            TraceConfig {
+                pattern: TrafficPattern::Diurnal {
+                    peak_rps: 0.9 * capacity,
+                    trough_frac: 0.3,
+                },
+                horizon_ms,
+                seed: SWEEP_SEED,
+                mix: video,
+            },
+        ),
+    ]
+}
+
+/// Runs one scenario and self-meters it into a [`PerfPoint`].
+fn meter_scenario(scenario: &'static str, config: ServeConfig, trace: &TraceConfig) -> PerfPoint {
+    let mut sim = ServeSimulator::new(config);
+    let report = sim.run(trace);
+    let profile = *sim.last_run_profile().expect("run leaves a profile");
+    PerfPoint {
+        scenario,
+        arrivals: report.arrivals,
+        profile,
+    }
+}
+
+/// Runs the standard perf-trajectory scenarios ([`standard_scenarios`])
+/// and self-meters each one. Wall readings are machine- and
 /// run-dependent; the simulated side (arrivals, iterations, makespan) is
 /// deterministic, so trajectory files remain comparable point-to-point.
 pub fn perf_trajectory(horizon_cap_ms: Option<f64>) -> Vec<PerfPoint> {
     let horizon_ms = horizon_cap_ms.unwrap_or(1_500.0).max(100.0);
+    standard_scenarios(horizon_ms)
+        .into_iter()
+        .map(|(scenario, config, trace)| meter_scenario(scenario, config, &trace))
+        .collect()
+}
+
+/// The fleet-scale scenario: a mixed placement of `replicas` whole-model
+/// replicas plus `gangs` TP=2 gangs (hundreds of scheduling units),
+/// driven by a Poisson multi-tenant stream sized so the horizon carries
+/// at least `target_arrivals` requests at 80% of the fleet's aggregate
+/// capacity. Arrivals stream lazily out of the trace generator and the
+/// event calendar skips idle units, so the run's memory stays bounded by
+/// the in-flight state, not the trace length.
+pub fn fleet_scale_point(replicas: usize, gangs: usize, target_arrivals: usize) -> PerfPoint {
     let mix = WorkloadMix::multi_tenant();
-    let mut points = Vec::new();
-    let mut meter = |scenario: &'static str, config: ServeConfig, trace: &TraceConfig| {
-        let mut sim = ServeSimulator::new(config);
-        let report = sim.run(trace);
-        let profile = *sim.last_run_profile().expect("run leaves a profile");
-        points.push(PerfPoint {
-            scenario,
-            arrivals: report.arrivals,
-            profile,
-        });
-    };
-
     let hw = HwConfig::exion4();
-    let capacity = ServeSimulator::new(ServeConfig::new(hw)).capacity_estimate_rps(&mix);
-    meter(
-        "poisson_90pct_exion4",
-        ServeConfig::new(hw),
+    let placement = Placement::mixed(replicas, gangs, PartitionStrategy::Tensor { ways: 2 });
+    let config = ServeConfig::builder(hw).placement(placement).build();
+    let capacity = ServeSimulator::new(config.clone()).capacity_estimate_rps(&mix);
+    let rate_rps = 0.8 * capacity;
+    // 10% headroom over the expectation so Poisson variance cannot leave
+    // the run short of `target_arrivals`.
+    let horizon_ms = 1_100.0 * target_arrivals as f64 / rate_rps.max(1e-9);
+    meter_scenario(
+        "fleet_scale_mixed_exion4",
+        config,
         &TraceConfig {
-            pattern: TrafficPattern::Poisson {
-                rate_rps: 0.9 * capacity,
-            },
+            pattern: TrafficPattern::Poisson { rate_rps },
             horizon_ms,
             seed: SWEEP_SEED,
-            mix: mix.clone(),
+            mix,
         },
-    );
-
-    let server = HwConfig::exion24();
-    let server_capacity = ServeSimulator::new(ServeConfig::new(server)).capacity_estimate_rps(&mix);
-    meter(
-        "bursty_preemptive_edf_exion24",
-        ServeConfig::builder(server)
-            .policy_name("preemptive-edf")
-            .admission_name("deadline")
-            .build(),
-        &bursty_trace_over(server_capacity, 0.85, horizon_ms, mix.clone()),
-    );
-
-    let video = WorkloadMix::text_to_video();
-    meter(
-        "tp2_gang_video_exion4",
-        ServeConfig::builder(hw)
-            .placement(Placement::sharded(1, PartitionStrategy::Tensor { ways: 2 }))
-            .build(),
-        &TraceConfig {
-            pattern: TrafficPattern::Poisson {
-                rate_rps: 0.6 * capacity,
-            },
-            horizon_ms,
-            seed: SWEEP_SEED,
-            mix: video.clone(),
-        },
-    );
-
-    meter(
-        "planned_diurnal_exion4",
-        ServeConfig::builder(hw)
-            .auto_placement(
-                PlacementPlanner::new(
-                    PlannerConfig::new(2).with_replanning(horizon_ms / 4.0, 0.35),
-                ),
-                0.3 * capacity,
-            )
-            .build(),
-        &TraceConfig {
-            pattern: TrafficPattern::Diurnal {
-                peak_rps: 0.9 * capacity,
-                trough_frac: 0.3,
-            },
-            horizon_ms,
-            seed: SWEEP_SEED,
-            mix: video,
-        },
-    );
-    points
+    )
 }
 
 /// Renders a perf trajectory as the `BENCH_serve.json` document: one row
 /// per scenario with the simulated work done and the wall-clock it cost
 /// (hand-written JSON — the workspace carries no JSON dependency).
 pub fn perf_trajectory_json(points: &[PerfPoint]) -> String {
-    let mut out = String::from("{\"bench\":\"serve\",\"schema\":1,\"points\":[");
+    let mut out = String::from("{\"bench\":\"serve\",\"schema\":2,\"points\":[");
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -697,6 +735,10 @@ pub fn perf_trajectory_json(points: &[PerfPoint]) -> String {
         out.push_str(",\"planner_wall_ms\":");
         push_f64(&mut out, p.profile.planner_wall_ms);
         out.push_str(&format!(",\"planner_calls\":{}", p.profile.planner_calls));
+        out.push_str(&format!(
+            ",\"events_executed\":{},\"peak_calendar_events\":{}",
+            p.profile.events_executed, p.profile.peak_calendar_events
+        ));
         out.push_str(",\"sim_ms_per_wall_ms\":");
         push_f64(&mut out, p.profile.sim_ms_per_wall_ms());
         out.push('}');
@@ -1263,6 +1305,31 @@ mod tests {
     }
 
     #[test]
+    fn fleet_scale_point_streams_a_bounded_heap() {
+        // A miniature of the committed fleet run: mixed placement, lazy
+        // arrivals, calendar-driven loop. The heap must stay bounded by
+        // the unit count plus the two recurring events — never grow with
+        // the trace length.
+        let p = fleet_scale_point(6, 2, 400);
+        assert_eq!(p.scenario, "fleet_scale_mixed_exion4");
+        assert!(
+            p.arrivals >= 400,
+            "sized for >= 400 arrivals, got {}",
+            p.arrivals
+        );
+        assert_eq!(p.profile.completed, p.arrivals);
+        assert!(p.profile.events_executed >= p.profile.iterations);
+        // One live entry per unit plus the two recurring events, plus
+        // transiently stale reschedule leftovers — but never anything
+        // that scales with the 400-arrival trace length.
+        assert!(
+            p.profile.peak_calendar_events <= 64,
+            "heap peaked at {} events for 8 units",
+            p.profile.peak_calendar_events
+        );
+    }
+
+    #[test]
     fn perf_trajectory_meters_every_scenario() {
         let points = perf_trajectory(Some(400.0));
         assert_eq!(points.len(), 4);
@@ -1271,6 +1338,16 @@ mod tests {
             assert!(p.profile.iterations > 0, "{}: no iterations", p.scenario);
             assert!(p.profile.wall_ms > 0.0, "{}: unmetered", p.scenario);
             assert!(p.profile.makespan_ms > 0.0);
+            assert!(
+                p.profile.events_executed >= p.profile.iterations,
+                "{}: every iteration rides a calendar event",
+                p.scenario
+            );
+            assert!(
+                p.profile.peak_calendar_events >= 1,
+                "{}: empty heap",
+                p.scenario
+            );
         }
         // The planned scenario must meter its planner scoring.
         let planned = points
@@ -1280,6 +1357,9 @@ mod tests {
         assert!(planned.profile.planner_calls >= 1);
         let json = perf_trajectory_json(&points);
         assert!(exion_serve::telemetry::json::is_well_formed(&json));
+        assert!(json.contains("\"schema\":2"));
         assert!(json.contains("\"sim_ms_per_wall_ms\""));
+        assert!(json.contains("\"events_executed\""));
+        assert!(json.contains("\"peak_calendar_events\""));
     }
 }

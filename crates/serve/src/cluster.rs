@@ -4,9 +4,15 @@
 //! Scheduling units (whole-model replicas and sharded TP/PP gangs — see
 //! [`crate::placement`]) pull work from one shared queue (central
 //! scheduler, unit pull), each advancing its own clock one denoising
-//! iteration at a time. The event loop always steps the unit with the
-//! smallest local clock, which keeps arrival release causal across units
-//! and makes the whole simulation deterministic for a fixed trace.
+//! iteration at a time. The loop is driven by an event calendar
+//! ([`crate::calendar`]): a binary heap holding each unit's next
+//! iteration boundary (or idle wake) plus the recurring stats-snapshot
+//! and planner-epoch events, popped in deterministic (time, kind, unit)
+//! order — which keeps arrival release causal across units, makes the
+//! whole simulation deterministic for a fixed trace, and lets idle units
+//! cost nothing during arrival gaps. Arrivals stream lazily from the
+//! trace generator, so memory is bounded by in-flight state, not trace
+//! length.
 //!
 //! Both halves of the control plane are pluggable trait objects carried by
 //! [`ServeConfig`]: a [`SchedulerPolicy`] decides admission ordering,
@@ -16,7 +22,7 @@
 //! degrade it to a reduced DDIM step budget. Configs are assembled with
 //! [`ServeConfig::builder`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use exion_model::config::{ModelConfig, ModelKind};
@@ -25,22 +31,23 @@ use exion_sim::partition::PartitionStrategy;
 use exion_sim::perf::SimAblation;
 use exion_sim::residency::EvictionPolicy;
 use exion_telemetry::{
-    InstantMarker, LogHistogram, NullSink, Registry, RequestEvent, Sink, SliceKind, SpanRecord,
-    StopWatch, TimelineSlice,
+    InstantMarker, LogHistogram, NullSink, RequestEvent, Sink, SliceKind, SpanRecord, StopWatch,
+    TimelineSlice,
 };
 
 use crate::admission::{self, AdmissionController, AdmissionDecision, AdmissionView, AdmitAll};
+use crate::calendar::{EventCalendar, EventKind};
 use crate::cost::CostModel;
 use crate::metrics::{
-    queue_depth_stats, EpochStat, LatencyStats, MetricSample, MetricsSnapshot, PlannerReport,
-    ReplanEvent, ServeReport,
+    queue_depth_stats, EpochStat, LatencyStats, MetricsSnapshot, PlannerReport, ReplanEvent,
+    SeriesRecorder, ServeReport,
 };
 use crate::placement::{Gang, Placement};
 use crate::planner::PlacementPlanner;
 use crate::policy::{self, Fcfs, SchedulerPolicy};
 use crate::request::{Completion, Request, ShedRecord};
 use crate::scheduler::SchedContext;
-use crate::trace::{generate, TraceConfig};
+use crate::trace::{Arrival, ArrivalStream, TraceConfig};
 
 /// The widest gang one placement may declare: partition shard indices are
 /// `u8`, and nothing on a board approaches this.
@@ -503,6 +510,12 @@ pub struct RunProfile {
     pub planner_calls: u64,
     /// Denoising iterations the cluster executed.
     pub iterations: u64,
+    /// Calendar events the core executed (unit boundaries, idle wakes,
+    /// stats samples, epoch boundaries) — the quantity wall time actually
+    /// scales with under the event-driven loop.
+    pub events_executed: u64,
+    /// Largest number of entries the event calendar held at once.
+    pub peak_calendar_events: usize,
     /// Simulated makespan the run produced (ms).
     pub makespan_ms: f64,
     /// Requests completed.
@@ -528,77 +541,74 @@ impl RunProfile {
     }
 }
 
-/// The cluster's counter/gauge registry plus the snapshots taken at epoch
-/// boundaries. Counters arrive as running totals (the cluster's existing
-/// accumulators) and are diffed against the previous snapshot, so the hot
-/// loop never touches the registry.
-struct SeriesRecorder {
-    registry: Registry,
-    series: Vec<MetricsSnapshot>,
-    last: Vec<(&'static str, u64)>,
+/// Lazily draws [`Arrival`]s off the seeded [`ArrivalStream`], releasing
+/// them in generation order as unit clocks pass their timestamps. The
+/// epoch handler's lookahead (counting realized load up to an epoch end)
+/// buffers at most the arrivals of one epoch that no unit clock has
+/// reached yet, so a million-request trace never materializes: memory
+/// stays bounded by the lookahead window, not the horizon.
+struct ArrivalReleaser {
+    stream: ArrivalStream,
+    /// Arrivals pulled off the stream by epoch-count lookahead but not
+    /// yet released to the cluster (all at future timestamps).
+    buffered: VecDeque<Arrival>,
+    exhausted: bool,
+    released: usize,
 }
 
-/// Counter names in registration (= snapshot) order.
-const SERIES_COUNTERS: [&str; 8] = [
-    "arrivals_released",
-    "enqueued",
-    "shed",
-    "degraded",
-    "completed",
-    "preemption_parks",
-    "resumes",
-    "migration_drains",
-];
-
-/// Gauge names in registration (= snapshot) order.
-const SERIES_GAUGES: [&str; 3] = ["queue_depth", "inflight_rows", "clock_ms"];
-
-impl SeriesRecorder {
-    fn new() -> Self {
-        let mut registry = Registry::new();
-        let mut last = Vec::with_capacity(SERIES_COUNTERS.len());
-        for name in SERIES_COUNTERS {
-            registry.counter_add(name, 0);
-            last.push((name, 0u64));
-        }
-        for name in SERIES_GAUGES {
-            registry.gauge_set(name, 0.0);
-        }
+impl ArrivalReleaser {
+    fn new(trace: &TraceConfig) -> Self {
         Self {
-            registry,
-            series: Vec::new(),
-            last,
+            stream: ArrivalStream::new(trace),
+            buffered: VecDeque::new(),
+            exhausted: false,
+            released: 0,
         }
     }
 
-    /// Takes one snapshot at `at_ms`: `counters` are running totals in
-    /// [`SERIES_COUNTERS`] order, `gauges` current levels in
-    /// [`SERIES_GAUGES`] order.
-    fn snapshot(&mut self, at_ms: f64, counters: [u64; 8], gauges: [f64; 3]) {
-        for ((name, prev), total) in self.last.iter_mut().zip(counters) {
-            debug_assert!(total >= *prev, "counter {name} went backward");
-            self.registry.counter_add(name, total.saturating_sub(*prev));
-            *prev = total;
+    /// The next unreleased arrival's timestamp (`None` once the trace is
+    /// exhausted) — the idle-wake target.
+    fn peek_at_ms(&mut self) -> Option<f64> {
+        if self.buffered.is_empty() && !self.exhausted {
+            match self.stream.next() {
+                Some(a) => self.buffered.push_back(a),
+                None => self.exhausted = true,
+            }
         }
-        for (name, value) in SERIES_GAUGES.into_iter().zip(gauges) {
-            self.registry.gauge_set(name, value);
-        }
-        self.series.push(MetricsSnapshot {
-            at_ms,
-            values: self
-                .registry
-                .snapshot()
-                .into_iter()
-                .map(|(name, value)| MetricSample {
-                    name: name.to_string(),
-                    value,
-                })
-                .collect(),
-        });
+        self.buffered.front().map(|a| a.at_ms)
     }
 
-    fn into_series(self) -> Vec<MetricsSnapshot> {
-        self.series
+    /// Releases the next arrival if it has happened by `now_ms`, assigning
+    /// the generation-order request id the materialized trace used to.
+    fn release_through(&mut self, now_ms: f64) -> Option<(u64, Arrival)> {
+        match self.peek_at_ms() {
+            Some(at_ms) if at_ms <= now_ms => {
+                let id = self.released as u64;
+                self.released += 1;
+                Some((id, self.buffered.pop_front().expect("peeked")))
+            }
+            _ => None,
+        }
+    }
+
+    /// How many arrivals the trace generates strictly before `t_ms`,
+    /// buffering whatever lookahead that takes. Monotone `t_ms` across
+    /// calls (epoch ends only grow); released arrivals all lie before any
+    /// epoch end being counted, because an epoch event fires only once
+    /// every unit clock has passed it.
+    fn count_generated_before(&mut self, t_ms: f64) -> usize {
+        while !self.exhausted && self.buffered.back().is_none_or(|a| a.at_ms < t_ms) {
+            match self.stream.next() {
+                Some(a) => self.buffered.push_back(a),
+                None => self.exhausted = true,
+            }
+        }
+        self.released + self.buffered.iter().take_while(|a| a.at_ms < t_ms).count()
+    }
+
+    /// Arrivals released so far (= generated, once the run drains).
+    fn released(&self) -> usize {
+        self.released
     }
 }
 
@@ -776,24 +786,24 @@ impl ServeSimulator {
         let mut planner_watch = StopWatch::new();
         let mut executed_iterations: u64 = 0;
         let traced = sink.enabled();
-        let arrivals = generate(trace);
         let max_batch = self.config.max_batch as u64;
-        let mut pending: Vec<Request> = Vec::with_capacity(arrivals.len());
-        for (id, a) in arrivals.iter().enumerate() {
-            let config = self.model_config(a.model);
-            // The SLO scales the model's steady-state service time (a full
-            // generation at the deployment's batch size), so it is
-            // attainable under batching and degrades only through queueing.
-            let slo_ms = trace.mix.slo_multiplier(a.model)
-                * self.cost.generation_latency_ms(&config, max_batch);
-            pending.push(Request::new(
-                id as u64,
-                a.model,
-                a.at_ms,
-                slo_ms,
-                config.iterations,
-            ));
-        }
+        // Arrivals stream off the seeded generator lazily — a fleet-scale
+        // trace is never materialized. Requests are minted at release time
+        // from per-kind constants precomputed here: the SLO scales the
+        // model's steady-state service time (a full generation at the
+        // deployment's batch size), so it is attainable under batching and
+        // degrades only through queueing.
+        let mut releaser = ArrivalReleaser::new(trace);
+        let kinds = trace.mix.kinds();
+        let request_proto: HashMap<ModelKind, (f64, usize)> = kinds
+            .iter()
+            .map(|&kind| {
+                let config = self.model_config(kind);
+                let slo_ms = trace.mix.slo_multiplier(kind)
+                    * self.cost.generation_latency_ms(&config, max_batch);
+                (kind, (slo_ms, config.iterations))
+            })
+            .collect();
 
         // Auto-placement: the offline pass picks the initial placement for
         // the traced mix at the configured forecast; statically placed
@@ -846,7 +856,6 @@ impl ServeSimulator {
         let mut sheds: Vec<ShedRecord> = Vec::new();
         let mut degraded_requests = 0usize;
         let mut depth_events: Vec<(f64, i64)> = Vec::new();
-        let mut next_arrival = 0usize;
         if traced {
             declare_unit_tracks(&units, sink);
         }
@@ -867,68 +876,92 @@ impl ServeSimulator {
         let mut resumes_total: u64 = 0;
         let mut drains_total: u64 = 0;
         let stats_interval = self.config.stats_interval_ms;
-        let mut next_sample_ms = stats_interval.unwrap_or(f64::INFINITY);
 
         // Per-model scheduling constants (periods, weight/latent footprints,
         // refill costs, partition plans) are computed once per traced kind —
         // and rebuilt whenever a re-plan changes the partition strategy.
-        let kinds = trace.mix.kinds();
         let mut ctx = self.sched_context(&kinds, &placement);
 
-        loop {
-            // Step the unit with the smallest clock (ties by index).
-            let i = (0..units.len())
-                .min_by(|&a, &b| {
-                    units[a]
-                        .now_ms()
-                        .total_cmp(&units[b].now_ms())
-                        .then(a.cmp(&b))
-                })
-                .expect("at least one unit");
-            if units[i].now_ms().is_infinite() {
-                break; // every unit is drained
+        // The event calendar replaces the per-boundary min-clock scan:
+        // each unit keeps exactly one scheduled event (its next iteration
+        // boundary, or its idle wake), the stats cadence and planner epochs
+        // are recurring events of their own, and the loop pops in
+        // deterministic (time, kind rank, unit index) order until no unit
+        // has an event left — idle units cost nothing, and wall time scales
+        // with events executed rather than horizon × units.
+        let mut calendar = EventCalendar::new(units.len());
+        for (u, unit) in units.iter().enumerate() {
+            calendar.schedule_unit(u, unit.now_ms(), EventKind::UnitBoundary);
+        }
+        if let Some(interval) = stats_interval {
+            calendar.schedule_stats(interval);
+        }
+        if let Some(state) = &planner_state {
+            let first_epoch = state.planner.config.epoch_ms;
+            if first_epoch <= trace.horizon_ms {
+                calendar.schedule_epoch(first_epoch);
             }
+        }
+        let mut events_executed: u64 = 0;
+        // In-flight batch rows across the fleet, tracked incrementally
+        // from admit/complete/drain deltas so snapshots never re-scan
+        // every unit.
+        let mut inflight_rows: i64 = 0;
+        // Cumulative arrivals generated before the current epoch start —
+        // the subtrahend of the streaming realized-load count.
+        let mut epoch_cum_start = 0usize;
 
-            // Fixed-cadence registry snapshots (when configured): fire for
-            // every interval boundary the cluster-wide minimum clock has
-            // passed. Pure observation — nothing feeds back into the run.
-            while units[i].now_ms() >= next_sample_ms {
-                let inflight: usize = units.iter().map(|u| u.leader().running.len()).sum();
-                series_rec.snapshot(
-                    next_sample_ms,
-                    [
-                        next_arrival as u64,
-                        enqueued_total,
-                        sheds.len() as u64,
-                        degraded_requests as u64,
-                        completions.len() as u64,
-                        parks_total,
-                        resumes_total,
-                        drains_total,
-                    ],
-                    [queue.len() as f64, inflight as f64, next_sample_ms],
-                );
-                next_sample_ms += stats_interval.expect("sampling only runs when configured");
-            }
+        while calendar.scheduled_units() > 0 {
+            let Some(ev) = calendar.pop() else { break };
+            events_executed += 1;
+            match ev.kind {
+                // Fixed-cadence registry snapshot (when configured). Pure
+                // observation — nothing feeds back into the run — so it
+                // ranks before same-instant epoch and unit events.
+                EventKind::StatsSample => {
+                    debug_assert_eq!(
+                        inflight_rows,
+                        units
+                            .iter()
+                            .map(|u| u.leader().running.len() as i64)
+                            .sum::<i64>(),
+                        "incremental in-flight gauge drifted from the fleet"
+                    );
+                    series_rec.snapshot(
+                        ev.at_ms,
+                        [
+                            releaser.released() as u64,
+                            enqueued_total,
+                            sheds.len() as u64,
+                            degraded_requests as u64,
+                            completions.len() as u64,
+                            parks_total,
+                            resumes_total,
+                            drains_total,
+                        ],
+                        [queue.len() as f64, inflight_rows as f64, ev.at_ms],
+                    );
+                    let interval = stats_interval.expect("sampling only runs when configured");
+                    calendar.schedule_stats(ev.at_ms + interval);
+                }
 
-            // Epoch boundaries (auto-placement only): once the *cluster-wide
-            // minimum* clock passes an epoch end inside the arrival horizon,
-            // record realized-vs-forecast load; past the hysteresis
-            // threshold, adopt the realized load, re-plan, and — when the
-            // chosen placement differs — execute a priced migration.
-            let mut migrated = false;
-            if let Some(state) = planner_state.as_mut() {
-                let now = units[i].now_ms();
-                loop {
+                // Planner epoch end (auto-placement only). The heap cannot
+                // surface this before every scheduled unit event lies at or
+                // past it, so it fires exactly when the cluster-wide
+                // minimum clock passes the boundary — record realized-vs-
+                // forecast load; past the hysteresis threshold, adopt the
+                // realized load, re-plan, and — when the chosen placement
+                // differs — execute a priced migration.
+                EventKind::EpochBoundary => {
+                    let state = planner_state
+                        .as_mut()
+                        .expect("epoch events are scheduled only under auto-placement");
                     let epoch_ms = state.planner.config.epoch_ms;
-                    let epoch_end = state.epoch_start_ms + epoch_ms;
-                    if epoch_end > trace.horizon_ms || now < epoch_end {
-                        break;
-                    }
-                    let count = arrivals
-                        .iter()
-                        .filter(|a| a.at_ms >= state.epoch_start_ms && a.at_ms < epoch_end)
-                        .count();
+                    let epoch_end = ev.at_ms;
+                    let now = calendar.min_unit_time_ms();
+                    let cum = releaser.count_generated_before(epoch_end);
+                    let count = cum - epoch_cum_start;
+                    epoch_cum_start = cum;
                     let realized = count as f64 / (epoch_ms / 1000.0);
                     let error =
                         (realized - state.forecast_rps).abs() / state.forecast_rps.max(1e-9);
@@ -940,11 +973,18 @@ impl ServeSimulator {
                     });
                     // Every epoch boundary snapshots the registry into the
                     // report time-series.
-                    let inflight: usize = units.iter().map(|u| u.leader().running.len()).sum();
+                    debug_assert_eq!(
+                        inflight_rows,
+                        units
+                            .iter()
+                            .map(|u| u.leader().running.len() as i64)
+                            .sum::<i64>(),
+                        "incremental in-flight gauge drifted from the fleet"
+                    );
                     series_rec.snapshot(
                         epoch_end,
                         [
-                            next_arrival as u64,
+                            releaser.released() as u64,
                             enqueued_total,
                             sheds.len() as u64,
                             degraded_requests as u64,
@@ -953,9 +993,15 @@ impl ServeSimulator {
                             resumes_total,
                             drains_total,
                         ],
-                        [queue.len() as f64, inflight as f64, epoch_end],
+                        [queue.len() as f64, inflight_rows as f64, epoch_end],
                     );
                     state.epoch_start_ms = epoch_end;
+                    // The chain self-schedules while it stays inside the
+                    // arrival horizon.
+                    let next_end = epoch_end + epoch_ms;
+                    if next_end <= trace.horizon_ms {
+                        calendar.schedule_epoch(next_end);
+                    }
                     // Hysteresis: small errors keep the placement and the
                     // forecast; an empty epoch carries no load signal.
                     if error <= state.planner.config.hysteresis || realized <= 0.0 {
@@ -991,6 +1037,7 @@ impl ServeSimulator {
                         let stamps = unit.drain_for_migration(&mut queue, &ctx);
                         drained += stamps.len();
                         drains_total += stamps.len() as u64;
+                        inflight_rows -= stamps.len() as i64;
                         if was_busy {
                             t_start = t_start.max(unit.now_ms());
                         }
@@ -1078,311 +1125,354 @@ impl ServeSimulator {
                     if traced {
                         declare_unit_tracks(&units, sink);
                     }
-                    migrated = true;
+                    // Invalidate the retired fleet's calendar entries and
+                    // schedule the replacements' first boundaries at the
+                    // hand-off instant.
+                    calendar.reset_units(units.len());
+                    for u in 0..units.len() {
+                        calendar.schedule_unit(u, t_start, EventKind::UnitBoundary);
+                    }
+                    // The partition strategy may have changed: rebuild the
+                    // scheduling constants before the new fleet's first
+                    // boundary fires.
+                    ctx = self.sched_context(&kinds, &placement);
                 }
-            }
-            if migrated {
-                // The partition strategy may have changed: rebuild the
-                // scheduling constants, then re-pick the unit to step.
-                ctx = self.sched_context(&kinds, &placement);
-                continue;
-            }
 
-            // Release arrivals up to this unit's clock, consulting the
-            // admission controller once per arrival. The decision fires at
-            // the *release* instant (the iteration boundary whose clock
-            // passed the arrival) — up to one iteration after arrival — so
-            // the view carries that clock and feasibility sees the slack
-            // that actually remains, not the full SLO.
-            while next_arrival < pending.len()
-                && pending[next_arrival].arrival_ms <= units[i].now_ms()
-            {
-                let mut r = pending[next_arrival];
-                next_arrival += 1;
-                let decided_at = units[i].now_ms().max(r.arrival_ms);
-                let decision = {
-                    let view = AdmissionView::new(decided_at, &queue, &units, &ctx);
-                    admission.decide(&r, &view)
-                };
-                if traced {
-                    sink.span(SpanRecord {
-                        at_ms: r.arrival_ms,
-                        request: r.id,
-                        model: r.model.name(),
-                        event: RequestEvent::Arrival,
-                    });
-                }
-                match decision {
-                    AdmissionDecision::Accept => {
+                // A unit's iteration boundary or idle wake: both were
+                // scheduled at the unit's (jumped) clock, so the clock and
+                // the event agree on "now".
+                EventKind::UnitBoundary | EventKind::IdleWake => {
+                    let i = ev.unit;
+                    let now = units[i].now_ms();
+                    debug_assert_eq!(
+                        now.to_bits(),
+                        ev.at_ms.to_bits(),
+                        "unit clock drifted from its scheduled event"
+                    );
+
+                    // Release arrivals up to this unit's clock, consulting the
+                    // admission controller once per arrival. The decision fires at
+                    // the *release* instant (the iteration boundary whose clock
+                    // passed the arrival) — up to one iteration after arrival — so
+                    // the view carries that clock and feasibility sees the slack
+                    // that actually remains, not the full SLO.
+                    while let Some((id, a)) = releaser.release_through(now) {
+                        let &(slo_ms, steps) = request_proto
+                            .get(&a.model)
+                            .expect("every traced model kind is precomputed");
+                        let mut r = Request::new(id, a.model, a.at_ms, slo_ms, steps);
+                        let decided_at = now.max(r.arrival_ms);
+                        let decision = {
+                            let view = AdmissionView::new(decided_at, &queue, &units, &ctx);
+                            admission.decide(&r, &view)
+                        };
                         if traced {
                             sink.span(SpanRecord {
-                                at_ms: decided_at,
+                                at_ms: r.arrival_ms,
                                 request: r.id,
                                 model: r.model.name(),
-                                event: RequestEvent::Admitted,
+                                event: RequestEvent::Arrival,
                             });
                         }
-                    }
-                    AdmissionDecision::Degrade { steps } => {
-                        r.degrade_to(steps);
-                        if r.degraded {
-                            degraded_requests += 1;
-                        }
-                        if traced {
-                            let event = if r.degraded {
-                                RequestEvent::Degraded {
-                                    steps: r.total_steps as u32,
+                        match decision {
+                            AdmissionDecision::Accept => {
+                                if traced {
+                                    sink.span(SpanRecord {
+                                        at_ms: decided_at,
+                                        request: r.id,
+                                        model: r.model.name(),
+                                        event: RequestEvent::Admitted,
+                                    });
                                 }
-                            } else {
-                                RequestEvent::Admitted
-                            };
+                            }
+                            AdmissionDecision::Degrade { steps } => {
+                                r.degrade_to(steps);
+                                if r.degraded {
+                                    degraded_requests += 1;
+                                }
+                                if traced {
+                                    let event = if r.degraded {
+                                        RequestEvent::Degraded {
+                                            steps: r.total_steps as u32,
+                                        }
+                                    } else {
+                                        RequestEvent::Admitted
+                                    };
+                                    sink.span(SpanRecord {
+                                        at_ms: decided_at,
+                                        request: r.id,
+                                        model: r.model.name(),
+                                        event,
+                                    });
+                                }
+                            }
+                            AdmissionDecision::Shed => {
+                                // Priced refusal: recorded (and counted against SLO
+                                // attainment), but the request never queues.
+                                sheds.push(ShedRecord {
+                                    id: r.id,
+                                    model: r.model,
+                                    at_ms: decided_at,
+                                });
+                                if traced {
+                                    sink.span(SpanRecord {
+                                        at_ms: decided_at,
+                                        request: r.id,
+                                        model: r.model.name(),
+                                        event: RequestEvent::Shed,
+                                    });
+                                }
+                                continue;
+                            }
+                        }
+                        depth_events.push((r.arrival_ms, 1));
+                        enqueued_total += 1;
+                        if traced {
                             sink.span(SpanRecord {
                                 at_ms: decided_at,
                                 request: r.id,
                                 model: r.model.name(),
+                                event: RequestEvent::Enqueued,
+                            });
+                        }
+                        queue.push(r);
+                    }
+
+                    if units[i].is_idle() && queue.is_empty() {
+                        match releaser.peek_at_ms() {
+                            Some(wake) => {
+                                // Sleep until the next arrival: the unit holds no
+                                // calendar entry before its wake.
+                                if traced && wake > now {
+                                    emit_idle_slices(&units[i], wake, sink);
+                                }
+                                units[i].jump_to(wake);
+                                calendar.schedule_unit(i, wake, EventKind::IdleWake);
+                            }
+                            None => {
+                                // Trace exhausted and nothing queued: the unit
+                                // retires with no further event, and the run ends
+                                // when the last one does.
+                                units[i].jump_to(f64::INFINITY);
+                            }
+                        }
+                        continue;
+                    }
+
+                    // Iteration boundary: admit (possibly preempting), then execute
+                    // one iteration.
+                    let outcome = units[i].admit(&mut queue, &ctx);
+                    parks_total += outcome.parked.len() as u64;
+                    resumes_total += outcome.resumed.len() as u64;
+                    inflight_rows += outcome.inflight_delta();
+                    if traced {
+                        let inst = units[i].leader().id as u32;
+                        for &(id, at_ms) in &outcome.parked {
+                            // The park pushed the request back into the queue; read
+                            // its model (and the member actually holding the latent)
+                            // from there.
+                            let (model, holder) = queue
+                                .iter()
+                                .find(|r| r.id == id)
+                                .map(|r| {
+                                    (
+                                        r.model.name(),
+                                        r.parked_on.map(|p| p as u32).unwrap_or(inst),
+                                    )
+                                })
+                                .unwrap_or(("unknown", inst));
+                            sink.span(SpanRecord {
+                                at_ms,
+                                request: id,
+                                model,
+                                event: RequestEvent::Parked { instance: holder },
+                            });
+                        }
+                        let model = units[i]
+                            .leader()
+                            .active_model
+                            .map(|m| m.name())
+                            .unwrap_or("unknown");
+                        for &(id, at_ms) in &outcome.admitted {
+                            let resumed = outcome.resumed.iter().any(|&(rid, _)| rid == id);
+                            let event = if resumed {
+                                RequestEvent::Resumed { instance: inst }
+                            } else {
+                                RequestEvent::BatchJoin { instance: inst }
+                            };
+                            sink.span(SpanRecord {
+                                at_ms,
+                                request: id,
+                                model,
                                 event,
                             });
                         }
                     }
-                    AdmissionDecision::Shed => {
-                        // Priced refusal: recorded (and counted against SLO
-                        // attainment), but the request never queues.
-                        sheds.push(ShedRecord {
-                            id: r.id,
-                            model: r.model,
-                            at_ms: decided_at,
-                        });
-                        if traced {
-                            sink.span(SpanRecord {
-                                at_ms: decided_at,
-                                request: r.id,
-                                model: r.model.name(),
-                                event: RequestEvent::Shed,
-                            });
+                    for &(_, at_ms) in &outcome.parked {
+                        depth_events.push((at_ms, 1));
+                    }
+                    for &(_, at_ms) in &outcome.admitted {
+                        depth_events.push((at_ms, -1));
+                    }
+                    // A request parked on one unit may resume on another; release
+                    // any latent copy the parking unit still holds (billing the
+                    // migration write-back there) so it neither depresses that
+                    // unit's weight residency nor is later mispriced as a dirty
+                    // spill. Only resumes can hold a foreign latent — a fresh
+                    // admit never parked anywhere — so the cross-unit sweep skips
+                    // the fleet-dominant fresh case.
+                    if !outcome.resumed.is_empty() {
+                        for (j, other) in units.iter_mut().enumerate() {
+                            if j == i {
+                                continue;
+                            }
+                            let before = other.now_ms();
+                            for &(id, _) in &outcome.resumed {
+                                other.discard_latent(id, &ctx);
+                            }
+                            // Discarding a latent bills the write-back transfer to
+                            // the unit that held it, advancing its clock; its
+                            // calendar entry must follow or it fires in the past.
+                            let after = other.now_ms();
+                            if after > before && calendar.is_unit_scheduled(j) {
+                                calendar.reschedule_unit(j, after, EventKind::UnitBoundary);
+                            }
                         }
+                    }
+                    // Parks can evict other parked latents; their queued requests'
+                    // resume-affinity hints are now stale (the latent is in DRAM,
+                    // no instance is preferable) and must not keep deferring them.
+                    for id in units[i].take_evicted_latents() {
+                        for r in queue.iter_mut().filter(|r| r.id == id) {
+                            r.parked_on = None;
+                        }
+                    }
+                    if units[i].is_idle() {
+                        // A sparsity gate cannot block an idle unit, so nothing
+                        // in the queue is admissible yet: every queued request is a
+                        // parked one whose ready time lies ahead of this clock.
+                        // Sleep until the earliest wake-up (a parked request
+                        // becoming ready, or the next arrival); the calendar holds
+                        // no other entry for this unit, so no busy-wake fallback
+                        // is needed.
+                        let next_ready = queue
+                            .iter()
+                            .map(|r| r.ready_ms)
+                            .fold(f64::INFINITY, f64::min);
+                        let next_arr = releaser.peek_at_ms().unwrap_or(f64::INFINITY);
+                        // The queue is non-empty here (the empty case slept
+                        // above), so the wake target is finite.
+                        let wake = next_ready.min(next_arr);
+                        if traced && wake > now {
+                            emit_idle_slices(&units[i], wake, sink);
+                        }
+                        units[i].jump_to(wake);
+                        calendar.schedule_unit(i, wake, EventKind::IdleWake);
                         continue;
                     }
-                }
-                depth_events.push((r.arrival_ms, 1));
-                enqueued_total += 1;
-                if traced {
-                    sink.span(SpanRecord {
-                        at_ms: decided_at,
-                        request: r.id,
-                        model: r.model.name(),
-                        event: RequestEvent::Enqueued,
-                    });
-                }
-                queue.push(r);
-            }
-
-            if units[i].is_idle() && queue.is_empty() {
-                if next_arrival < pending.len() {
-                    // Jump the idle clock to the next arrival.
-                    let wake = pending[next_arrival].arrival_ms;
-                    if traced && wake > units[i].now_ms() {
-                        emit_idle_slices(&units[i], wake, sink);
-                    }
-                    units[i].jump_to(wake);
-                } else {
-                    units[i].jump_to(f64::INFINITY);
-                }
-                continue;
-            }
-
-            // Iteration boundary: admit (possibly preempting), then execute
-            // one iteration.
-            let outcome = units[i].admit(&mut queue, &ctx);
-            parks_total += outcome.parked.len() as u64;
-            resumes_total += outcome.resumed.len() as u64;
-            if traced {
-                let inst = units[i].leader().id as u32;
-                for &(id, at_ms) in &outcome.parked {
-                    // The park pushed the request back into the queue; read
-                    // its model (and the member actually holding the latent)
-                    // from there.
-                    let (model, holder) = queue
-                        .iter()
-                        .find(|r| r.id == id)
-                        .map(|r| {
-                            (
-                                r.model.name(),
-                                r.parked_on.map(|p| p as u32).unwrap_or(inst),
-                            )
-                        })
-                        .unwrap_or(("unknown", inst));
-                    sink.span(SpanRecord {
-                        at_ms,
-                        request: id,
-                        model,
-                        event: RequestEvent::Parked { instance: holder },
-                    });
-                }
-                let model = units[i]
-                    .leader()
-                    .active_model
-                    .map(|m| m.name())
-                    .unwrap_or("unknown");
-                for &(id, at_ms) in &outcome.admitted {
-                    let resumed = outcome.resumed.iter().any(|&(rid, _)| rid == id);
-                    let event = if resumed {
-                        RequestEvent::Resumed { instance: inst }
+                    let iter_start = units[i].now_ms();
+                    let (coll_ms_before, _) = if traced {
+                        units[i].collective_totals()
                     } else {
-                        RequestEvent::BatchJoin { instance: inst }
+                        (0.0, 0)
                     };
-                    sink.span(SpanRecord {
-                        at_ms,
-                        request: id,
-                        model,
-                        event,
-                    });
-                }
-            }
-            for &(_, at_ms) in &outcome.parked {
-                depth_events.push((at_ms, 1));
-            }
-            for &(id, at_ms) in &outcome.admitted {
-                depth_events.push((at_ms, -1));
-                // A request parked on one unit may resume on another;
-                // release any latent copy the parking unit still holds
-                // (billing the migration write-back there) so it neither
-                // depresses that unit's weight residency nor is later
-                // mispriced as a dirty spill.
-                for (j, other) in units.iter_mut().enumerate() {
-                    if j != i {
-                        other.discard_latent(id, &ctx);
-                    }
-                }
-            }
-            // Parks can evict other parked latents; their queued requests'
-            // resume-affinity hints are now stale (the latent is in DRAM,
-            // no instance is preferable) and must not keep deferring them.
-            for id in units[i].take_evicted_latents() {
-                for r in queue.iter_mut().filter(|r| r.id == id) {
-                    r.parked_on = None;
-                }
-            }
-            if units[i].is_idle() {
-                // A sparsity gate cannot block an idle unit, so nothing
-                // in the queue is admissible yet: every queued request is a
-                // parked one whose ready time lies ahead of this clock.
-                // Jump to the earliest wake-up (a parked request becoming
-                // ready, or the next arrival) so the loop always advances.
-                let next_ready = queue
-                    .iter()
-                    .map(|r| r.ready_ms)
-                    .fold(f64::INFINITY, f64::min);
-                let next_arr = pending
-                    .get(next_arrival)
-                    .map(|r| r.arrival_ms)
-                    .unwrap_or(f64::INFINITY);
-                // The queue is non-empty here (the empty case jumped above),
-                // so the wake target is finite and strictly ahead.
-                let wake = next_ready.min(next_arr);
-                debug_assert!(wake > units[i].now_ms(), "idle wake must advance");
-                if traced && wake > units[i].now_ms() {
-                    emit_idle_slices(&units[i], wake, sink);
-                }
-                units[i].jump_to(wake);
-                continue;
-            }
-            let iter_start = units[i].now_ms();
-            let (coll_ms_before, _) = if traced {
-                units[i].collective_totals()
-            } else {
-                (0.0, 0)
-            };
-            let refill_before = if traced {
-                units[i].member_refill_bytes()
-            } else {
-                Vec::new()
-            };
-            let batch = units[i].leader().running.len() as u32;
-            let new_done = units[i].execute_iteration(&mut self.cost, &ctx);
-            executed_iterations += 1;
-            if traced {
-                let iter_end = units[i].now_ms();
-                let dur_ms = iter_end - iter_start;
-                let (coll_ms_after, _) = units[i].collective_totals();
-                let coll_ms = (coll_ms_after - coll_ms_before).min(dur_ms);
-                let refill_after = units[i].member_refill_bytes();
-                let label = units[i]
-                    .leader()
-                    .active_model
-                    .map(|m| m.name())
-                    .unwrap_or("iteration");
-                for (slot, m) in units[i].members.iter().enumerate() {
-                    if dur_ms > 0.0 {
-                        sink.slice(TimelineSlice {
-                            instance: m.id as u32,
-                            kind: SliceKind::Busy,
-                            start_ms: iter_start,
-                            dur_ms,
-                            label,
-                            batch,
-                        });
-                    }
-                    // Weight-refill traffic this iteration, priced at DRAM
-                    // bandwidth and drawn nested at the head of the slice.
-                    let refill_bytes = refill_after[slot].1 - refill_before[slot].1;
-                    if refill_bytes > 0 {
-                        let refill_ms = ctx.transfer_ms(refill_bytes).min(dur_ms);
-                        if refill_ms > 0.0 {
-                            sink.slice(TimelineSlice {
-                                instance: m.id as u32,
-                                kind: SliceKind::Refill,
-                                start_ms: iter_start,
-                                dur_ms: refill_ms,
-                                label: "weight refill",
-                                batch,
+                    let refill_before = if traced {
+                        units[i].member_refill_bytes()
+                    } else {
+                        Vec::new()
+                    };
+                    let batch = units[i].leader().running.len() as u32;
+                    let new_done = units[i].execute_iteration(&mut self.cost, &ctx);
+                    executed_iterations += 1;
+                    if traced {
+                        let iter_end = units[i].now_ms();
+                        let dur_ms = iter_end - iter_start;
+                        let (coll_ms_after, _) = units[i].collective_totals();
+                        let coll_ms = (coll_ms_after - coll_ms_before).min(dur_ms);
+                        let refill_after = units[i].member_refill_bytes();
+                        let label = units[i]
+                            .leader()
+                            .active_model
+                            .map(|m| m.name())
+                            .unwrap_or("iteration");
+                        for (slot, m) in units[i].members.iter().enumerate() {
+                            if dur_ms > 0.0 {
+                                sink.slice(TimelineSlice {
+                                    instance: m.id as u32,
+                                    kind: SliceKind::Busy,
+                                    start_ms: iter_start,
+                                    dur_ms,
+                                    label,
+                                    batch,
+                                });
+                            }
+                            // Weight-refill traffic this iteration, priced at DRAM
+                            // bandwidth and drawn nested at the head of the slice.
+                            let refill_bytes = refill_after[slot].1 - refill_before[slot].1;
+                            if refill_bytes > 0 {
+                                let refill_ms = ctx.transfer_ms(refill_bytes).min(dur_ms);
+                                if refill_ms > 0.0 {
+                                    sink.slice(TimelineSlice {
+                                        instance: m.id as u32,
+                                        kind: SliceKind::Refill,
+                                        start_ms: iter_start,
+                                        dur_ms: refill_ms,
+                                        label: "weight refill",
+                                        batch,
+                                    });
+                                }
+                            }
+                            // Collective time is charged at the tail of the
+                            // iteration (activations sync before the boundary).
+                            if coll_ms > 0.0 {
+                                sink.slice(TimelineSlice {
+                                    instance: m.id as u32,
+                                    kind: SliceKind::Collective,
+                                    start_ms: iter_end - coll_ms,
+                                    dur_ms: coll_ms,
+                                    label: "collective",
+                                    batch,
+                                });
+                            }
+                        }
+                        let inst = units[i].leader().id as u32;
+                        for r in &units[i].leader().running {
+                            sink.span(SpanRecord {
+                                at_ms: iter_end,
+                                request: r.id,
+                                model: r.model.name(),
+                                event: RequestEvent::Iteration {
+                                    instance: inst,
+                                    step: r.steps_done as u32,
+                                },
+                            });
+                        }
+                        for c in &new_done {
+                            sink.span(SpanRecord {
+                                at_ms: c.finished_ms,
+                                request: c.id,
+                                model: c.model.name(),
+                                event: RequestEvent::Completed {
+                                    instance: c.instance as u32,
+                                },
                             });
                         }
                     }
-                    // Collective time is charged at the tail of the
-                    // iteration (activations sync before the boundary).
-                    if coll_ms > 0.0 {
-                        sink.slice(TimelineSlice {
-                            instance: m.id as u32,
-                            kind: SliceKind::Collective,
-                            start_ms: iter_end - coll_ms,
-                            dur_ms: coll_ms,
-                            label: "collective",
-                            batch,
-                        });
+                    for c in &new_done {
+                        latency_hist.record(c.latency_ms());
+                        queue_hist.record(c.queue_ms());
                     }
-                }
-                let inst = units[i].leader().id as u32;
-                for r in &units[i].leader().running {
-                    sink.span(SpanRecord {
-                        at_ms: iter_end,
-                        request: r.id,
-                        model: r.model.name(),
-                        event: RequestEvent::Iteration {
-                            instance: inst,
-                            step: r.steps_done as u32,
-                        },
-                    });
-                }
-                for c in &new_done {
-                    sink.span(SpanRecord {
-                        at_ms: c.finished_ms,
-                        request: c.id,
-                        model: c.model.name(),
-                        event: RequestEvent::Completed {
-                            instance: c.instance as u32,
-                        },
-                    });
-                }
-            }
-            for c in &new_done {
-                latency_hist.record(c.latency_ms());
-                queue_hist.record(c.queue_ms());
-            }
-            completions.extend(new_done);
-            // Weight refills can evict parked latents too.
-            for id in units[i].take_evicted_latents() {
-                for r in queue.iter_mut().filter(|r| r.id == id) {
-                    r.parked_on = None;
+                    inflight_rows -= new_done.len() as i64;
+                    completions.extend(new_done);
+                    // Weight refills can evict parked latents too.
+                    for id in units[i].take_evicted_latents() {
+                        for r in queue.iter_mut().filter(|r| r.id == id) {
+                            r.parked_on = None;
+                        }
+                    }
+                    // The executed iteration advanced this unit's clock; its next
+                    // boundary is its next event.
+                    calendar.schedule_unit(i, units[i].now_ms(), EventKind::UnitBoundary);
                 }
             }
         }
@@ -1402,12 +1492,14 @@ impl ServeSimulator {
             planner_wall_ms: planner_watch.wall_ms(),
             planner_calls: planner_watch.laps(),
             iterations: executed_iterations,
+            events_executed,
+            peak_calendar_events: calendar.peak_len(),
             makespan_ms,
             completed: completions.len(),
         });
         self.report(
             trace,
-            &arrivals,
+            releaser.released(),
             completions,
             sheds,
             degraded_requests,
@@ -1425,7 +1517,7 @@ impl ServeSimulator {
     fn report(
         &self,
         trace: &TraceConfig,
-        arrivals: &[crate::trace::Arrival],
+        arrivals: usize,
         completions: Vec<Completion>,
         sheds: Vec<ShedRecord>,
         degraded_requests: usize,
@@ -1484,11 +1576,11 @@ impl ServeSimulator {
             admission: self.config.admission.name().to_string(),
             pattern: trace.pattern.name().to_string(),
             instances: placement.total_instances(),
-            arrivals: arrivals.len(),
+            arrivals,
             completed: completions.len(),
             shed_requests: sheds.len(),
             degraded_requests,
-            offered_rps: arrivals.len() as f64 / (trace.horizon_ms / 1000.0).max(1e-9),
+            offered_rps: arrivals as f64 / (trace.horizon_ms / 1000.0).max(1e-9),
             throughput_rps: completions.len() as f64 / makespan_s,
             goodput_rps: within_slo as f64 / makespan_s,
             slo_attainment: if answered == 0 {

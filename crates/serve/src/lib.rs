@@ -87,6 +87,7 @@
 //! ```
 
 pub mod admission;
+pub mod calendar;
 pub mod cluster;
 pub mod cost;
 pub mod metrics;
@@ -106,6 +107,7 @@ pub use admission::{
     AdmissionController, AdmissionDecision, AdmissionRegistry, AdmissionView, AdmitAll,
     DeadlineFeasibility,
 };
+pub use calendar::{Event, EventCalendar, EventKind};
 pub use cluster::{RunProfile, ServeConfig, ServeConfigBuilder, ServeSimulator};
 pub use cost::CostModel;
 pub use exion_sim::partition::Topology;

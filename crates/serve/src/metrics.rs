@@ -105,6 +105,90 @@ pub struct MetricsSnapshot {
     pub values: Vec<MetricSample>,
 }
 
+/// Counter names in registration (= snapshot) order.
+pub const SERIES_COUNTERS: [&str; 8] = [
+    "arrivals_released",
+    "enqueued",
+    "shed",
+    "degraded",
+    "completed",
+    "preemption_parks",
+    "resumes",
+    "migration_drains",
+];
+
+/// Gauge names in registration (= snapshot) order.
+pub const SERIES_GAUGES: [&str; 3] = ["queue_depth", "inflight_rows", "clock_ms"];
+
+/// The cluster's counter/gauge registry plus the snapshots taken at
+/// calendar stats/epoch events. Counters arrive as running totals (the
+/// cluster's existing accumulators) and are diffed against the previous
+/// snapshot, so the hot loop never touches the registry.
+#[derive(Debug, Clone)]
+pub struct SeriesRecorder {
+    registry: exion_telemetry::Registry,
+    series: Vec<MetricsSnapshot>,
+    last: Vec<(&'static str, u64)>,
+}
+
+impl Default for SeriesRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeriesRecorder {
+    /// An empty recorder with every [`SERIES_COUNTERS`] /
+    /// [`SERIES_GAUGES`] metric pre-registered at zero.
+    pub fn new() -> Self {
+        let mut registry = exion_telemetry::Registry::new();
+        let mut last = Vec::with_capacity(SERIES_COUNTERS.len());
+        for name in SERIES_COUNTERS {
+            registry.counter_add(name, 0);
+            last.push((name, 0u64));
+        }
+        for name in SERIES_GAUGES {
+            registry.gauge_set(name, 0.0);
+        }
+        Self {
+            registry,
+            series: Vec::new(),
+            last,
+        }
+    }
+
+    /// Takes one snapshot at `at_ms`: `counters` are running totals in
+    /// [`SERIES_COUNTERS`] order, `gauges` current levels in
+    /// [`SERIES_GAUGES`] order.
+    pub fn snapshot(&mut self, at_ms: f64, counters: [u64; 8], gauges: [f64; 3]) {
+        for ((name, prev), total) in self.last.iter_mut().zip(counters) {
+            debug_assert!(total >= *prev, "counter {name} went backward");
+            self.registry.counter_add(name, total.saturating_sub(*prev));
+            *prev = total;
+        }
+        for (name, value) in SERIES_GAUGES.into_iter().zip(gauges) {
+            self.registry.gauge_set(name, value);
+        }
+        self.series.push(MetricsSnapshot {
+            at_ms,
+            values: self
+                .registry
+                .snapshot()
+                .into_iter()
+                .map(|(name, value)| MetricSample {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+        });
+    }
+
+    /// The recorded time-series, consumed into a report.
+    pub fn into_series(self) -> Vec<MetricsSnapshot> {
+        self.series
+    }
+}
+
 /// Per-instance accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InstanceStats {

@@ -218,6 +218,16 @@ pub struct AdmitOutcome {
     pub resumed: Vec<(u64, f64)>,
 }
 
+impl AdmitOutcome {
+    /// Net change this boundary made to the unit's in-flight row count:
+    /// admissions joined the running batch, parks left it. The cluster
+    /// loop folds these deltas into its fleet-wide in-flight gauge so a
+    /// metrics snapshot never re-scans every unit.
+    pub fn inflight_delta(&self) -> i64 {
+        self.admitted.len() as i64 - self.parked.len() as i64
+    }
+}
+
 /// One accelerator instance's scheduler state.
 #[derive(Debug, Clone)]
 pub struct Instance {

@@ -23,6 +23,9 @@
 //! trace-event JSON to `<path>` (load in Perfetto or `chrome://tracing`).
 //! `EXION_SERVE_BENCH=<path>` self-meters the standard perf-trajectory
 //! scenarios and writes the `BENCH_serve.json` document to `<path>`.
+//! `EXION_SERVE_FLEET_ARRIVALS=<n>` additionally appends the fleet-scale
+//! point (102 scheduling units, `n` lazily streamed arrivals) to that
+//! document — the committed file carries `n = 1_000_000`.
 
 use exion::serve::{
     admission, chrome_trace_json, policy, MemorySink, Placement, PlacementPlanner, PlannerConfig,
@@ -31,8 +34,8 @@ use exion::serve::{
 use exion::sim::config::HwConfig;
 use exion::sim::partition::PartitionStrategy;
 use exion_bench::experiments::serve_sweep::{
-    admission_comparison, goodput_crossover, perf_trajectory, perf_trajectory_json,
-    planner_comparison, sharding_comparison,
+    admission_comparison, fleet_scale_point, goodput_crossover, perf_trajectory,
+    perf_trajectory_json, planner_comparison, sharding_comparison,
 };
 use exion_model::config::ModelKind;
 
@@ -288,7 +291,16 @@ fn maybe_export_bench(horizon_ms: f64) {
     let Ok(path) = std::env::var("EXION_SERVE_BENCH") else {
         return;
     };
-    let points = perf_trajectory(Some(horizon_ms));
+    let mut points = perf_trajectory(Some(horizon_ms));
+    // `EXION_SERVE_FLEET_ARRIVALS=<n>`: append the fleet-scale point —
+    // 100+ scheduling units driven by n lazily streamed arrivals. The
+    // committed BENCH_serve.json carries n = 1_000_000.
+    if let Ok(n) = std::env::var("EXION_SERVE_FLEET_ARRIVALS") {
+        let target: usize = n
+            .parse()
+            .expect("EXION_SERVE_FLEET_ARRIVALS must be an integer");
+        points.push(fleet_scale_point(90, 12, target));
+    }
     std::fs::write(&path, perf_trajectory_json(&points)).expect("write BENCH_serve.json");
     println!(
         "wrote perf trajectory ({} scenarios) to {path}",
@@ -296,11 +308,13 @@ fn maybe_export_bench(horizon_ms: f64) {
     );
     for p in &points {
         println!(
-            "  {:>30}: {:>5} arrivals | {:>6} iters | sim {:>6.0} ms | wall {:>7.1} ms | \
-             {:>5.0} sim-ms/wall-ms",
+            "  {:>30}: {:>8} arrivals | {:>8} iters | {:>8} events (peak heap {:>4}) | \
+             sim {:>9.0} ms | wall {:>8.1} ms | {:>5.0} sim-ms/wall-ms",
             p.scenario,
             p.arrivals,
             p.profile.iterations,
+            p.profile.events_executed,
+            p.profile.peak_calendar_events,
             p.profile.makespan_ms,
             p.profile.wall_ms,
             p.profile.sim_ms_per_wall_ms(),
