@@ -1,0 +1,97 @@
+//! Criterion bench of the scheduler's per-boundary decision cost at queue
+//! depth 16 / 1k / 16k: the indexed admission path (`Instance::admit`,
+//! bucket argmins + bounded preempt/swap scans) against the retained
+//! linear-scan reference (`Instance::admit_reference`). Each sample clones
+//! a prebuilt (instance, queue) pair once and then runs a burst of
+//! boundary decisions (admit + execute), so the clone amortizes and the
+//! measured delta is the decision path itself. Numbers are recorded in
+//! `crates/bench/benches/README.md`.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exion_model::config::{ModelConfig, ModelKind};
+use exion_serve::{policy, CostModel, Instance, ReadyQueue, Request, SchedContext};
+use exion_sim::config::HwConfig;
+use exion_sim::partition::Interconnect;
+use exion_sim::perf::SimAblation;
+use exion_sim::residency::EvictionPolicy;
+
+const KINDS: [ModelKind; 3] = [ModelKind::Mld, ModelKind::Mdm, ModelKind::StableDiffusion];
+
+/// Boundary decisions per sample (one clone amortized across the burst).
+const BURST: usize = 64;
+
+fn ctx_for(policy: Arc<dyn policy::SchedulerPolicy>) -> SchedContext {
+    let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+    SchedContext::build(
+        policy,
+        8,
+        &KINDS,
+        &mut cost,
+        Interconnect::default(),
+        |k| ModelConfig::for_kind(k).shrunk(1, 12),
+        |_| None,
+    )
+}
+
+/// A `depth`-deep ready queue of mixed-model, mixed-deadline arrivals, all
+/// released by `now` (the deep-backlog shape: everything visible, nothing
+/// parked), plus the instance whose clock sits past the last arrival.
+fn seed_state(ctx: &SchedContext, depth: usize) -> (Instance, ReadyQueue) {
+    let mut requests = Vec::with_capacity(depth);
+    for id in 0..depth as u64 {
+        let kind = KINDS[(id % 3) as usize];
+        let info = ctx.info(kind);
+        let arrival_ms = 0.1 * id as f64;
+        let steps = info.config.iterations;
+        // Deadline spread wide enough that EDF ordering is non-trivial.
+        let slo_ms = (1.0 + (id % 17) as f64) * steps as f64 * info.warm_step_ms;
+        requests.push(Request::new(id, kind, arrival_ms, slo_ms, steps));
+    }
+    let last_arrival = 0.1 * depth.saturating_sub(1) as f64;
+    let mut inst = Instance::new(0, &HwConfig::exion4(), EvictionPolicy::Lru);
+    inst.now_ms = last_arrival;
+    (inst, ReadyQueue::from_requests(requests, ctx))
+}
+
+fn bench_decision_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_hot_path");
+    group.sample_size(10);
+    let ctx = ctx_for(policy::by_name("preemptive-edf").expect("builtin"));
+    let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
+    for &depth in &[16usize, 1_000, 16_000] {
+        let seed = seed_state(&ctx, depth);
+        group.bench_with_input(BenchmarkId::new("indexed", depth), &depth, |b, _| {
+            b.iter(|| {
+                let (mut inst, mut queue) = seed.clone();
+                for _ in 0..BURST {
+                    let out = inst.admit(&mut queue, &ctx, &mut []);
+                    black_box(out.admitted.len());
+                    if !inst.running.is_empty() {
+                        black_box(inst.execute_iteration(&mut cost, &ctx).len());
+                    }
+                }
+                black_box(queue.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", depth), &depth, |b, _| {
+            b.iter(|| {
+                let (mut inst, mut queue) = seed.clone();
+                for _ in 0..BURST {
+                    let out = inst.admit_reference(&mut queue, &ctx, &mut []);
+                    black_box(out.admitted.len());
+                    if !inst.running.is_empty() {
+                        black_box(inst.execute_iteration(&mut cost, &ctx).len());
+                    }
+                }
+                black_box(queue.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_cost);
+criterion_main!(benches);

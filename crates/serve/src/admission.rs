@@ -23,6 +23,7 @@ use std::sync::Arc;
 use exion_model::config::ModelKind;
 
 use crate::placement::Gang;
+use crate::queue::BacklogIndex;
 use crate::request::Request;
 use crate::scheduler::SchedContext;
 
@@ -53,6 +54,11 @@ pub struct AdmissionView<'a> {
     queue: &'a [Request],
     units: &'a [Gang],
     ctx: &'a SchedContext,
+    /// Incremental per-model backlog projection (Fenwick prefix sums over
+    /// queued steps in deadline order), when the caller maintains one —
+    /// turns the competing-backlog scan into an O(models × log queue)
+    /// lookup. `None` (or a declined index) falls back to the exact scan.
+    backlog: Option<&'a BacklogIndex>,
 }
 
 impl<'a> AdmissionView<'a> {
@@ -67,7 +73,15 @@ impl<'a> AdmissionView<'a> {
             queue,
             units,
             ctx,
+            backlog: None,
         }
+    }
+
+    /// Attaches the caller's incrementally maintained [`BacklogIndex`] so
+    /// deadline projections stop re-scanning the queue per arrival.
+    pub(crate) fn with_index(mut self, backlog: &'a BacklogIndex) -> Self {
+        self.backlog = Some(backlog);
+        self
     }
 
     /// The instant the decision is made at (ms): the releasing unit's
@@ -139,12 +153,25 @@ impl<'a> AdmissionView<'a> {
             let info = self.ctx.info(r.model);
             r.steps_left() as f64 * info.batched_step_ms / self.ctx.max_batch.max(1) as f64
         };
-        let queued: f64 = self
-            .queue
-            .iter()
-            .filter(|q| q.deadline_ms() <= deadline_ms)
-            .map(per_row)
-            .sum();
+        // With a backlog index attached, the competing work is a per-model
+        // Fenwick prefix (the step counts are integers, so the per-model
+        // sums are exact); without one — or if any model's deadlines
+        // arrived out of order and its index declined — the exact scan.
+        let indexed: Option<f64> = self.backlog.and_then(|idx| {
+            let mut sum = 0.0;
+            let max_batch = self.ctx.max_batch.max(1) as f64;
+            idx.competing_steps(deadline_ms, |m, steps| {
+                sum += steps as f64 * self.ctx.info(m).batched_step_ms / max_batch;
+            })?;
+            Some(sum)
+        });
+        let queued: f64 = indexed.unwrap_or_else(|| {
+            self.queue
+                .iter()
+                .filter(|q| q.deadline_ms() <= deadline_ms)
+                .map(per_row)
+                .sum()
+        });
         let best_drain = self
             .units
             .iter()

@@ -39,14 +39,15 @@ use crate::admission::{self, AdmissionController, AdmissionDecision, AdmissionVi
 use crate::calendar::{EventCalendar, EventKind};
 use crate::cost::CostModel;
 use crate::metrics::{
-    queue_depth_stats, EpochStat, LatencyStats, MetricsSnapshot, PlannerReport, ReplanEvent,
+    DepthTracker, EpochStat, LatencyStats, MetricsSnapshot, PlannerReport, ReplanEvent,
     SeriesRecorder, ServeReport,
 };
 use crate::placement::{Gang, Placement};
 use crate::planner::PlacementPlanner;
 use crate::policy::{self, Fcfs, SchedulerPolicy};
+use crate::queue::ReadyQueue;
 use crate::request::{Completion, Request, ShedRecord};
-use crate::scheduler::SchedContext;
+use crate::scheduler::{AdmitOutcome, SchedContext};
 use crate::trace::{Arrival, ArrivalStream, TraceConfig};
 
 /// The widest gang one placement may declare: partition shard indices are
@@ -603,7 +604,10 @@ impl ArrivalReleaser {
                 None => self.exhausted = true,
             }
         }
-        self.released + self.buffered.iter().take_while(|a| a.at_ms < t_ms).count()
+        // `buffered` is time-sorted (trace order), so the count before
+        // `t_ms` is a partition point — no linear re-scan of the lookahead
+        // buffer per epoch.
+        self.released + self.buffered.partition_point(|a| a.at_ms < t_ms)
     }
 
     /// Arrivals released so far (= generated, once the run drains).
@@ -851,11 +855,16 @@ impl ServeSimulator {
         let mut units_birth_ms: f64 = 0.0;
         let mut retired: Vec<(Gang, f64, f64)> = Vec::new();
         let admission = self.config.admission.clone();
-        let mut queue: Vec<Request> = Vec::new();
+        let mut queue = ReadyQueue::new();
         let mut completions: Vec<Completion> = Vec::new();
         let mut sheds: Vec<ShedRecord> = Vec::new();
         let mut degraded_requests = 0usize;
-        let mut depth_events: Vec<(f64, i64)> = Vec::new();
+        let mut depth = DepthTracker::default();
+        // Boundary-path scratch: one admit outcome and one completions
+        // buffer reused across every event, so a steady-state iteration
+        // boundary allocates nothing.
+        let mut boundary_outcome = AdmitOutcome::default();
+        let mut boundary_done: Vec<Completion> = Vec::new();
         if traced {
             declare_unit_tracks(&units, sink);
         }
@@ -914,6 +923,10 @@ impl ServeSimulator {
         while calendar.scheduled_units() > 0 {
             let Some(ev) = calendar.pop() else { break };
             events_executed += 1;
+            // Fold queue-depth stamps that nothing can precede anymore:
+            // future stamps land at or past this event's time (calendar
+            // pops are time-ordered) or at a still-unreleased arrival.
+            depth.advance(ev.at_ms.min(releaser.peek_at_ms().unwrap_or(f64::INFINITY)));
             match ev.kind {
                 // Fixed-cadence registry snapshot (when configured). Pure
                 // observation — nothing feeds back into the run — so it
@@ -1042,7 +1055,7 @@ impl ServeSimulator {
                             t_start = t_start.max(unit.now_ms());
                         }
                         for &(_, at_ms) in &stamps {
-                            depth_events.push((at_ms, 1));
+                            depth.stamp(at_ms, 1);
                         }
                         if traced {
                             let drain_ms = unit.now_ms() - drain_from;
@@ -1059,11 +1072,8 @@ impl ServeSimulator {
                                 }
                             }
                             for &(id, at_ms) in &stamps {
-                                let model = queue
-                                    .iter()
-                                    .find(|r| r.id == id)
-                                    .map(|r| r.model.name())
-                                    .unwrap_or("unknown");
+                                let model =
+                                    queue.get(id).map(|r| r.model.name()).unwrap_or("unknown");
                                 sink.span(SpanRecord {
                                     at_ms,
                                     request: id,
@@ -1077,11 +1087,11 @@ impl ServeSimulator {
                     // latent is written back to DRAM (priced on the holder)
                     // and the stale affinity hint cleared — no instance of
                     // the new placement holds it.
-                    for r in queue.iter_mut() {
-                        if let Some(home) = r.parked_on.take() {
-                            for unit in units.iter_mut() {
-                                unit.discard_member_latent(home, r.id, &ctx);
-                            }
+                    let mut parked_homes: Vec<(u64, usize)> = Vec::new();
+                    queue.take_parked_homes(&mut parked_homes);
+                    for &(id, home) in &parked_homes {
+                        for unit in units.iter_mut() {
+                            unit.discard_member_latent(home, id, &ctx);
                         }
                     }
                     // What the teardown walks away from: GSC-resident state
@@ -1163,7 +1173,9 @@ impl ServeSimulator {
                         let mut r = Request::new(id, a.model, a.at_ms, slo_ms, steps);
                         let decided_at = now.max(r.arrival_ms);
                         let decision = {
-                            let view = AdmissionView::new(decided_at, &queue, &units, &ctx);
+                            let view =
+                                AdmissionView::new(decided_at, queue.as_slice(), &units, &ctx)
+                                    .with_index(queue.backlog());
                             admission.decide(&r, &view)
                         };
                         if traced {
@@ -1225,7 +1237,7 @@ impl ServeSimulator {
                                 continue;
                             }
                         }
-                        depth_events.push((r.arrival_ms, 1));
+                        depth.stamp(r.arrival_ms, 1);
                         enqueued_total += 1;
                         if traced {
                             sink.span(SpanRecord {
@@ -1235,7 +1247,7 @@ impl ServeSimulator {
                                 event: RequestEvent::Enqueued,
                             });
                         }
-                        queue.push(r);
+                        queue.push(r, &ctx);
                     }
 
                     if units[i].is_idle() && queue.is_empty() {
@@ -1261,7 +1273,8 @@ impl ServeSimulator {
 
                     // Iteration boundary: admit (possibly preempting), then execute
                     // one iteration.
-                    let outcome = units[i].admit(&mut queue, &ctx);
+                    units[i].admit_into(&mut queue, &ctx, &mut boundary_outcome);
+                    let outcome = &boundary_outcome;
                     parks_total += outcome.parked.len() as u64;
                     resumes_total += outcome.resumed.len() as u64;
                     inflight_rows += outcome.inflight_delta();
@@ -1272,8 +1285,7 @@ impl ServeSimulator {
                             // its model (and the member actually holding the latent)
                             // from there.
                             let (model, holder) = queue
-                                .iter()
-                                .find(|r| r.id == id)
+                                .get(id)
                                 .map(|r| {
                                     (
                                         r.model.name(),
@@ -1309,10 +1321,10 @@ impl ServeSimulator {
                         }
                     }
                     for &(_, at_ms) in &outcome.parked {
-                        depth_events.push((at_ms, 1));
+                        depth.stamp(at_ms, 1);
                     }
                     for &(_, at_ms) in &outcome.admitted {
-                        depth_events.push((at_ms, -1));
+                        depth.stamp(at_ms, -1);
                     }
                     // A request parked on one unit may resume on another; release
                     // any latent copy the parking unit still holds (billing the
@@ -1343,9 +1355,7 @@ impl ServeSimulator {
                     // resume-affinity hints are now stale (the latent is in DRAM,
                     // no instance is preferable) and must not keep deferring them.
                     for id in units[i].take_evicted_latents() {
-                        for r in queue.iter_mut().filter(|r| r.id == id) {
-                            r.parked_on = None;
-                        }
+                        queue.clear_parked_hint(id);
                     }
                     if units[i].is_idle() {
                         // A sparsity gate cannot block an idle unit, so nothing
@@ -1355,10 +1365,12 @@ impl ServeSimulator {
                         // becoming ready, or the next arrival); the calendar holds
                         // no other entry for this unit, so no busy-wake fallback
                         // is needed.
-                        let next_ready = queue
-                            .iter()
-                            .map(|r| r.ready_ms)
-                            .fold(f64::INFINITY, f64::min);
+                        // No fresh request can be queued here (fresh
+                        // requests are always admissible, and the admit
+                        // above left the unit idle), so the deferred
+                        // minimum is the queue minimum.
+                        debug_assert!(queue.fresh_buckets().all(|(_, b)| b.is_empty()));
+                        let next_ready = queue.min_deferred_ready_ms();
                         let next_arr = releaser.peek_at_ms().unwrap_or(f64::INFINITY);
                         // The queue is non-empty here (the empty case slept
                         // above), so the wake target is finite.
@@ -1382,7 +1394,8 @@ impl ServeSimulator {
                         Vec::new()
                     };
                     let batch = units[i].leader().running.len() as u32;
-                    let new_done = units[i].execute_iteration(&mut self.cost, &ctx);
+                    boundary_done.clear();
+                    units[i].execute_iteration_into(&mut self.cost, &ctx, &mut boundary_done);
                     executed_iterations += 1;
                     if traced {
                         let iter_end = units[i].now_ms();
@@ -1447,7 +1460,7 @@ impl ServeSimulator {
                                 },
                             });
                         }
-                        for c in &new_done {
+                        for c in &boundary_done {
                             sink.span(SpanRecord {
                                 at_ms: c.finished_ms,
                                 request: c.id,
@@ -1458,17 +1471,15 @@ impl ServeSimulator {
                             });
                         }
                     }
-                    for c in &new_done {
+                    for c in &boundary_done {
                         latency_hist.record(c.latency_ms());
                         queue_hist.record(c.queue_ms());
                     }
-                    inflight_rows -= new_done.len() as i64;
-                    completions.extend(new_done);
+                    inflight_rows -= boundary_done.len() as i64;
+                    completions.append(&mut boundary_done);
                     // Weight refills can evict parked latents too.
                     for id in units[i].take_evicted_latents() {
-                        for r in queue.iter_mut().filter(|r| r.id == id) {
-                            r.parked_on = None;
-                        }
+                        queue.clear_parked_hint(id);
                     }
                     // The executed iteration advanced this unit's clock; its next
                     // boundary is its next event.
@@ -1497,13 +1508,14 @@ impl ServeSimulator {
             makespan_ms,
             completed: completions.len(),
         });
+        let depth_stats = depth.finish(makespan_ms);
         self.report(
             trace,
             releaser.released(),
             completions,
             sheds,
             degraded_requests,
-            &mut depth_events,
+            depth_stats,
             &retired,
             &placement,
             planner_state.map(|s| s.report),
@@ -1521,7 +1533,7 @@ impl ServeSimulator {
         completions: Vec<Completion>,
         sheds: Vec<ShedRecord>,
         degraded_requests: usize,
-        depth_events: &mut [(f64, i64)],
+        depth_stats: (f64, usize),
         units: &[(Gang, f64, f64)],
         placement: &Placement,
         planner: Option<PlannerReport>,
@@ -1540,7 +1552,7 @@ impl ServeSimulator {
         debug_assert_eq!(latency_hist.count(), completions.len() as u64);
         let latency = LatencyStats::from_histogram(latency_hist);
         let queue_delay = LatencyStats::from_histogram(queue_hist);
-        let (mean_queue_depth, peak_queue_depth) = queue_depth_stats(depth_events, makespan_ms);
+        let (mean_queue_depth, peak_queue_depth) = depth_stats;
         // Utilization is busy time over each unit's *live* window (birth to
         // retirement, or the makespan for the final units) — a migrated
         // cluster's retired and replacement units each existed for only

@@ -94,6 +94,7 @@ pub mod metrics;
 pub mod placement;
 pub mod planner;
 pub mod policy;
+pub mod queue;
 mod registry;
 pub mod request;
 pub mod scheduler;
@@ -127,6 +128,7 @@ pub use policy::{
     Edf, Fcfs, PolicyKey, PolicyRegistry, PreemptiveEdf, SchedSnapshot, SchedulerPolicy,
     SparsityAware,
 };
+pub use queue::{BacklogIndex, ReadyQueue};
 pub use request::{Completion, Request, RequestId, ShedRecord};
 pub use scheduler::{AdmitOutcome, Instance, ModelInfo, SchedContext};
 pub use trace::{Arrival, TraceConfig, TrafficPattern, WorkloadMix};

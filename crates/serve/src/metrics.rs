@@ -451,8 +451,86 @@ impl ServeReport {
     }
 }
 
+/// Online queue-depth integrator: the incremental replacement for
+/// buffering every `(time, ±1)` stamp of a run and sorting at the end
+/// ([`queue_depth_stats`]).
+///
+/// Stamps may arrive out of time order (an arrival's `+1` is stamped at
+/// its *arrival* instant, which can precede park/admit stamps already
+/// recorded at later boundary clocks), so folding is gated by a
+/// *watermark*: the caller advances it to a time no future stamp can
+/// precede (the minimum of the current event time and the next
+/// unreleased arrival), and everything strictly before it is folded into
+/// the running area/peak in exactly the `(time, delta)` order the batch
+/// sort used. The pending heap therefore stays bounded by the in-flight
+/// stamp count (≈ queue depth) instead of growing with total arrivals.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DepthTracker {
+    /// Un-folded stamps as a min-heap on `(time bits, delta rank)` —
+    /// times are non-negative finite, so the bit pattern orders like the
+    /// float, and rank 0 (`-1`) sorts before rank 1 (`+1`) at equal
+    /// times, matching the batch sort's tie-break.
+    pending: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u8)>>,
+    stamps: u64,
+    depth: i64,
+    peak: i64,
+    area: f64,
+    prev_ms: f64,
+}
+
+impl DepthTracker {
+    /// Records a `±1` depth change at `t_ms`.
+    pub(crate) fn stamp(&mut self, t_ms: f64, delta: i64) {
+        debug_assert!(
+            t_ms >= 0.0 && t_ms.is_finite(),
+            "depth stamps are in-run times"
+        );
+        let rank = if delta < 0 { 0 } else { 1 };
+        self.pending.push(std::cmp::Reverse((t_ms.to_bits(), rank)));
+        self.stamps += 1;
+    }
+
+    /// Folds every pending stamp strictly before `watermark_ms`. The
+    /// caller guarantees no later [`Self::stamp`] precedes the watermark.
+    pub(crate) fn advance(&mut self, watermark_ms: f64) {
+        while let Some(&std::cmp::Reverse((bits, rank))) = self.pending.peek() {
+            let t = f64::from_bits(bits);
+            if t >= watermark_ms {
+                break;
+            }
+            self.pending.pop();
+            self.fold(t, rank);
+        }
+    }
+
+    fn fold(&mut self, t: f64, rank: u8) {
+        self.area += self.depth as f64 * (t - self.prev_ms);
+        self.prev_ms = t;
+        self.depth += if rank == 0 { -1 } else { 1 };
+        self.peak = self.peak.max(self.depth);
+    }
+
+    /// Drains the remaining stamps and closes the integral over
+    /// `[0, end_ms]`, returning `(time-weighted mean depth, peak depth)`
+    /// exactly as [`queue_depth_stats`] would have.
+    pub(crate) fn finish(mut self, end_ms: f64) -> (f64, usize) {
+        if self.stamps == 0 || end_ms <= 0.0 {
+            return (0.0, 0);
+        }
+        while let Some(std::cmp::Reverse((bits, rank))) = self.pending.pop() {
+            let t = f64::from_bits(bits).min(end_ms);
+            self.fold(t, rank);
+        }
+        self.area += self.depth as f64 * (end_ms - self.prev_ms).max(0.0);
+        (self.area / end_ms, self.peak.max(0) as usize)
+    }
+}
+
 /// Integrates a `(time, +1/-1)` event stream into time-weighted mean and
-/// peak depth over `[0, end_ms]`.
+/// peak depth over `[0, end_ms]` — the batch reference [`DepthTracker`]
+/// is differentially tested against (the run loop itself now integrates
+/// online).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn queue_depth_stats(events: &mut [(f64, i64)], end_ms: f64) -> (f64, usize) {
     if events.is_empty() || end_ms <= 0.0 {
         return (0.0, 0);
@@ -539,5 +617,38 @@ mod tests {
         let (mean, peak) = queue_depth_stats(&mut events, 10.0);
         assert!((mean - 1.0).abs() < 1e-12, "{mean}");
         assert_eq!(peak, 2);
+    }
+
+    #[test]
+    fn depth_tracker_matches_the_batch_integrator() {
+        // Stamps arrive out of time order (the +1 at t=1.0 lands after the
+        // later boundary stamps, like a released arrival's back-dated
+        // stamp), interleaved with watermark advances that never outrun a
+        // future stamp. The online result must equal the batch sort's
+        // bit for bit.
+        let stream: [(f64, i64); 7] = [
+            (0.0, 1),
+            (4.0, 1),
+            (4.0, -1),
+            (1.0, 1),
+            (6.0, -1),
+            (7.5, 1),
+            (9.0, -1),
+        ];
+        let mut tracker = DepthTracker::default();
+        for (i, &(t, d)) in stream.iter().enumerate() {
+            tracker.stamp(t, d);
+            if i == 3 {
+                // Everything stamped so far lies strictly before 5.0.
+                tracker.advance(5.0);
+            }
+        }
+        let online = tracker.finish(10.0);
+        let mut events = stream.to_vec();
+        let batch = queue_depth_stats(&mut events, 10.0);
+        assert_eq!(online.0.to_bits(), batch.0.to_bits());
+        assert_eq!(online.1, batch.1);
+
+        assert_eq!(DepthTracker::default().finish(10.0), (0.0, 0));
     }
 }

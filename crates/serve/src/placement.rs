@@ -27,7 +27,8 @@ use exion_sim::residency::EvictionPolicy;
 
 use crate::cost::CostModel;
 use crate::metrics::{GangStats, InstanceStats};
-use crate::request::{Completion, Request};
+use crate::queue::ReadyQueue;
+use crate::request::Completion;
 use crate::scheduler::{AdmitOutcome, Instance, SchedContext};
 
 /// How a cluster's instances are grouped: `replicas` single-instance
@@ -210,14 +211,26 @@ impl Gang {
     /// with the follower members offered as latent-park sinks — and keeps
     /// member clocks in lockstep past any latent transfers the admission
     /// priced.
-    pub fn admit(&mut self, queue: &mut Vec<Request>, ctx: &SchedContext) -> AdmitOutcome {
+    pub fn admit(&mut self, queue: &mut ReadyQueue, ctx: &SchedContext) -> AdmitOutcome {
+        let mut out = AdmitOutcome::default();
+        self.admit_into(queue, ctx, &mut out);
+        out
+    }
+
+    /// [`Self::admit`] writing into a caller-owned outcome buffer — the
+    /// zero-allocation boundary path.
+    pub fn admit_into(
+        &mut self,
+        queue: &mut ReadyQueue,
+        ctx: &SchedContext,
+        outcome: &mut AdmitOutcome,
+    ) {
         let (leader, peers) = self
             .members
             .split_first_mut()
             .expect("a unit has at least one member");
-        let out = leader.admit(queue, ctx, peers);
+        leader.admit_into(queue, ctx, peers, outcome);
         self.sync_clocks();
-        out
     }
 
     /// Releases a parked-latent copy after its request resumed on another
@@ -260,7 +273,7 @@ impl Gang {
     /// stamps for queue-depth accounting.
     pub fn drain_for_migration(
         &mut self,
-        queue: &mut Vec<Request>,
+        queue: &mut ReadyQueue,
         ctx: &SchedContext,
     ) -> Vec<(u64, f64)> {
         let stamps = self.members[0].drain_running(queue, ctx);
@@ -325,8 +338,20 @@ impl Gang {
         cost: &mut CostModel,
         ctx: &SchedContext,
     ) -> Vec<Completion> {
+        let mut done = Vec::new();
+        self.execute_iteration_into(cost, ctx, &mut done);
+        done
+    }
+
+    /// [`Self::execute_iteration`] appending into a caller-owned buffer.
+    pub fn execute_iteration_into(
+        &mut self,
+        cost: &mut CostModel,
+        ctx: &SchedContext,
+        done: &mut Vec<Completion>,
+    ) {
         if !self.is_sharded() {
-            return self.members[0].execute_iteration(cost, ctx);
+            return self.members[0].execute_iteration_into(cost, ctx, done);
         }
         let model = self.members[0]
             .active_model
@@ -368,16 +393,16 @@ impl Gang {
         // whole gang is occupied for the combined latency (lockstep).
         let link_energy =
             gang_cost.energy_mj - shard_costs.iter().map(|c| c.energy_mj).sum::<f64>();
-        let done = self.members[0].finish_iteration(
+        self.members[0].finish_iteration_into(
             gang_cost.latency_ms,
             shard_costs[0].energy_mj + link_energy,
             phase,
+            done,
         );
         let now = self.members[0].now_ms;
         for (member, c) in self.members[1..].iter_mut().zip(&shard_costs[1..]) {
             member.advance_lockstep(now, gang_cost.latency_ms, c.energy_mj);
         }
-        done
     }
 
     /// Per-member accounting over a makespan.
@@ -403,6 +428,7 @@ impl Gang {
 mod tests {
     use super::*;
     use crate::policy::Fcfs;
+    use crate::request::Request;
     use exion_model::config::ModelConfig;
     use exion_sim::perf::SimAblation;
     use std::sync::Arc;
@@ -449,7 +475,10 @@ mod tests {
         let mut gang = Gang::sharded(0, &hw, EvictionPolicy::Lru, strategy);
         assert!(gang.is_sharded());
         let steps = tiny(ModelKind::VideoCrafter2).iterations;
-        let mut queue = vec![Request::new(0, ModelKind::VideoCrafter2, 0.0, 1e9, steps)];
+        let mut queue = ReadyQueue::from_requests(
+            vec![Request::new(0, ModelKind::VideoCrafter2, 0.0, 1e9, steps)],
+            &ctx,
+        );
         gang.admit(&mut queue, &ctx);
         let mut done = Vec::new();
         while !gang.is_idle() {

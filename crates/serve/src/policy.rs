@@ -82,9 +82,26 @@ pub trait SchedulerPolicy: fmt::Debug + Send + Sync {
     /// Registry/report name (e.g. `"edf"`).
     fn name(&self) -> &str;
 
-    /// Admission-ordering key of `r` on the unit `snap` describes: smaller
-    /// admits first, ties broken by the id component.
-    fn admission_key(&self, r: &Request, snap: &SchedSnapshot<'_>) -> PolicyKey;
+    /// The *stable* admission-ordering key of `r`: smaller admits first,
+    /// ties broken by the id component. This is the key the indexed
+    /// scheduler queue precomputes and buckets requests under, so it must
+    /// be a pure function of the request alone — finite, and immutable
+    /// for as long as the request sits queued (arrival time and deadline
+    /// qualify; anything depending on the unit's state does not — that
+    /// belongs in [`Self::admission_key`]'s snapshot, or in the batcher's
+    /// own migration-penalty shift). A policy whose key for a queued
+    /// request *does* change must notify the queue through
+    /// [`crate::queue::ReadyQueue::rekey`].
+    fn ordering_key(&self, r: &Request) -> PolicyKey;
+
+    /// Admission-ordering key of `r` on the unit `snap` describes. The
+    /// default delegates to [`Self::ordering_key`]; overriding it with a
+    /// snapshot-dependent key forfeits the indexed fast path's exactness,
+    /// so overrides must keep it equal to `ordering_key` for queued
+    /// ordering (the built-ins all use the default).
+    fn admission_key(&self, r: &Request, _snap: &SchedSnapshot<'_>) -> PolicyKey {
+        self.ordering_key(r)
+    }
 
     /// Batch-join gating: whether new members may join the running batch
     /// at this boundary. The sparsity-aware policy closes the gate
@@ -114,6 +131,24 @@ pub trait SchedulerPolicy: fmt::Debug + Send + Sync {
     fn swap_for(&self, _candidate: &Request, _snap: &SchedSnapshot<'_>) -> bool {
         false
     }
+
+    /// Optional fast-path contract for [`Self::preempt_for`]: when this
+    /// returns `Some(bound)`, the batcher assumes
+    /// `preempt_for(r, snap) == (ordering_key(r).0 < bound)` for every
+    /// queued `r`, letting it early-exit an ascending bucket scan at the
+    /// first key at or past the bound instead of probing each candidate.
+    /// Return `None` (the default) when no such threshold exists; the
+    /// batcher then falls back to per-candidate probes.
+    fn preempt_key_bound(&self, _snap: &SchedSnapshot<'_>) -> Option<f64> {
+        None
+    }
+
+    /// Optional fast-path contract for [`Self::swap_for`], analogous to
+    /// [`Self::preempt_key_bound`]:
+    /// `swap_for(r, snap) == (ordering_key(r).0 < bound)`.
+    fn swap_key_bound(&self, _snap: &SchedSnapshot<'_>) -> Option<f64> {
+        None
+    }
 }
 
 /// First-come-first-served on arrival time.
@@ -125,7 +160,7 @@ impl SchedulerPolicy for Fcfs {
         "fcfs"
     }
 
-    fn admission_key(&self, r: &Request, _snap: &SchedSnapshot<'_>) -> PolicyKey {
+    fn ordering_key(&self, r: &Request) -> PolicyKey {
         (r.arrival_ms, r.id)
     }
 }
@@ -141,7 +176,7 @@ impl SchedulerPolicy for Edf {
         "edf"
     }
 
-    fn admission_key(&self, r: &Request, _snap: &SchedSnapshot<'_>) -> PolicyKey {
+    fn ordering_key(&self, r: &Request) -> PolicyKey {
         (r.deadline_ms(), r.id)
     }
 }
@@ -160,7 +195,7 @@ impl SchedulerPolicy for PreemptiveEdf {
         "preemptive-edf"
     }
 
-    fn admission_key(&self, r: &Request, _snap: &SchedSnapshot<'_>) -> PolicyKey {
+    fn ordering_key(&self, r: &Request) -> PolicyKey {
         (r.deadline_ms(), r.id)
     }
 
@@ -174,6 +209,14 @@ impl SchedulerPolicy for PreemptiveEdf {
 
     fn swap_for(&self, candidate: &Request, snap: &SchedSnapshot<'_>) -> bool {
         candidate.deadline_ms() < snap.worst_running_deadline()
+    }
+
+    fn preempt_key_bound(&self, snap: &SchedSnapshot<'_>) -> Option<f64> {
+        Some(snap.earliest_running_deadline())
+    }
+
+    fn swap_key_bound(&self, snap: &SchedSnapshot<'_>) -> Option<f64> {
+        Some(snap.worst_running_deadline())
     }
 }
 
@@ -189,7 +232,7 @@ impl SchedulerPolicy for SparsityAware {
         "sparsity-aware"
     }
 
-    fn admission_key(&self, r: &Request, _snap: &SchedSnapshot<'_>) -> PolicyKey {
+    fn ordering_key(&self, r: &Request) -> PolicyKey {
         (r.arrival_ms, r.id)
     }
 
@@ -335,7 +378,7 @@ mod tests {
             fn name(&self) -> &str {
                 "fcfs"
             }
-            fn admission_key(&self, r: &Request, _s: &SchedSnapshot<'_>) -> PolicyKey {
+            fn ordering_key(&self, r: &Request) -> PolicyKey {
                 (-r.arrival_ms, r.id)
             }
         }

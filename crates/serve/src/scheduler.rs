@@ -34,6 +34,7 @@ use exion_sim::residency::{
 use crate::cost::CostModel;
 use crate::metrics::InstanceStats;
 use crate::policy::{SchedSnapshot, SchedulerPolicy};
+use crate::queue::{key_from_bits, ReadyQueue};
 use crate::request::{Completion, Request};
 
 /// Precomputed per-model scheduling constants.
@@ -219,6 +220,15 @@ pub struct AdmitOutcome {
 }
 
 impl AdmitOutcome {
+    /// Empties the outcome for reuse — the cluster loop keeps one
+    /// `AdmitOutcome` alive across boundaries so the zero-allocation
+    /// admission path never churns these vectors.
+    pub fn clear(&mut self) {
+        self.admitted.clear();
+        self.parked.clear();
+        self.resumed.clear();
+    }
+
     /// Net change this boundary made to the unit's in-flight row count:
     /// admissions joined the running batch, parks left it. The cluster
     /// loop folds these deltas into its fleet-wide in-flight gauge so a
@@ -443,7 +453,7 @@ impl Instance {
     /// leaves nothing pinned. Returns `(id, drain ms)` stamps.
     pub(crate) fn drain_running(
         &mut self,
-        queue: &mut Vec<Request>,
+        queue: &mut ReadyQueue,
         ctx: &SchedContext,
     ) -> Vec<(u64, f64)> {
         if let Some(model) = self.active_model {
@@ -459,7 +469,7 @@ impl Instance {
             r.parked_on = None;
             r.ready_ms = self.now_ms;
             stamps.push((r.id, self.now_ms));
-            queue.push(r);
+            queue.push(r, ctx);
         }
         stamps
     }
@@ -478,7 +488,7 @@ impl Instance {
     fn park(
         &mut self,
         mut r: Request,
-        queue: &mut Vec<Request>,
+        queue: &mut ReadyQueue,
         ctx: &SchedContext,
         peers: &mut [Instance],
     ) -> (u64, f64) {
@@ -558,7 +568,7 @@ impl Instance {
         // spill it priced) has finished on this instance's clock.
         r.ready_ms = self.now_ms;
         let stamp = (r.id, self.now_ms);
-        queue.push(r);
+        queue.push(r, ctx);
         stamp
     }
 
@@ -615,13 +625,83 @@ impl Instance {
         )
     }
 
+    /// Scores one model's seed candidacy: its most urgent visible key
+    /// shifted by the refill cost of this member's non-resident weight
+    /// fraction, folded into the running best by the strict
+    /// `(score, key)` order (the id component keeps the argmin unique, so
+    /// model iteration order never matters).
+    fn fold_seed_candidate(
+        &self,
+        model: ModelKind,
+        key: (f64, u64),
+        ctx: &SchedContext,
+        best: &mut Option<(f64, (f64, u64), ModelKind)>,
+    ) {
+        let info = ctx.info(model);
+        let refill =
+            (1.0 - self.weight_residency(model)) * ctx.transfer_ms(self.weight_footprint(info));
+        let score = key.0 + refill;
+        let better = match best {
+            None => true,
+            Some((s, k, _)) => (score, key) < (*s, *k),
+        };
+        if better {
+            *best = Some((score, key, model));
+        }
+    }
+
     /// Residency-aware seed choice for an idle instance: among the queued
     /// models, pick the one minimizing the policy key *adjusted by the
     /// refill cost of its non-resident weight fraction* (of this member's
     /// shard, for gang members). A tenant whose shards this instance
     /// already holds wins unless another model's most urgent request beats
     /// it by more than the switch actually costs.
+    ///
+    /// Indexed: each fresh bucket's first element is its model's minimum
+    /// (fresh requests are visible and penalty-free by construction), and
+    /// the small deferred list folds its per-unit local keys on top — so
+    /// the seed scan is O(models + deferred), not O(queue).
     fn seed_model(
+        &self,
+        queue: &mut ReadyQueue,
+        ctx: &SchedContext,
+        snap: &SchedSnapshot<'_>,
+    ) -> ModelKind {
+        let mut mins = std::mem::take(&mut queue.scratch_seed);
+        mins.clear();
+        for (model, bucket) in queue.fresh_buckets() {
+            if let Some(&(kb, id)) = bucket.iter().next() {
+                mins.push((model, (key_from_bits(kb), id)));
+            }
+        }
+        for &id in queue.deferred_ids() {
+            let r = &queue.as_slice()[queue.slot(id)];
+            if r.ready_ms > self.now_ms {
+                continue;
+            }
+            let key = self.local_key(r, ctx, snap);
+            match mins.iter_mut().find(|(m, _)| *m == r.model) {
+                Some((_, k)) => {
+                    if key < *k {
+                        *k = key;
+                    }
+                }
+                None => mins.push((r.model, key)),
+            }
+        }
+        let mut best: Option<(f64, (f64, u64), ModelKind)> = None;
+        for &(model, key) in mins.iter() {
+            self.fold_seed_candidate(model, key, ctx, &mut best);
+        }
+        mins.clear();
+        queue.scratch_seed = mins;
+        best.expect("seed_model called with a visible queue member")
+            .2
+    }
+
+    /// The reference (pre-index) seed scan over the flat queue slice —
+    /// kept verbatim for [`Self::admit_reference`].
+    fn seed_model_reference(
         &self,
         queue: &[Request],
         ctx: &SchedContext,
@@ -640,17 +720,7 @@ impl Instance {
                 .map(|q| self.local_key(q, ctx, snap))
                 .min_by(|a, b| a.partial_cmp(b).expect("policy keys are finite"))
                 .expect("model taken from a visible queue member");
-            let info = ctx.info(r.model);
-            let refill = (1.0 - self.weight_residency(r.model))
-                * ctx.transfer_ms(self.weight_footprint(info));
-            let score = key.0 + refill;
-            let better = match &best {
-                None => true,
-                Some((s, k, _)) => (score, key) < (*s, *k),
-            };
-            if better {
-                best = Some((score, key, r.model));
-            }
+            self.fold_seed_candidate(r.model, key, ctx, &mut best);
         }
         best.expect("seed_model called with a non-empty queue").2
     }
@@ -669,37 +739,100 @@ impl Instance {
     /// is least GSC-pressured.
     pub fn admit(
         &mut self,
-        queue: &mut Vec<Request>,
+        queue: &mut ReadyQueue,
         ctx: &SchedContext,
         peers: &mut [Instance],
     ) -> AdmitOutcome {
         let mut outcome = AdmitOutcome::default();
+        self.admit_into(queue, ctx, peers, &mut outcome);
+        outcome
+    }
+
+    /// [`Self::admit`] writing into a caller-owned outcome buffer — the
+    /// zero-allocation boundary path. Together with the queue's scratch
+    /// vectors, a steady-state boundary performs no heap allocation at
+    /// all.
+    ///
+    /// Decision structure (each sub-linear in queue depth):
+    ///
+    /// * *urgency / seed* — every fresh bucket's first element is its
+    ///   model's admission minimum (visible and penalty-free by the queue
+    ///   contract), merged with the small deferred list's per-unit local
+    ///   keys: O(models + deferred);
+    /// * *preempt / swap probes* — consulted only for
+    ///   [`SchedulerPolicy::preemptive`] policies; ascending bucket scans
+    ///   early-exit at the policy's [`SchedulerPolicy::preempt_key_bound`]
+    ///   / [`SchedulerPolicy::swap_key_bound`] when it exposes one, and
+    ///   stop at the first feasible candidate either way (ascending keys
+    ///   make it the minimum). Snapshot-dependent `preempt_for`/`swap_for`
+    ///   overrides on *non*-preemptive policies are not consulted — a
+    ///   policy that parks must say so through `preemptive()`;
+    /// * *batch join* — the first `free` bucket entries merged with the
+    ///   visible same-model deferred keys: O(free + deferred +
+    ///   log queue) per admitted request.
+    ///
+    /// Ties are broken everywhere by the explicit `(key, request id)`
+    /// total order, so every argmin is unique and bucket/model iteration
+    /// order never leaks into decisions.
+    pub fn admit_into(
+        &mut self,
+        queue: &mut ReadyQueue,
+        ctx: &SchedContext,
+        peers: &mut [Instance],
+        outcome: &mut AdmitOutcome,
+    ) {
+        outcome.clear();
         // Only *ready* requests are admissible: a request parked on another
         // instance at a later clock must not be resumed before its park
-        // happened.
+        // happened. Fresh (never-preempted) requests are ready by the
+        // queue's release contract; the deferred list carries the ones
+        // whose visibility genuinely varies.
         let now = self.now_ms;
-        let visible = |r: &Request| r.ready_ms <= now;
+        #[cfg(debug_assertions)]
+        {
+            queue.debug_check(ctx);
+            for (_, bucket) in queue.fresh_buckets() {
+                for &(_, id) in bucket.iter() {
+                    debug_assert!(
+                        queue.as_slice()[queue.slot(id)].ready_ms <= now,
+                        "fresh request {id} enqueued before admissible"
+                    );
+                }
+            }
+        }
         // The policy's most urgent visible queued request (keys shifted by
         // the resume-affinity migration penalty on foreign units).
         let urgent_model = {
             let snap = self.snapshot(ctx);
-            let Some(urgent_idx) =
-                (0..queue.len())
-                    .filter(|&i| visible(&queue[i]))
-                    .min_by(|&a, &b| {
-                        self.local_key(&queue[a], ctx, &snap)
-                            .partial_cmp(&self.local_key(&queue[b], ctx, &snap))
-                            .expect("policy keys are finite")
-                    })
-            else {
-                return outcome;
-            };
-            queue[urgent_idx].model
+            let mut best: Option<(f64, u64, ModelKind)> = None;
+            for (model, bucket) in queue.fresh_buckets() {
+                if let Some(&(kb, id)) = bucket.iter().next() {
+                    let key = (key_from_bits(kb), id);
+                    if best.is_none_or(|(a, b, _)| key < (a, b)) {
+                        best = Some((key.0, key.1, model));
+                    }
+                }
+            }
+            for &id in queue.deferred_ids() {
+                let r = &queue.as_slice()[queue.slot(id)];
+                if r.ready_ms <= now {
+                    let key = self.local_key(r, ctx, &snap);
+                    if best.is_none_or(|(a, b, _)| key < (a, b)) {
+                        best = Some((key.0, key.1, r.model));
+                    }
+                }
+            }
+            match best {
+                Some((_, _, model)) => model,
+                None => return,
+            }
         };
 
         if self.running.is_empty() {
-            let snap = self.snapshot(ctx);
-            let model = self.seed_model(queue, ctx, &snap);
+            let model = {
+                let snap = self.snapshot(ctx);
+                self.seed_model(queue, ctx, &snap)
+            };
             self.set_active(model);
         } else {
             let model = self
@@ -712,23 +845,56 @@ impl Instance {
                 // saturation every deadline is blown and parks stop paying
                 // for themselves), but neither may it shadow a feasible
                 // request queued behind it.
-                let trigger = {
+                let trigger = if !ctx.policy.preemptive() {
+                    None
+                } else {
                     let snap = self.snapshot(ctx);
-                    (0..queue.len())
-                        .filter(|&i| {
-                            let r = &queue[i];
-                            r.model != model
-                                && visible(r)
-                                && ctx.policy.preempt_for(r, &snap)
-                                && ctx.deadline_feasible(r, now)
-                        })
-                        .min_by(|&a, &b| {
-                            self.local_key(&queue[a], ctx, &snap)
-                                .partial_cmp(&self.local_key(&queue[b], ctx, &snap))
-                                .expect("policy keys are finite")
-                        })
+                    let bound = ctx.policy.preempt_key_bound(&snap);
+                    let mut best: Option<(f64, u64, ModelKind)> = None;
+                    for (bucket_model, bucket) in queue.fresh_buckets() {
+                        if bucket_model == model {
+                            continue;
+                        }
+                        for &(kb, id) in bucket.iter() {
+                            let k0 = key_from_bits(kb);
+                            if let Some(b) = bound {
+                                // Keys ascend: past the bound nothing in
+                                // this bucket passes preempt_for anymore.
+                                if k0 >= b {
+                                    break;
+                                }
+                            }
+                            let r = &queue.as_slice()[queue.slot(id)];
+                            if bound.is_none() && !ctx.policy.preempt_for(r, &snap) {
+                                continue;
+                            }
+                            if !ctx.deadline_feasible(r, now) {
+                                continue;
+                            }
+                            // First approved feasible entry in ascending
+                            // key order is this bucket's minimum.
+                            if best.is_none_or(|(a, b2, _)| (k0, id) < (a, b2)) {
+                                best = Some((k0, id, bucket_model));
+                            }
+                            break;
+                        }
+                    }
+                    for &id in queue.deferred_ids() {
+                        let r = &queue.as_slice()[queue.slot(id)];
+                        if r.model != model
+                            && r.ready_ms <= now
+                            && ctx.policy.preempt_for(r, &snap)
+                            && ctx.deadline_feasible(r, now)
+                        {
+                            let key = self.local_key(r, ctx, &snap);
+                            if best.is_none_or(|(a, b2, _)| key < (a, b2)) {
+                                best = Some((key.0, key.1, r.model));
+                            }
+                        }
+                    }
+                    best.map(|(_, _, m)| m)
                 };
-                if let Some(t) = trigger {
+                if let Some(switch_to) = trigger {
                     // Iteration-boundary preemption: park the whole batch
                     // and switch to the urgent tenant immediately instead
                     // of head-of-line blocking it for a full generation.
@@ -736,7 +902,6 @@ impl Instance {
                     // about to lose the instance anyway, so the parked
                     // latents may claim their space instead of being forced
                     // into DRAM spills.
-                    let switch_to = queue[t].model;
                     self.gsc.set_pinned(self.weight_obj(model), false);
                     for r in std::mem::take(&mut self.running) {
                         outcome.parked.push(self.park(r, queue, ctx, peers));
@@ -745,13 +910,198 @@ impl Instance {
                 } else {
                     // Anti-starvation drain: stop topping up so the batch
                     // can empty and the instance can switch.
-                    return outcome;
+                    return;
                 }
             } else {
                 if self.running.len() >= ctx.max_batch {
                     // Same-model swap: a full batch yields its worst member
                     // to a strictly more urgent feasible request — when the
                     // policy approves the swap.
+                    let swap = ctx.policy.preemptive() && {
+                        let snap = self.snapshot(ctx);
+                        let bound = ctx.policy.swap_key_bound(&snap);
+                        let mut found = false;
+                        if let Some(bucket) = queue.fresh_bucket(model) {
+                            for &(kb, id) in bucket.iter() {
+                                let k0 = key_from_bits(kb);
+                                if let Some(b) = bound {
+                                    if k0 >= b {
+                                        break;
+                                    }
+                                }
+                                let r = &queue.as_slice()[queue.slot(id)];
+                                if bound.is_none() && !ctx.policy.swap_for(r, &snap) {
+                                    continue;
+                                }
+                                if ctx.deadline_feasible(r, now) {
+                                    found = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !found {
+                            for &id in queue.deferred_ids() {
+                                let r = &queue.as_slice()[queue.slot(id)];
+                                if r.model == model
+                                    && r.ready_ms <= now
+                                    && ctx.policy.swap_for(r, &snap)
+                                    && ctx.deadline_feasible(r, now)
+                                {
+                                    found = true;
+                                    break;
+                                }
+                            }
+                        }
+                        found
+                    };
+                    if swap {
+                        // `running` is id-sorted by construction, matching
+                        // the historical post-admit sort order, so this
+                        // argmax picks the same victim (`max_by` keeps the
+                        // last of equal deadlines — the highest id).
+                        let worst = (0..self.running.len())
+                            .max_by(|&a, &b| {
+                                self.running[a]
+                                    .deadline_ms()
+                                    .total_cmp(&self.running[b].deadline_ms())
+                            })
+                            .expect("non-empty running batch");
+                        let victim = self.running.remove(worst);
+                        outcome.parked.push(self.park(victim, queue, ctx, peers));
+                    } else {
+                        return;
+                    }
+                }
+                let snap = self.snapshot(ctx);
+                if !ctx.policy.admits_join(&snap) {
+                    return;
+                }
+            }
+        }
+
+        let model = self
+            .active_model
+            .expect("seeding or the running batch set the active model above");
+        let free = ctx.max_batch.saturating_sub(self.running.len());
+        let mut cand = std::mem::take(&mut queue.scratch_keys);
+        let mut slots = std::mem::take(&mut queue.scratch_slots);
+        cand.clear();
+        slots.clear();
+        {
+            let snap = self.snapshot(ctx);
+            // Only the first `free` bucket entries can win slots (the
+            // bucket is already in admission order); the deferred list
+            // contributes its visible same-model members at their
+            // penalty-shifted local keys.
+            if let Some(bucket) = queue.fresh_bucket(model) {
+                for &(kb, id) in bucket.iter().take(free) {
+                    cand.push((key_from_bits(kb), id));
+                }
+            }
+            for &id in queue.deferred_ids() {
+                let r = &queue.as_slice()[queue.slot(id)];
+                if r.model == model && r.ready_ms <= now {
+                    cand.push(self.local_key(r, ctx, &snap));
+                }
+            }
+        }
+        cand.sort_by(|a, b| a.partial_cmp(b).expect("policy keys are finite"));
+        cand.truncate(free);
+        slots.extend(cand.iter().map(|&(_, id)| queue.slot(id)));
+        // Remove back-to-front so earlier slots stay valid — the exact
+        // historical swap_remove order, which keeps the flat entry slice
+        // and the admitted stamps byte-identical.
+        slots.sort_unstable_by(|a, b| b.cmp(a));
+        for &slot in slots.iter() {
+            let mut r = queue.take_slot(slot, ctx);
+            if r.steps_done > 0 {
+                self.resume(&mut r, ctx, peers);
+                outcome.resumed.push((r.id, self.now_ms));
+            }
+            if r.admitted_ms.is_none() {
+                r.admitted_ms = Some(self.now_ms);
+            }
+            outcome.admitted.push((r.id, self.now_ms));
+            // Keep the batch id-sorted by construction (no per-boundary
+            // re-sort).
+            let pos = self.running.partition_point(|q| q.id < r.id);
+            self.running.insert(pos, r);
+        }
+        cand.clear();
+        slots.clear();
+        queue.scratch_keys = cand;
+        queue.scratch_slots = slots;
+        debug_assert!(
+            self.running.windows(2).all(|w| w[0].id < w[1].id),
+            "running batch stays id-sorted by construction"
+        );
+    }
+
+    /// The retained pre-index scheduler: the exact historical linear-scan
+    /// algorithm over the flat queue slice, decision-for-decision the
+    /// specification [`Self::admit_into`] is differentially tested
+    /// against (`tests/scheduler_diff.rs`). Not part of the supported API.
+    #[doc(hidden)]
+    pub fn admit_reference(
+        &mut self,
+        queue: &mut ReadyQueue,
+        ctx: &SchedContext,
+        peers: &mut [Instance],
+    ) -> AdmitOutcome {
+        let mut outcome = AdmitOutcome::default();
+        let now = self.now_ms;
+        let visible = |r: &Request| r.ready_ms <= now;
+        let urgent_model = {
+            let snap = self.snapshot(ctx);
+            let q = queue.as_slice();
+            let Some(urgent_idx) = (0..q.len()).filter(|&i| visible(&q[i])).min_by(|&a, &b| {
+                self.local_key(&q[a], ctx, &snap)
+                    .partial_cmp(&self.local_key(&q[b], ctx, &snap))
+                    .expect("policy keys are finite")
+            }) else {
+                return outcome;
+            };
+            q[urgent_idx].model
+        };
+
+        if self.running.is_empty() {
+            let snap = self.snapshot(ctx);
+            let model = self.seed_model_reference(queue.as_slice(), ctx, &snap);
+            self.set_active(model);
+        } else {
+            let model = self
+                .active_model
+                .expect("a non-empty batch always has an active model");
+            if urgent_model != model {
+                let trigger = {
+                    let snap = self.snapshot(ctx);
+                    let q = queue.as_slice();
+                    (0..q.len())
+                        .filter(|&i| {
+                            let r = &q[i];
+                            r.model != model
+                                && visible(r)
+                                && ctx.policy.preempt_for(r, &snap)
+                                && ctx.deadline_feasible(r, now)
+                        })
+                        .min_by(|&a, &b| {
+                            self.local_key(&q[a], ctx, &snap)
+                                .partial_cmp(&self.local_key(&q[b], ctx, &snap))
+                                .expect("policy keys are finite")
+                        })
+                };
+                if let Some(t) = trigger {
+                    let switch_to = queue.as_slice()[t].model;
+                    self.gsc.set_pinned(self.weight_obj(model), false);
+                    for r in std::mem::take(&mut self.running) {
+                        outcome.parked.push(self.park(r, queue, ctx, peers));
+                    }
+                    self.set_active(switch_to);
+                } else {
+                    return outcome;
+                }
+            } else {
+                if self.running.len() >= ctx.max_batch {
                     let swap = {
                         let snap = self.snapshot(ctx);
                         queue.iter().any(|r| {
@@ -788,21 +1138,21 @@ impl Instance {
         let free = ctx.max_batch.saturating_sub(self.running.len());
         let mut candidates: Vec<usize> = {
             let snap = self.snapshot(ctx);
-            let mut c: Vec<usize> = (0..queue.len())
-                .filter(|&i| queue[i].model == model && visible(&queue[i]))
+            let q = queue.as_slice();
+            let mut c: Vec<usize> = (0..q.len())
+                .filter(|&i| q[i].model == model && visible(&q[i]))
                 .collect();
             c.sort_by(|&a, &b| {
-                self.local_key(&queue[a], ctx, &snap)
-                    .partial_cmp(&self.local_key(&queue[b], ctx, &snap))
+                self.local_key(&q[a], ctx, &snap)
+                    .partial_cmp(&self.local_key(&q[b], ctx, &snap))
                     .expect("policy keys are finite")
             });
             c
         };
         candidates.truncate(free);
-        // Remove back-to-front so earlier indices stay valid.
         candidates.sort_unstable_by(|a, b| b.cmp(a));
         for idx in candidates {
-            let mut r = queue.swap_remove(idx);
+            let mut r = queue.take_slot(idx, ctx);
             if r.steps_done > 0 {
                 self.resume(&mut r, ctx, peers);
                 outcome.resumed.push((r.id, self.now_ms));
@@ -813,8 +1163,6 @@ impl Instance {
             outcome.admitted.push((r.id, self.now_ms));
             self.running.push(r);
         }
-        // Keep the batch in deterministic id order regardless of removal
-        // order above.
         self.running.sort_by_key(|r| r.id);
         outcome
     }
@@ -856,13 +1204,16 @@ impl Instance {
 
     /// Advances this instance past one externally priced iteration of the
     /// running batch: clock, busy time, energy, batch accounting, and the
-    /// completions the step produced.
-    pub(crate) fn finish_iteration(
+    /// completions the step produced — appended into the caller-owned
+    /// buffer (the zero-allocation boundary path reuses one completions
+    /// vector across all events).
+    pub(crate) fn finish_iteration_into(
         &mut self,
         latency_ms: f64,
         energy_mj: f64,
         phase: IterationPhase,
-    ) -> Vec<Completion> {
+        done: &mut Vec<Completion>,
+    ) {
         let batch = self.running.len() as u64;
         self.now_ms += latency_ms;
         self.busy_ms += latency_ms;
@@ -873,7 +1224,6 @@ impl Instance {
         }
         self.batch_rows += batch;
 
-        let mut done = Vec::new();
         let now = self.now_ms;
         let id = self.id;
         self.running.retain_mut(|r| {
@@ -898,7 +1248,6 @@ impl Instance {
                 true
             }
         });
-        done
     }
 
     /// Advances a gang follower in lockstep with its leader: the member is
@@ -926,6 +1275,18 @@ impl Instance {
         cost: &mut CostModel,
         ctx: &SchedContext,
     ) -> Vec<Completion> {
+        let mut done = Vec::new();
+        self.execute_iteration_into(cost, ctx, &mut done);
+        done
+    }
+
+    /// [`Self::execute_iteration`] appending into a caller-owned buffer.
+    pub fn execute_iteration_into(
+        &mut self,
+        cost: &mut CostModel,
+        ctx: &SchedContext,
+        done: &mut Vec<Completion>,
+    ) {
         assert!(!self.running.is_empty(), "executing an empty batch");
         assert!(
             self.shard.is_none(),
@@ -946,7 +1307,7 @@ impl Instance {
         let c = cost
             .iteration(&info.config, batch, phase, warm_frac)
             .expect("non-empty batch and in-range step");
-        self.finish_iteration(c.latency_ms, c.energy_mj, phase)
+        self.finish_iteration_into(c.latency_ms, c.energy_mj, phase, done);
     }
 
     /// Cumulative weight bytes streamed from DRAM — telemetry reads the
@@ -1019,12 +1380,15 @@ mod tests {
 
     // Already-released requests (arrival 0, so all visible at clock 0);
     // FCFS ordering falls to the id tie-break, which follows slice order.
-    fn queue_of(kinds: &[ModelKind]) -> Vec<Request> {
-        kinds
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| Request::new(i as u64, k, 0.0, 1e9, tiny(k).iterations))
-            .collect()
+    fn queue_of(kinds: &[ModelKind], ctx: &SchedContext) -> ReadyQueue {
+        ReadyQueue::from_requests(
+            kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Request::new(i as u64, k, 0.0, 1e9, tiny(k).iterations))
+                .collect(),
+            ctx,
+        )
     }
 
     fn instance() -> Instance {
@@ -1036,7 +1400,7 @@ mod tests {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
         let ctx = ctx_for(Arc::new(Fcfs), 8, &mut cost);
         let mut inst = instance();
-        let mut queue = queue_of(&[ModelKind::Mld, ModelKind::Mdm, ModelKind::Mld]);
+        let mut queue = queue_of(&[ModelKind::Mld, ModelKind::Mdm, ModelKind::Mld], &ctx);
         let out = inst.admit(&mut queue, &ctx, &mut []);
         // Seeded with MLD (first by FCFS tie-break and cheapest refill), so
         // both MLD requests join.
@@ -1052,7 +1416,7 @@ mod tests {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
         let ctx = ctx_for(Arc::new(Fcfs), 4, &mut cost);
         let mut inst = instance();
-        let mut queue = queue_of(&[ModelKind::Mld; 12]);
+        let mut queue = queue_of(&[ModelKind::Mld; 12], &ctx);
         let out = inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(out.admitted.len(), 4);
         // Earliest arrivals won the slots.
@@ -1065,7 +1429,7 @@ mod tests {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
         let sparsity_ctx = ctx_for(Arc::new(SparsityAware), 2, &mut cost);
         let mut inst = instance();
-        let mut queue = queue_of(&[ModelKind::Mld; 4]);
+        let mut queue = queue_of(&[ModelKind::Mld; 4], &sparsity_ctx);
         inst.admit(&mut queue, &sparsity_ctx, &mut []);
         assert_eq!(inst.running.len(), 2);
         // One step in: mid-period, so the gate closes.
@@ -1082,7 +1446,7 @@ mod tests {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
         let ctx = ctx_for(Arc::new(Fcfs), 8, &mut cost);
         let mut inst = Instance::new(3, &HwConfig::exion4(), EvictionPolicy::Lru);
-        let mut queue = queue_of(&[ModelKind::Mld]);
+        let mut queue = queue_of(&[ModelKind::Mld], &ctx);
         inst.admit(&mut queue, &ctx, &mut []);
         let total = tiny(ModelKind::Mld).iterations;
         let mut done = Vec::new();
@@ -1111,24 +1475,30 @@ mod tests {
         let ctx = ctx_for(Arc::new(PreemptiveEdf), 8, &mut cost);
         let mut inst = instance();
         // A relaxed-deadline SD batch is running...
-        let mut queue = vec![Request::new(
-            0,
-            ModelKind::StableDiffusion,
-            0.0,
-            1e6,
-            tiny(ModelKind::StableDiffusion).iterations,
-        )];
+        let mut queue = ReadyQueue::from_requests(
+            vec![Request::new(
+                0,
+                ModelKind::StableDiffusion,
+                0.0,
+                1e6,
+                tiny(ModelKind::StableDiffusion).iterations,
+            )],
+            &ctx,
+        );
         inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
         assert_eq!(inst.active_model, Some(ModelKind::StableDiffusion));
         // ...when an urgent MLD request arrives.
-        queue.push(Request::new(
-            1,
-            ModelKind::Mld,
-            1.0,
-            10.0,
-            tiny(ModelKind::Mld).iterations,
-        ));
+        queue.push(
+            Request::new(
+                1,
+                ModelKind::Mld,
+                1.0,
+                10.0,
+                tiny(ModelKind::Mld).iterations,
+            ),
+            &ctx,
+        );
         let out = inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(out.parked.len(), 1, "SD batch must be parked");
         assert_eq!(out.admitted.len(), 1);
@@ -1149,22 +1519,28 @@ mod tests {
         let mut cost = CostModel::new(HwConfig::exion4(), SimAblation::All);
         let ctx = ctx_for(Arc::new(crate::policy::Edf), 8, &mut cost);
         let mut inst = instance();
-        let mut queue = vec![Request::new(
-            0,
-            ModelKind::StableDiffusion,
-            0.0,
-            1e6,
-            tiny(ModelKind::StableDiffusion).iterations,
-        )];
+        let mut queue = ReadyQueue::from_requests(
+            vec![Request::new(
+                0,
+                ModelKind::StableDiffusion,
+                0.0,
+                1e6,
+                tiny(ModelKind::StableDiffusion).iterations,
+            )],
+            &ctx,
+        );
         inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
-        queue.push(Request::new(
-            1,
-            ModelKind::Mld,
-            1.0,
-            10.0,
-            tiny(ModelKind::Mld).iterations,
-        ));
+        queue.push(
+            Request::new(
+                1,
+                ModelKind::Mld,
+                1.0,
+                10.0,
+                tiny(ModelKind::Mld).iterations,
+            ),
+            &ctx,
+        );
         let out = inst.admit(&mut queue, &ctx, &mut []);
         assert!(out.parked.is_empty());
         assert!(out.admitted.is_empty());
@@ -1177,14 +1553,17 @@ mod tests {
         let ctx = ctx_for(Arc::new(PreemptiveEdf), 2, &mut cost);
         let mut inst = instance();
         let steps = tiny(ModelKind::Mld).iterations;
-        let mut queue = vec![
-            Request::new(0, ModelKind::Mld, 0.0, 500.0, steps),
-            Request::new(1, ModelKind::Mld, 0.0, 900.0, steps),
-        ];
+        let mut queue = ReadyQueue::from_requests(
+            vec![
+                Request::new(0, ModelKind::Mld, 0.0, 500.0, steps),
+                Request::new(1, ModelKind::Mld, 0.0, 900.0, steps),
+            ],
+            &ctx,
+        );
         inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
         // A tighter-deadline request displaces id 1 (deadline 900).
-        queue.push(Request::new(2, ModelKind::Mld, 0.0, 50.0, steps));
+        queue.push(Request::new(2, ModelKind::Mld, 0.0, 50.0, steps), &ctx);
         let out = inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(out.parked.len(), 1);
         assert_eq!(out.parked[0].0, 1);
@@ -1198,22 +1577,28 @@ mod tests {
         let ctx = ctx_for(Arc::new(PreemptiveEdf), 8, &mut cost);
         let mut inst = instance();
         let sd_steps = tiny(ModelKind::StableDiffusion).iterations;
-        let mut queue = vec![Request::new(
-            0,
-            ModelKind::StableDiffusion,
-            0.0,
-            1e6,
-            sd_steps,
-        )];
+        let mut queue = ReadyQueue::from_requests(
+            vec![Request::new(
+                0,
+                ModelKind::StableDiffusion,
+                0.0,
+                1e6,
+                sd_steps,
+            )],
+            &ctx,
+        );
         inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
-        queue.push(Request::new(
-            1,
-            ModelKind::Mld,
-            1.0,
-            10.0,
-            tiny(ModelKind::Mld).iterations,
-        ));
+        queue.push(
+            Request::new(
+                1,
+                ModelKind::Mld,
+                1.0,
+                10.0,
+                tiny(ModelKind::Mld).iterations,
+            ),
+            &ctx,
+        );
         inst.admit(&mut queue, &ctx, &mut []); // parks SD, runs MLD
         let mut done = Vec::new();
         let mut guard = 0;
@@ -1249,7 +1634,7 @@ mod tests {
         let mut local = Request::new(1, ModelKind::Mld, 0.0, 1e9, steps);
         local.steps_done = 1;
         local.parked_on = Some(0);
-        let mut queue = vec![foreign, local];
+        let mut queue = ReadyQueue::from_requests(vec![foreign, local], &ctx);
         let out = inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(out.admitted.len(), 1);
         assert_eq!(out.admitted[0].0, 1, "locally parked request must win");
@@ -1271,25 +1656,25 @@ mod tests {
         let ctx = ctx_for(Arc::new(PreemptiveEdf), 8, &mut cost);
         let mut inst = instance();
         // A relaxed-deadline SD batch is running...
-        let mut queue = vec![Request::new(
-            0,
-            ModelKind::StableDiffusion,
-            0.0,
-            1e6,
-            tiny(ModelKind::StableDiffusion).iterations,
-        )];
+        let mut queue = ReadyQueue::from_requests(
+            vec![Request::new(
+                0,
+                ModelKind::StableDiffusion,
+                0.0,
+                1e6,
+                tiny(ModelKind::StableDiffusion).iterations,
+            )],
+            &ctx,
+        );
         inst.admit(&mut queue, &ctx, &mut []);
         inst.execute_iteration(&mut cost, &ctx);
         // ...when an MLD request arrives whose deadline has already passed:
         // its EDF key beats every running member, but parking the batch for
         // a request that cannot finish in time only churns the GSC.
-        queue.push(Request::new(
-            1,
-            ModelKind::Mld,
-            0.0,
-            0.0,
-            tiny(ModelKind::Mld).iterations,
-        ));
+        queue.push(
+            Request::new(1, ModelKind::Mld, 0.0, 0.0, tiny(ModelKind::Mld).iterations),
+            &ctx,
+        );
         assert!(!ctx.deadline_feasible(&queue[0], inst.now_ms));
         let out = inst.admit(&mut queue, &ctx, &mut []);
         assert!(out.parked.is_empty(), "thrash guard must block the park");
@@ -1303,13 +1688,16 @@ mod tests {
         let ctx = ctx_for(Arc::new(Fcfs), 8, &mut cost);
         let mut inst = instance();
         // Run an MDM generation to make its shards resident.
-        let mut queue = vec![Request::new(
-            0,
-            ModelKind::Mdm,
-            0.0,
-            1e9,
-            tiny(ModelKind::Mdm).iterations,
-        )];
+        let mut queue = ReadyQueue::from_requests(
+            vec![Request::new(
+                0,
+                ModelKind::Mdm,
+                0.0,
+                1e9,
+                tiny(ModelKind::Mdm).iterations,
+            )],
+            &ctx,
+        );
         inst.admit(&mut queue, &ctx, &mut []);
         while !inst.is_idle() {
             inst.execute_iteration(&mut cost, &ctx);
@@ -1319,20 +1707,20 @@ mod tests {
         // wins the tie-break), but its cold refill tips the residency-
         // adjusted score toward the already-resident MDM.
         let now = inst.now_ms;
-        queue.push(Request::new(
-            1,
-            ModelKind::StableDiffusion,
-            now,
-            1e9,
-            tiny(ModelKind::StableDiffusion).iterations,
-        ));
-        queue.push(Request::new(
-            2,
-            ModelKind::Mdm,
-            now,
-            1e9,
-            tiny(ModelKind::Mdm).iterations,
-        ));
+        queue.push(
+            Request::new(
+                1,
+                ModelKind::StableDiffusion,
+                now,
+                1e9,
+                tiny(ModelKind::StableDiffusion).iterations,
+            ),
+            &ctx,
+        );
+        queue.push(
+            Request::new(2, ModelKind::Mdm, now, 1e9, tiny(ModelKind::Mdm).iterations),
+            &ctx,
+        );
         inst.admit(&mut queue, &ctx, &mut []);
         assert_eq!(inst.active_model, Some(ModelKind::Mdm));
     }
@@ -1367,7 +1755,7 @@ mod tests {
         let steps = tiny(ModelKind::Mld).iterations;
         let mut r = Request::new(5, ModelKind::Mld, 0.0, 1e9, steps);
         r.steps_done = 1;
-        let mut queue = Vec::new();
+        let mut queue = ReadyQueue::new();
         leader.park(r, &mut queue, &ctx, &mut peers);
         let parked = queue.iter().find(|q| q.id == 5).expect("parked");
         assert_eq!(
@@ -1393,23 +1781,29 @@ mod tests {
         peer.set_unit(0, 2);
         let mut peers = vec![peer];
         // Round 1: a relaxed SD batch runs, an urgent MLD preempts it.
-        let mut queue = vec![Request::new(
-            0,
-            ModelKind::StableDiffusion,
-            0.0,
-            1e6,
-            tiny(ModelKind::StableDiffusion).iterations,
-        )];
+        let mut queue = ReadyQueue::from_requests(
+            vec![Request::new(
+                0,
+                ModelKind::StableDiffusion,
+                0.0,
+                1e6,
+                tiny(ModelKind::StableDiffusion).iterations,
+            )],
+            &ctx,
+        );
         leader.admit(&mut queue, &ctx, &mut peers);
         leader.execute_iteration(&mut cost, &ctx);
         let now = leader.now_ms;
-        queue.push(Request::new(
-            1,
-            ModelKind::Mld,
-            now,
-            500.0,
-            tiny(ModelKind::Mld).iterations,
-        ));
+        queue.push(
+            Request::new(
+                1,
+                ModelKind::Mld,
+                now,
+                500.0,
+                tiny(ModelKind::Mld).iterations,
+            ),
+            &ctx,
+        );
         leader.admit(&mut queue, &ctx, &mut peers);
         leader.execute_iteration(&mut cost, &ctx);
         let sd = queue.iter().find(|r| r.id == 0).expect("SD parked");
@@ -1418,13 +1812,16 @@ mod tests {
         // leader now hosts the SD latent, so the MLD latent spreads to the
         // peer — and the affinity hint follows it.
         let now = leader.now_ms;
-        queue.push(Request::new(
-            2,
-            ModelKind::Mdm,
-            now,
-            50.0,
-            tiny(ModelKind::Mdm).iterations,
-        ));
+        queue.push(
+            Request::new(
+                2,
+                ModelKind::Mdm,
+                now,
+                50.0,
+                tiny(ModelKind::Mdm).iterations,
+            ),
+            &ctx,
+        );
         let out = leader.admit(&mut queue, &ctx, &mut peers);
         assert_eq!(out.parked.len(), 1, "MLD batch must be parked");
         let mld = queue.iter().find(|r| r.id == 1).expect("MLD parked");

@@ -22,7 +22,12 @@
 //! scenario for the selected mode and writes its timeline as Chrome
 //! trace-event JSON to `<path>` (load in Perfetto or `chrome://tracing`).
 //! `EXION_SERVE_BENCH=<path>` self-meters the standard perf-trajectory
-//! scenarios and writes the `BENCH_serve.json` document to `<path>`.
+//! scenarios and writes the `BENCH_serve.json` document to `<path>`
+//! (`EXION_SWEEP_THREADS=<k>` fans the independent scenario runs across
+//! `k` scoped threads; the export is byte-identical at any thread count).
+//! `EXION_SERVE_DEEP_ARRIVALS=<n>` additionally appends the deep-backlog
+//! point (bursty MMPP at 2x capacity, admit-all, `n` arrivals) — the
+//! committed file carries `n = 100_000`.
 //! `EXION_SERVE_FLEET_ARRIVALS=<n>` additionally appends the fleet-scale
 //! point (102 scheduling units, `n` lazily streamed arrivals) to that
 //! document — the committed file carries `n = 1_000_000`.
@@ -34,8 +39,8 @@ use exion::serve::{
 use exion::sim::config::HwConfig;
 use exion::sim::partition::PartitionStrategy;
 use exion_bench::experiments::serve_sweep::{
-    admission_comparison, fleet_scale_point, goodput_crossover, perf_trajectory,
-    perf_trajectory_json, planner_comparison, sharding_comparison,
+    admission_comparison, deep_backlog_point, fleet_scale_point, goodput_crossover,
+    perf_trajectory, perf_trajectory_json, planner_comparison, sharding_comparison,
 };
 use exion_model::config::ModelKind;
 
@@ -292,6 +297,16 @@ fn maybe_export_bench(horizon_ms: f64) {
         return;
     };
     let mut points = perf_trajectory(Some(horizon_ms));
+    // `EXION_SERVE_DEEP_ARRIVALS=<n>`: append the deep-backlog point —
+    // bursty MMPP at 2x capacity under admit-all, so the ready queue grows
+    // to order n/2 before the drain. The committed BENCH_serve.json
+    // carries n = 100_000.
+    if let Ok(n) = std::env::var("EXION_SERVE_DEEP_ARRIVALS") {
+        let target: usize = n
+            .parse()
+            .expect("EXION_SERVE_DEEP_ARRIVALS must be an integer");
+        points.push(deep_backlog_point(target));
+    }
     // `EXION_SERVE_FLEET_ARRIVALS=<n>`: append the fleet-scale point —
     // 100+ scheduling units driven by n lazily streamed arrivals. The
     // committed BENCH_serve.json carries n = 1_000_000.
