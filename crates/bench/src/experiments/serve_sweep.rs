@@ -34,8 +34,8 @@
 use exion_model::config::{ModelConfig, ModelKind};
 use exion_serve::telemetry::json::{push_f64, push_str};
 use exion_serve::{
-    admission, policy, Placement, PlacementPlanner, PlannerConfig, RunProfile, ServeConfig,
-    ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+    admission, policy, FaultPlan, Placement, PlacementPlanner, PlannerConfig, RunProfile,
+    ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
 };
 use exion_sim::config::HwConfig;
 use exion_sim::partition::PartitionStrategy;
@@ -640,6 +640,75 @@ pub fn measured_profile_comparison(
     (analytic_report, measured_report)
 }
 
+/// One placement's run of the chaos comparison: the same trace with the
+/// fault plan off and on, so every delta is attributable to the failure.
+#[derive(Debug, Clone)]
+pub struct ChaosSweep {
+    /// Human-readable placement label.
+    pub label: String,
+    /// What fails (the fault plan's own description).
+    pub fault: String,
+    /// The run with no faults injected.
+    pub baseline: ServeReport,
+    /// The same trace under the fault plan.
+    pub faulted: ServeReport,
+}
+
+/// SLO attainment with faults on vs off at matched load, replicated vs
+/// TP=2 on the text-to-video mix (the sharding comparison's setting).
+/// Both placements lose one instance at the midpoint for a quarter
+/// horizon: the replicated fleet degrades gracefully (the surviving
+/// replica keeps serving, the dead one's in-flight work requeues or is
+/// lost), while the TP=2 gang losing one member stalls whole — a gang
+/// cannot run a sharded iteration short-handed, so the entire capacity
+/// is out until repair.
+pub fn chaos_comparison(hw: &HwConfig, horizon_cap_ms: Option<f64>) -> Vec<ChaosSweep> {
+    let horizon_ms = horizon_cap_ms.unwrap_or(4_000.0).max(100.0);
+    let mix = WorkloadMix::text_to_video();
+    let capacity = ServeSimulator::new(ServeConfig::builder(*hw).instances(2).build())
+        .capacity_estimate_rps(&mix);
+    let trace = TraceConfig {
+        pattern: TrafficPattern::Poisson {
+            rate_rps: 0.6 * capacity,
+        },
+        horizon_ms,
+        seed: SWEEP_SEED,
+        mix,
+    };
+    let midpoint = horizon_ms / 2.0;
+    let repair = horizon_ms / 4.0;
+    [
+        (
+            "replicated x2",
+            Placement::replicated(2),
+            "unit 0 crash at midpoint",
+            FaultPlan::empty().crash(midpoint, 0, repair),
+        ),
+        (
+            "tp2 gang",
+            Placement::sharded(1, PartitionStrategy::Tensor { ways: 2 }),
+            "member 1 loss at midpoint",
+            FaultPlan::empty().member_loss(midpoint, 0, 1, repair),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, placement, fault, plan)| {
+        let config = |plan: FaultPlan| {
+            ServeConfig::builder(*hw)
+                .placement(placement)
+                .fault_plan(plan)
+                .build()
+        };
+        ChaosSweep {
+            label: label.to_string(),
+            fault: fault.to_string(),
+            baseline: ServeSimulator::new(config(FaultPlan::empty())).run(&trace),
+            faulted: ServeSimulator::new(config(plan)).run(&trace),
+        }
+    })
+    .collect()
+}
+
 /// One self-metered point of the serving perf trajectory: a standard
 /// scenario plus the [`RunProfile`] its run left behind.
 #[derive(Debug, Clone)]
@@ -796,6 +865,44 @@ pub fn fleet_scale_point(replicas: usize, gangs: usize, target_arrivals: usize) 
     let horizon_ms = 1_100.0 * target_arrivals as f64 / rate_rps.max(1e-9);
     meter_scenario(
         "fleet_scale_mixed_exion4",
+        config,
+        &TraceConfig {
+            pattern: TrafficPattern::Poisson { rate_rps },
+            horizon_ms,
+            seed: SWEEP_SEED,
+            mix,
+        },
+    )
+}
+
+/// The chaos scenario: the fleet-scale mixed placement under a seeded
+/// fault plan (MTBF-exponential crashes rotating across the fleet, each
+/// repaired after a sixth of the horizon) with periodic latent
+/// checkpointing, driven by a Poisson multi-tenant stream sized for at
+/// least `target_arrivals` requests. The row prices what fault handling
+/// costs the event core: teardown drains, out-of-cadence re-plans, and
+/// recovery refills all land in the metered wall clock.
+pub fn chaos_point(target_arrivals: usize) -> PerfPoint {
+    let mix = WorkloadMix::multi_tenant();
+    let hw = HwConfig::exion4();
+    let placement = Placement::mixed(6, 2, PartitionStrategy::Tensor { ways: 2 });
+    let capacity = ServeSimulator::new(ServeConfig::builder(hw).placement(placement).build())
+        .capacity_estimate_rps(&mix);
+    let rate_rps = 0.8 * capacity;
+    let horizon_ms = 1_100.0 * target_arrivals as f64 / rate_rps.max(1e-9);
+    let config = ServeConfig::builder(hw)
+        .placement(placement)
+        .fault_plan(FaultPlan::seeded(
+            SWEEP_SEED,
+            horizon_ms,
+            horizon_ms / 8.0,
+            horizon_ms / 6.0,
+            6,
+        ))
+        .checkpoint_every(10)
+        .build();
+    meter_scenario(
+        "chaos_seeded_mixed_exion4",
         config,
         &TraceConfig {
             pattern: TrafficPattern::Poisson { rate_rps },
@@ -1108,6 +1215,45 @@ pub fn run() -> String {
             planner.diurnal.goodput_rps,
         ));
     }
+
+    out.push_str(
+        "\nFault injection at 60% load (EXION4, text-to-video, one instance \
+         lost mid-horizon):\n\
+         (replicas degrade gracefully; a TP gang losing one member stalls whole)\n",
+    );
+    let chaos = chaos_comparison(&HwConfig::exion4(), None);
+    let rows: Vec<Vec<String>> = chaos
+        .iter()
+        .flat_map(|c| {
+            let fr = c.faulted.fault.clone().unwrap_or_default();
+            [
+                (c.label.clone(), "none".to_string(), &c.baseline, 0, 0.0),
+                (
+                    c.label.clone(),
+                    c.fault.clone(),
+                    &c.faulted,
+                    fr.lost_requests,
+                    fr.attainment_under_failure,
+                ),
+            ]
+            .into_iter()
+            .map(|(label, fault, r, lost, under)| {
+                vec![
+                    label,
+                    fault,
+                    pct(r.slo_attainment),
+                    pct(under),
+                    format!("{lost}"),
+                    format!("{:.2}", r.goodput_rps),
+                ]
+            })
+            .collect::<Vec<_>>()
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["placement", "fault", "SLO", "SLO@fault", "lost", "goodput"],
+        &rows,
+    ));
 
     out.push_str("\nMeasured vs analytic sparsity profiles (EXION4, text-to-motion):\n");
     let (analytic, measured) = measured_profile_comparison(&HwConfig::exion4(), 8, None);

@@ -31,6 +31,10 @@ pub enum EventKind {
     StatsSample,
     /// A planner epoch end: record realized load and possibly re-plan.
     EpochBoundary,
+    /// A fault-plan event fires: a crash, member loss, link degradation,
+    /// or a scheduled recovery/restore. The `unit` field carries an index
+    /// into the cluster loop's runtime fault table, not a unit slot.
+    Fault,
     /// A busy unit's next iteration boundary.
     UnitBoundary,
     /// An idle unit's wake: the next arrival, or a parked request's ready
@@ -50,12 +54,13 @@ impl EventKind {
         match self {
             EventKind::StatsSample => 0,
             EventKind::EpochBoundary => 1,
-            EventKind::UnitBoundary | EventKind::IdleWake => 2,
+            EventKind::Fault => 2,
+            EventKind::UnitBoundary | EventKind::IdleWake => 3,
         }
     }
 
     fn is_unit(self) -> bool {
-        self.rank() == 2
+        self.rank() == 3
     }
 }
 
@@ -218,6 +223,35 @@ impl EventCalendar {
         });
     }
 
+    /// Schedules a fault-plan event. `fault` indexes the cluster loop's
+    /// runtime fault table (it rides in the entry's `unit` field). Like
+    /// stats and epoch entries, fault entries are era-less — they survive
+    /// fleet resets — and do not keep the loop alive on their own: a
+    /// fault scheduled after every unit has retired is simply dropped.
+    pub fn schedule_fault(&mut self, at_ms: f64, fault: usize) {
+        let era = self.era;
+        self.push(Event {
+            at_ms,
+            kind: EventKind::Fault,
+            unit: fault,
+            era,
+            gen: 0,
+        });
+    }
+
+    /// Drops `unit`'s live entry without replacing it — the unit is dead
+    /// and will never fire again. The stale heap entry dies lazily via
+    /// the generation bump, exactly as a reschedule would kill it.
+    pub fn unschedule_unit(&mut self, unit: usize) {
+        debug_assert!(
+            self.unit_times[unit].is_finite(),
+            "unit {unit} has no live entry to unschedule"
+        );
+        self.unit_gens[unit] += 1;
+        self.unit_times[unit] = f64::INFINITY;
+        self.scheduled_units -= 1;
+    }
+
     /// Pops the next live event in deterministic `(time, rank, unit)`
     /// order, skipping unit entries a fleet reset invalidated. A popped
     /// unit's slot becomes unscheduled; the handler reschedules it (or
@@ -333,6 +367,49 @@ mod tests {
         cal.schedule_unit(1, 12.0, EventKind::UnitBoundary);
         assert_eq!(cal.min_unit_time_ms(), 10.0);
         assert_eq!(cal.peak_len(), 3);
+    }
+
+    #[test]
+    fn fault_entries_rank_between_control_plane_and_units() {
+        let mut cal = EventCalendar::new(2);
+        cal.schedule_unit(0, 5.0, EventKind::UnitBoundary);
+        cal.schedule_fault(5.0, 0);
+        cal.schedule_epoch(5.0);
+        cal.schedule_stats(5.0);
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| cal.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::StatsSample,
+                EventKind::EpochBoundary,
+                EventKind::Fault,
+                EventKind::UnitBoundary
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_entries_survive_resets_and_do_not_keep_the_loop_alive() {
+        let mut cal = EventCalendar::new(2);
+        cal.schedule_unit(0, 2.0, EventKind::UnitBoundary);
+        cal.schedule_fault(4.0, 7);
+        cal.reset_units(1);
+        assert_eq!(cal.scheduled_units(), 0, "faults alone keep nothing alive");
+        let ev = cal.pop().expect("fault survives the reset");
+        assert_eq!((ev.kind, ev.unit), (EventKind::Fault, 7));
+    }
+
+    #[test]
+    fn unschedule_unit_kills_the_live_entry_lazily() {
+        let mut cal = EventCalendar::new(2);
+        cal.schedule_unit(0, 3.0, EventKind::UnitBoundary);
+        cal.schedule_unit(1, 4.0, EventKind::IdleWake);
+        cal.unschedule_unit(0);
+        assert_eq!(cal.scheduled_units(), 1);
+        assert!(!cal.is_unit_scheduled(0));
+        let ev = cal.pop().expect("unit 1 still live");
+        assert_eq!(ev.unit, 1);
+        assert!(cal.pop().is_none());
     }
 
     #[test]

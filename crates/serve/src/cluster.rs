@@ -38,15 +38,16 @@ use exion_telemetry::{
 use crate::admission::{self, AdmissionController, AdmissionDecision, AdmissionView, AdmitAll};
 use crate::calendar::{EventCalendar, EventKind};
 use crate::cost::CostModel;
+use crate::fault::{CheckpointPolicy, FaultKind, FaultPlan, FaultSpec};
 use crate::metrics::{
-    DepthTracker, EpochStat, LatencyStats, MetricsSnapshot, PlannerReport, ReplanEvent,
-    SeriesRecorder, ServeReport,
+    DepthTracker, EpochStat, FaultRecord, FaultReport, LatencyStats, MetricsSnapshot,
+    PlannerReport, ReplanEvent, SeriesRecorder, ServeReport,
 };
 use crate::placement::{Gang, Placement};
 use crate::planner::PlacementPlanner;
 use crate::policy::{self, Fcfs, SchedulerPolicy};
 use crate::queue::ReadyQueue;
-use crate::request::{Completion, Request, ShedRecord};
+use crate::request::{Completion, LostRecord, Request, ShedRecord};
 use crate::scheduler::{AdmitOutcome, SchedContext};
 use crate::trace::{Arrival, ArrivalStream, TraceConfig};
 
@@ -103,6 +104,16 @@ pub enum ConfigError {
         /// The declared interval (ms).
         interval_ms: f64,
     },
+    /// The fault plan carries an unschedulable event.
+    InvalidFaultPlan {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The checkpoint policy can never fire.
+    InvalidCheckpoint {
+        /// The declared period (denoising steps).
+        every_steps: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -130,6 +141,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::InvalidStatsInterval { interval_ms } => write!(
                 f,
                 "telemetry stats interval must be positive and finite, got {interval_ms} ms"
+            ),
+            ConfigError::InvalidFaultPlan { reason } => {
+                write!(f, "fault plan is unschedulable: {reason}")
+            }
+            ConfigError::InvalidCheckpoint { every_steps } => write!(
+                f,
+                "checkpoint period must be at least one step, got {every_steps}"
             ),
         }
     }
@@ -167,6 +185,16 @@ pub struct ServeConfig {
     /// epoch boundaries). `None` (the default) samples at epoch
     /// boundaries only.
     pub stats_interval_ms: Option<f64>,
+    /// Seeded fault-injection plan: crashes, gang-member losses, and
+    /// interconnect degradations scheduled on the event calendar. The
+    /// empty plan (the default) schedules nothing — the run is
+    /// byte-identical to a fault-free simulation.
+    pub fault_plan: FaultPlan,
+    /// Opt-in periodic latent checkpointing: every N denoising steps each
+    /// running request parks a DRAM copy of its latent (priced as a spill
+    /// transfer), so a later fault requeues it from the checkpoint
+    /// instead of losing it. `None` (the default) checkpoints nothing.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl ServeConfig {
@@ -190,6 +218,8 @@ impl ServeConfig {
             eviction: EvictionPolicy::Lru,
             auto_placement: None,
             stats_interval_ms: None,
+            fault_plan: FaultPlan::empty(),
+            checkpoint: None,
         }
     }
 }
@@ -321,6 +351,23 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Installs a fault-injection plan: its events are scheduled on the
+    /// event calendar and fire in deterministic order alongside the
+    /// simulation's own events (see [`crate::fault`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.inner.fault_plan = plan;
+        self
+    }
+
+    /// Enables periodic latent checkpointing: every `steps` denoising
+    /// steps each running request parks a DRAM copy of its latent (a
+    /// priced spill transfer) so a fault on its unit requeues it from the
+    /// checkpoint instead of losing it.
+    pub fn checkpoint_every(mut self, steps: usize) -> Self {
+        self.inner.checkpoint = Some(CheckpointPolicy::every(steps));
+        self
+    }
+
     /// The finished, validated configuration.
     ///
     /// # Errors
@@ -339,6 +386,17 @@ impl ServeConfigBuilder {
         if let Some(interval_ms) = self.inner.stats_interval_ms {
             if !interval_ms.is_finite() || interval_ms <= 0.0 {
                 return Err(ConfigError::InvalidStatsInterval { interval_ms });
+            }
+        }
+        self.inner
+            .fault_plan
+            .validate()
+            .map_err(|reason| ConfigError::InvalidFaultPlan { reason })?;
+        if let Some(policy) = self.inner.checkpoint {
+            if policy.every_steps == 0 {
+                return Err(ConfigError::InvalidCheckpoint {
+                    every_steps: policy.every_steps,
+                });
             }
         }
         if let Some(ap) = &mut self.inner.auto_placement {
@@ -493,6 +551,137 @@ fn emit_idle_slices(unit: &Gang, wake_ms: f64, sink: &mut dyn Sink) {
             batch: 0,
         });
     }
+}
+
+/// One entry of the cluster loop's runtime fault table. The calendar's
+/// [`EventKind::Fault`] entries carry indices into this table: the
+/// configured plan's events occupy the head, and the recoveries / link
+/// restores each fault pairs itself with are appended as it fires.
+#[derive(Debug, Clone, Copy)]
+enum RuntimeFault {
+    /// A planned fault, as configured.
+    Inject(FaultSpec),
+    /// Crashed capacity rejoins after its repair delay. `instances` is
+    /// the planner-budget slice to restore (0 under static placement,
+    /// where the slot-sleeping replacement wakes by itself).
+    Recover { crashed_at: f64, instances: usize },
+    /// An interconnect degradation window closes.
+    LinkRestore { slowdown: f64 },
+}
+
+/// `placement` with its gang interconnect degraded by `slowdown` (a
+/// bandwidth cut by that factor on every link). A slowdown of exactly 1.0
+/// returns the placement untouched, so healthy runs price the configured
+/// fabric bit-for-bit.
+fn degraded_placement(placement: &Placement, slowdown: f64) -> Placement {
+    if slowdown == 1.0 {
+        return *placement;
+    }
+    let mut p = *placement;
+    p.interconnect.link_gbps /= slowdown;
+    p
+}
+
+/// Applies a fault's destruction semantics to a unit already marked dead:
+/// drains its batch (checkpointed requests requeue with their steps
+/// rolled back, the rest are lost) and resolves every queued request
+/// whose parked latent lives on this unit — survivors of a member loss
+/// write the latent back to DRAM (priced on the holding member), while a
+/// latent on a dead member is gone and its request restarts from a DRAM
+/// checkpoint or is lost. Returns `(requeued, lost)` counts.
+#[allow(clippy::too_many_arguments)]
+fn teardown_dead_unit(
+    unit: &mut Gang,
+    queue: &mut ReadyQueue,
+    ctx: &SchedContext,
+    at_ms: f64,
+    depth: &mut DepthTracker,
+    drains_total: &mut u64,
+    inflight_rows: &mut i64,
+    losts: &mut Vec<LostRecord>,
+    sink: &mut dyn Sink,
+    traced: bool,
+) -> (usize, usize) {
+    let out = unit.drain_for_migration(queue, ctx, at_ms);
+    let mut requeued = out.requeued.len();
+    let mut lost = out.lost.len();
+    *drains_total += out.requeued.len() as u64;
+    *inflight_rows -= (out.requeued.len() + out.lost.len()) as i64;
+    for &(id, t) in &out.requeued {
+        depth.stamp(t, 1);
+        if traced {
+            let model = queue.get(id).map(|r| r.model.name()).unwrap_or("unknown");
+            sink.span(SpanRecord {
+                at_ms: t,
+                request: id,
+                model,
+                event: RequestEvent::Migrated,
+            });
+        }
+    }
+    for r in &out.lost {
+        losts.push(LostRecord {
+            id: r.id,
+            model: r.model,
+            at_ms,
+            steps_lost: r.steps_done,
+        });
+        if traced {
+            sink.span(SpanRecord {
+                at_ms,
+                request: r.id,
+                model: r.model.name(),
+                event: RequestEvent::Lost,
+            });
+        }
+    }
+    let dead_ids = unit.dead_member_ids();
+    let homed: Vec<(u64, usize)> = queue
+        .iter()
+        .filter_map(|r| {
+            r.parked_on
+                .filter(|p| unit.members.iter().any(|m| m.id == *p))
+                .map(|p| (r.id, p))
+        })
+        .collect();
+    for (id, home) in homed {
+        if dead_ids.contains(&home) {
+            let mut r = queue
+                .remove_by_id(id, ctx)
+                .expect("listed from the queue above");
+            match r.checkpointed_steps {
+                Some(step) => {
+                    r.steps_done = step;
+                    r.parked_on = None;
+                    r.ready_ms = r.ready_ms.max(at_ms);
+                    requeued += 1;
+                    queue.push(r, ctx);
+                }
+                None => {
+                    lost += 1;
+                    depth.stamp(at_ms, -1);
+                    losts.push(LostRecord {
+                        id: r.id,
+                        model: r.model,
+                        at_ms,
+                        steps_lost: r.steps_done,
+                    });
+                    if traced {
+                        sink.span(SpanRecord {
+                            at_ms,
+                            request: r.id,
+                            model: r.model.name(),
+                            event: RequestEvent::Lost,
+                        });
+                    }
+                }
+            }
+        } else {
+            unit.discard_member_latent(home, id, ctx);
+            queue.clear_parked_hint(id);
+        }
+    }
+    (requeued, lost)
 }
 
 /// Self-metering of one simulator run: wall-clock cost beside the
@@ -850,9 +1039,10 @@ impl ServeSimulator {
         // Per-unit lifetime accounting: utilization must be taken over the
         // window a unit actually existed (birth to retirement/makespan),
         // not the whole run — a migrated cluster would otherwise look
-        // half-idle. `units_birth_ms` parallels `units`; retired units
-        // carry their `(birth, death)` window with them.
-        let mut units_birth_ms: f64 = 0.0;
+        // half-idle. `units_birth` parallels `units` (births diverge when
+        // a crashed slot's replacement is born at its recovery instant);
+        // retired units carry their `(birth, death)` window with them.
+        let mut units_birth: Vec<f64> = vec![0.0; units.len()];
         let mut retired: Vec<(Gang, f64, f64)> = Vec::new();
         let admission = self.config.admission.clone();
         let mut queue = ReadyQueue::new();
@@ -886,10 +1076,42 @@ impl ServeSimulator {
         let mut drains_total: u64 = 0;
         let stats_interval = self.config.stats_interval_ms;
 
+        // Fault injection: the plan's events land on the calendar as
+        // `EventKind::Fault` entries whose `unit` field indexes the
+        // runtime fault table; the recoveries and link restores a firing
+        // fault pairs itself with are appended to the table as they are
+        // scheduled. An empty plan schedules nothing — the loop below is
+        // then byte-identical to a fault-free run.
+        let fault_plan = self.config.fault_plan.clone();
+        let chaos = !fault_plan.is_empty();
+        let checkpoint = self.config.checkpoint;
+        let mut fault_table: Vec<RuntimeFault> = Vec::new();
+        let mut losts: Vec<LostRecord> = Vec::new();
+        let mut fault_records: Vec<FaultRecord> = Vec::new();
+        let mut faults_injected = 0usize;
+        let mut faults_noop = 0usize;
+        let mut checkpointed_recoveries = 0usize;
+        let mut checkpoint_spills = 0usize;
+        let mut checkpoint_bytes = 0u64;
+        let mut replans_on_fault = 0usize;
+        let mut recoveries = 0usize;
+        let mut recover_ms_sum = 0.0f64;
+        // Multiplicative stack of active interconnect degradations (1.0 =
+        // healthy fabric); every scheduling-context build prices the
+        // currently degraded link bandwidth.
+        let mut link_slowdown = 1.0f64;
+        // Windows of degraded service — crash-to-recovery and
+        // degrade-to-restore intervals — for the attainment-under-failure
+        // split in the fault report.
+        let mut degraded_windows: Vec<(f64, f64)> = Vec::new();
+        // Set when the whole fleet dies un-recoverably: queued work
+        // strands at this instant and converts to lost after the loop.
+        let mut stranded_at: Option<f64> = None;
+
         // Per-model scheduling constants (periods, weight/latent footprints,
         // refill costs, partition plans) are computed once per traced kind —
         // and rebuilt whenever a re-plan changes the partition strategy.
-        let mut ctx = self.sched_context(&kinds, &placement);
+        let mut ctx = self.sched_context(&kinds, &degraded_placement(&placement, link_slowdown));
 
         // The event calendar replaces the per-boundary min-clock scan:
         // each unit keeps exactly one scheduled event (its next iteration
@@ -910,6 +1132,10 @@ impl ServeSimulator {
             if first_epoch <= trace.horizon_ms {
                 calendar.schedule_epoch(first_epoch);
             }
+        }
+        for (idx, spec) in fault_plan.events.iter().enumerate() {
+            fault_table.push(RuntimeFault::Inject(*spec));
+            calendar.schedule_fault(spec.at_ms, idx);
         }
         let mut events_executed: u64 = 0;
         // In-flight batch rows across the fleet, tracked incrementally
@@ -951,6 +1177,7 @@ impl ServeSimulator {
                             parks_total,
                             resumes_total,
                             drains_total,
+                            losts.len() as u64,
                         ],
                         [queue.len() as f64, inflight_rows as f64, ev.at_ms],
                     );
@@ -1005,6 +1232,7 @@ impl ServeSimulator {
                             parks_total,
                             resumes_total,
                             drains_total,
+                            losts.len() as u64,
                         ],
                         [queue.len() as f64, inflight_rows as f64, epoch_end],
                     );
@@ -1032,120 +1260,322 @@ impl ServeSimulator {
                     if new_placement == placement {
                         continue;
                     }
-                    // Executed re-plan. Drain: every in-flight request is
-                    // parked to DRAM (a priced latent write-back) and
-                    // re-enters the queue with its DDIM step count intact.
-                    // The new units take over once the slowest *draining*
-                    // unit finishes — idle units' clocks are excluded from
-                    // that hand-off point, because an idle clock may be an
-                    // artificial jump (to the next arrival, or to infinity
-                    // on a locally-drained tail) rather than real work, and
-                    // maxing it in would stall — or with an infinite jump,
-                    // strand — the drained requests.
-                    let mut drained = 0usize;
-                    let mut t_start = now;
-                    for unit in units.iter_mut() {
-                        let was_busy = !unit.is_idle();
-                        let drain_from = unit.now_ms();
-                        let stamps = unit.drain_for_migration(&mut queue, &ctx);
-                        drained += stamps.len();
-                        drains_total += stamps.len() as u64;
-                        inflight_rows -= stamps.len() as i64;
-                        if was_busy {
-                            t_start = t_start.max(unit.now_ms());
-                        }
-                        for &(_, at_ms) in &stamps {
-                            depth.stamp(at_ms, 1);
-                        }
-                        if traced {
-                            let drain_ms = unit.now_ms() - drain_from;
-                            if drain_ms > 0.0 {
-                                for m in &unit.members {
-                                    sink.slice(TimelineSlice {
-                                        instance: m.id as u32,
-                                        kind: SliceKind::Drain,
-                                        start_ms: drain_from,
-                                        dur_ms: drain_ms,
-                                        label: "drain",
-                                        batch: stamps.len() as u32,
+                    // Executed re-plan: drain, price, and swap the fleet
+                    // (shared with the fault arm's out-of-cadence re-plan).
+                    let replan = self.execute_migration(
+                        new_placement,
+                        now,
+                        &kinds,
+                        link_slowdown,
+                        &mut placement,
+                        &mut units,
+                        &mut units_birth,
+                        &mut retired,
+                        &mut next_id,
+                        &mut queue,
+                        &mut ctx,
+                        &mut calendar,
+                        &mut depth,
+                        &mut drains_total,
+                        &mut inflight_rows,
+                        &mut losts,
+                        sink,
+                        traced,
+                    );
+                    let state = planner_state
+                        .as_mut()
+                        .expect("epoch events are scheduled only under auto-placement");
+                    state.report.replans.push(replan);
+                    state.report.final_placement = placement.summary();
+                }
+
+                // An injected fault or one of its paired follow-ups
+                // (recovery, link restore): the event's `unit` field
+                // indexes the runtime fault table.
+                EventKind::Fault => {
+                    match fault_table[ev.unit] {
+                        RuntimeFault::Inject(spec) => match spec.kind {
+                            FaultKind::UnitCrash { unit, repair_ms }
+                            | FaultKind::MemberLoss {
+                                unit, repair_ms, ..
+                            } => {
+                                if units.is_empty() {
+                                    faults_noop += 1;
+                                    continue;
+                                }
+                                let u = unit % units.len();
+                                if !calendar.is_unit_scheduled(u) {
+                                    // The slot retired (trace exhausted,
+                                    // nothing queued): there is nothing
+                                    // left to kill.
+                                    faults_noop += 1;
+                                    continue;
+                                }
+                                match spec.kind {
+                                    FaultKind::MemberLoss { member, .. } => {
+                                        units[u].mark_member_dead(member)
+                                    }
+                                    _ => units[u].mark_all_dead(),
+                                }
+                                let (requeued, lost) = teardown_dead_unit(
+                                    &mut units[u],
+                                    &mut queue,
+                                    &ctx,
+                                    ev.at_ms,
+                                    &mut depth,
+                                    &mut drains_total,
+                                    &mut inflight_rows,
+                                    &mut losts,
+                                    sink,
+                                    traced,
+                                );
+                                checkpointed_recoveries += requeued;
+                                faults_injected += 1;
+                                fault_records.push(FaultRecord {
+                                    at_ms: ev.at_ms,
+                                    kind: spec.kind.label().to_string(),
+                                    unit: u,
+                                    lost,
+                                    requeued,
+                                });
+                                if traced {
+                                    sink.instant(InstantMarker {
+                                        at_ms: ev.at_ms,
+                                        name: "fault",
+                                        detail: format!(
+                                            "{} unit {u} ({lost} lost, {requeued} requeued, \
+                                             repair {repair_ms} ms)",
+                                            spec.kind.label()
+                                        ),
                                     });
                                 }
+                                // A gang missing a member stalls whole: the
+                                // unit retires at the fault (its in-flight
+                                // iteration never completes) and its
+                                // capacity rejoins after the repair delay.
+                                let death = units[u].now_ms().max(ev.at_ms);
+                                let recover_at = (ev.at_ms + repair_ms).max(death);
+                                degraded_windows.push((ev.at_ms, recover_at));
+                                let auto_budget =
+                                    planner_state.as_ref().map(|s| s.planner.config.budget);
+                                if let Some(budget) = auto_budget {
+                                    // Auto placement: the dead unit's
+                                    // capacity leaves the planner's budget
+                                    // and an out-of-cadence re-plan
+                                    // re-places the surviving fleet around
+                                    // the hole.
+                                    let instances = units[u].members.len();
+                                    let reduced = budget.saturating_sub(instances);
+                                    if reduced == 0 {
+                                        // The dead unit *was* the fleet:
+                                        // nothing to re-place onto. Retire
+                                        // it; the queue strands and
+                                        // converts to lost after the loop.
+                                        let old = units.remove(u);
+                                        retired.push((old, units_birth.remove(u), death));
+                                        calendar.unschedule_unit(u);
+                                        stranded_at = Some(death);
+                                        continue;
+                                    }
+                                    let outcome = {
+                                        let state = planner_state
+                                            .as_mut()
+                                            .expect("the static branch handled None");
+                                        state.planner.config.budget = reduced;
+                                        state.planner.plan_timed(
+                                            &self.config.hw,
+                                            &trace.mix,
+                                            state.forecast_rps,
+                                            &mut self.cost,
+                                            &mut planner_watch,
+                                        )
+                                    };
+                                    // No same-placement short-circuit here:
+                                    // the fleet must be rebuilt regardless,
+                                    // to clear the dead unit out of it.
+                                    let replan = self.execute_migration(
+                                        outcome.chosen.placement,
+                                        ev.at_ms,
+                                        &kinds,
+                                        link_slowdown,
+                                        &mut placement,
+                                        &mut units,
+                                        &mut units_birth,
+                                        &mut retired,
+                                        &mut next_id,
+                                        &mut queue,
+                                        &mut ctx,
+                                        &mut calendar,
+                                        &mut depth,
+                                        &mut drains_total,
+                                        &mut inflight_rows,
+                                        &mut losts,
+                                        sink,
+                                        traced,
+                                    );
+                                    if let Some(state) = planner_state.as_mut() {
+                                        state.report.replans.push(replan);
+                                        state.report.final_placement = placement.summary();
+                                    }
+                                    replans_on_fault += 1;
+                                    fault_table.push(RuntimeFault::Recover {
+                                        crashed_at: ev.at_ms,
+                                        instances,
+                                    });
+                                    calendar.schedule_fault(recover_at, fault_table.len() - 1);
+                                } else {
+                                    // Static placement: the slot sleeps
+                                    // through its repair and a fresh unit
+                                    // of the same shape swaps in at the
+                                    // wake — the replacement's cold GSC
+                                    // books the recovery as refill bytes
+                                    // naturally.
+                                    let fresh = if units[u].is_sharded() {
+                                        let strategy = units[u].strategy();
+                                        let g = Gang::sharded(
+                                            next_id,
+                                            &self.config.hw,
+                                            self.config.eviction,
+                                            strategy,
+                                        );
+                                        next_id += strategy.degree();
+                                        g
+                                    } else {
+                                        let g = Gang::replica(
+                                            next_id,
+                                            &self.config.hw,
+                                            self.config.eviction,
+                                        );
+                                        next_id += 1;
+                                        g
+                                    };
+                                    let old = std::mem::replace(&mut units[u], fresh);
+                                    retired.push((old, units_birth[u], death));
+                                    units_birth[u] = recover_at;
+                                    units[u].jump_to(recover_at);
+                                    calendar.reschedule_unit(u, recover_at, EventKind::IdleWake);
+                                    if traced {
+                                        declare_unit_tracks(std::slice::from_ref(&units[u]), sink);
+                                    }
+                                    fault_table.push(RuntimeFault::Recover {
+                                        crashed_at: ev.at_ms,
+                                        instances: 0,
+                                    });
+                                    calendar.schedule_fault(recover_at, fault_table.len() - 1);
+                                }
                             }
-                            for &(id, at_ms) in &stamps {
-                                let model =
-                                    queue.get(id).map(|r| r.model.name()).unwrap_or("unknown");
-                                sink.span(SpanRecord {
-                                    at_ms,
-                                    request: id,
-                                    model,
-                                    event: RequestEvent::Migrated,
+                            FaultKind::LinkDegrade {
+                                slowdown,
+                                duration_ms,
+                            } => {
+                                link_slowdown *= slowdown;
+                                degraded_windows.push((ev.at_ms, ev.at_ms + duration_ms));
+                                ctx = self.sched_context(
+                                    &kinds,
+                                    &degraded_placement(&placement, link_slowdown),
+                                );
+                                faults_injected += 1;
+                                fault_records.push(FaultRecord {
+                                    at_ms: ev.at_ms,
+                                    kind: spec.kind.label().to_string(),
+                                    unit: usize::MAX,
+                                    lost: 0,
+                                    requeued: 0,
+                                });
+                                if traced {
+                                    sink.instant(InstantMarker {
+                                        at_ms: ev.at_ms,
+                                        name: "fault",
+                                        detail: format!(
+                                            "link degrade x{slowdown} for {duration_ms} ms"
+                                        ),
+                                    });
+                                }
+                                fault_table.push(RuntimeFault::LinkRestore { slowdown });
+                                calendar
+                                    .schedule_fault(ev.at_ms + duration_ms, fault_table.len() - 1);
+                            }
+                        },
+                        RuntimeFault::Recover {
+                            crashed_at,
+                            instances,
+                        } => {
+                            recoveries += 1;
+                            recover_ms_sum += ev.at_ms - crashed_at;
+                            if traced {
+                                sink.instant(InstantMarker {
+                                    at_ms: ev.at_ms,
+                                    name: "recover",
+                                    detail: format!(
+                                        "capacity restored after {:.1} ms",
+                                        ev.at_ms - crashed_at
+                                    ),
+                                });
+                            }
+                            if instances > 0 {
+                                // The repaired capacity rejoins the
+                                // planner's budget; a forced re-plan grows
+                                // the fleet back, booked as cold-GSC
+                                // refill on the new units.
+                                let outcome = match planner_state.as_mut() {
+                                    Some(state) => {
+                                        state.planner.config.budget += instances;
+                                        Some(state.planner.plan_timed(
+                                            &self.config.hw,
+                                            &trace.mix,
+                                            state.forecast_rps,
+                                            &mut self.cost,
+                                            &mut planner_watch,
+                                        ))
+                                    }
+                                    None => None,
+                                };
+                                let new_placement = outcome
+                                    .map(|o| o.chosen.placement)
+                                    .filter(|p| *p != placement);
+                                if let Some(new_placement) = new_placement {
+                                    let replan = self.execute_migration(
+                                        new_placement,
+                                        ev.at_ms,
+                                        &kinds,
+                                        link_slowdown,
+                                        &mut placement,
+                                        &mut units,
+                                        &mut units_birth,
+                                        &mut retired,
+                                        &mut next_id,
+                                        &mut queue,
+                                        &mut ctx,
+                                        &mut calendar,
+                                        &mut depth,
+                                        &mut drains_total,
+                                        &mut inflight_rows,
+                                        &mut losts,
+                                        sink,
+                                        traced,
+                                    );
+                                    let state = planner_state.as_mut().expect("still auto-placed");
+                                    state.report.replans.push(replan);
+                                    state.report.final_placement = placement.summary();
+                                    replans_on_fault += 1;
+                                }
+                            }
+                        }
+                        RuntimeFault::LinkRestore { slowdown } => {
+                            link_slowdown /= slowdown;
+                            ctx = self.sched_context(
+                                &kinds,
+                                &degraded_placement(&placement, link_slowdown),
+                            );
+                            if traced {
+                                sink.instant(InstantMarker {
+                                    at_ms: ev.at_ms,
+                                    name: "recover",
+                                    detail: format!("link restored (/{slowdown})"),
                                 });
                             }
                         }
                     }
-                    // Queued requests parked on a retiring member: the
-                    // latent is written back to DRAM (priced on the holder)
-                    // and the stale affinity hint cleared — no instance of
-                    // the new placement holds it.
-                    let mut parked_homes: Vec<(u64, usize)> = Vec::new();
-                    queue.take_parked_homes(&mut parked_homes);
-                    for &(id, home) in &parked_homes {
-                        for unit in units.iter_mut() {
-                            unit.discard_member_latent(home, id, &ctx);
-                        }
-                    }
-                    // What the teardown walks away from: GSC-resident state
-                    // the new placement must re-stream as refill bytes.
-                    let migration_bytes: u64 = units.iter().map(Gang::resident_bytes).sum();
-                    debug_assert!(t_start.is_finite(), "migration hand-off must be finite");
-                    state.report.replans.push(ReplanEvent {
-                        at_ms: t_start,
-                        from: placement.summary(),
-                        to: new_placement.summary(),
-                        migration_bytes,
-                        drained_requests: drained,
-                    });
-                    if traced {
-                        sink.instant(InstantMarker {
-                            at_ms: t_start,
-                            name: "replan",
-                            detail: format!(
-                                "{} -> {} ({} drained, {} bytes)",
-                                placement.summary(),
-                                new_placement.summary(),
-                                drained,
-                                migration_bytes
-                            ),
-                        });
-                    }
-                    state.report.final_placement = new_placement.summary();
-                    let birth = units_birth_ms;
-                    retired.extend(units.drain(..).map(|u| (u, birth, t_start)));
-                    placement = new_placement;
-                    units = build_units(
-                        &placement,
-                        &self.config.hw,
-                        self.config.eviction,
-                        &mut next_id,
-                    );
-                    units_birth_ms = t_start;
-                    for unit in units.iter_mut() {
-                        unit.jump_to(t_start);
-                    }
-                    if traced {
-                        declare_unit_tracks(&units, sink);
-                    }
-                    // Invalidate the retired fleet's calendar entries and
-                    // schedule the replacements' first boundaries at the
-                    // hand-off instant.
-                    calendar.reset_units(units.len());
-                    for u in 0..units.len() {
-                        calendar.schedule_unit(u, t_start, EventKind::UnitBoundary);
-                    }
-                    // The partition strategy may have changed: rebuild the
-                    // scheduling constants before the new fleet's first
-                    // boundary fires.
-                    ctx = self.sched_context(&kinds, &placement);
                 }
 
                 // A unit's iteration boundary or idle wake: both were
@@ -1481,9 +1911,45 @@ impl ServeSimulator {
                     for id in units[i].take_evicted_latents() {
                         queue.clear_parked_hint(id);
                     }
+                    // Opt-in periodic checkpoint: each running request at a
+                    // multiple of the policy period parks a DRAM copy of
+                    // its latent — a priced spill transfer on this unit's
+                    // clock — so a later fault requeues it from the
+                    // checkpoint instead of losing it.
+                    if let Some(policy) = checkpoint {
+                        let (spills, bytes) = units[i].checkpoint_running(&ctx, policy.every_steps);
+                        checkpoint_spills += spills;
+                        checkpoint_bytes += bytes;
+                    }
                     // The executed iteration advanced this unit's clock; its next
                     // boundary is its next event.
                     calendar.schedule_unit(i, units[i].now_ms(), EventKind::UnitBoundary);
+                }
+            }
+        }
+
+        // A fleet that died un-recoverably strands whatever was queued:
+        // those requests are lost, which keeps conservation over released
+        // arrivals (`served + shed + lost == arrivals`) intact.
+        if let Some(at_ms) = stranded_at {
+            let stranded: Vec<u64> = queue.iter().map(|r| r.id).collect();
+            for id in stranded {
+                if let Some(r) = queue.remove_by_id(id, &ctx) {
+                    depth.stamp(at_ms, -1);
+                    losts.push(LostRecord {
+                        id: r.id,
+                        model: r.model,
+                        at_ms,
+                        steps_lost: r.steps_done,
+                    });
+                    if traced {
+                        sink.span(SpanRecord {
+                            at_ms,
+                            request: r.id,
+                            model: r.model.name(),
+                            event: RequestEvent::Lost,
+                        });
+                    }
                 }
             }
         }
@@ -1492,8 +1958,12 @@ impl ServeSimulator {
         // Retired pre-migration units carry real work: their accounting
         // joins the final units' in the report, each over its own live
         // window (birth to death; the final units live to the makespan).
-        let birth = units_birth_ms;
-        retired.extend(units.into_iter().map(|u| (u, birth, f64::INFINITY)));
+        retired.extend(
+            units
+                .into_iter()
+                .zip(units_birth)
+                .map(|(u, birth)| (u, birth, f64::INFINITY)),
+        );
         let makespan_ms = completions
             .iter()
             .map(|c| c.finished_ms)
@@ -1509,20 +1979,242 @@ impl ServeSimulator {
             completed: completions.len(),
         });
         let depth_stats = depth.finish(makespan_ms);
+        // Fault report: assembled only when something could have differed
+        // from a fault-free run (a non-empty plan, or an active checkpoint
+        // policy whose spills should be visible).
+        let fault = if chaos || checkpoint.is_some() {
+            // Attainment under failure: SLO attainment over the requests
+            // that arrived inside a degraded window (crash-to-recovery,
+            // degrade-to-restore), plus every lost request — a direct
+            // fault casualty regardless of when it arrived.
+            let in_window = |t: f64| degraded_windows.iter().any(|&(a, b)| t >= a && t < b);
+            let mut win_answered = 0usize;
+            let mut win_within = 0usize;
+            for c in &completions {
+                if in_window(c.arrival_ms) {
+                    win_answered += 1;
+                    if c.within_slo() {
+                        win_within += 1;
+                    }
+                }
+            }
+            win_answered += sheds.iter().filter(|s| in_window(s.at_ms)).count();
+            win_answered += losts.len();
+            Some(FaultReport {
+                faults_injected,
+                faults_noop,
+                lost_requests: losts.len(),
+                checkpointed_recoveries,
+                checkpoint_spills,
+                checkpoint_bytes,
+                replans_triggered: replans_on_fault,
+                recoveries,
+                mean_time_to_recover_ms: if recoveries > 0 {
+                    recover_ms_sum / recoveries as f64
+                } else {
+                    0.0
+                },
+                attainment_under_failure: if win_answered > 0 {
+                    win_within as f64 / win_answered as f64
+                } else {
+                    0.0
+                },
+                records: fault_records,
+            })
+        } else {
+            None
+        };
         self.report(
             trace,
             releaser.released(),
             completions,
             sheds,
+            losts,
             degraded_requests,
             depth_stats,
             &retired,
             &placement,
             planner_state.map(|s| s.report),
+            fault,
             &latency_hist,
             &queue_hist,
             series_rec.into_series(),
         )
+    }
+
+    /// Executes a priced fleet migration to `new_placement`: drains every
+    /// unit (in-flight requests park to DRAM and requeue with their steps
+    /// intact; requests on a dead member are lost unless checkpointed),
+    /// clears stale resume-affinity hints, retires the old fleet, builds
+    /// and schedules the replacement at the hand-off instant, and
+    /// rebuilds the scheduling context. Returns the priced
+    /// [`ReplanEvent`]. Shared by the planner's epoch path and the fault
+    /// arm's out-of-cadence re-plans.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_migration(
+        &mut self,
+        new_placement: Placement,
+        t_floor: f64,
+        kinds: &[ModelKind],
+        link_slowdown: f64,
+        placement: &mut Placement,
+        units: &mut Vec<Gang>,
+        units_birth: &mut Vec<f64>,
+        retired: &mut Vec<(Gang, f64, f64)>,
+        next_id: &mut usize,
+        queue: &mut ReadyQueue,
+        ctx: &mut SchedContext,
+        calendar: &mut EventCalendar,
+        depth: &mut DepthTracker,
+        drains_total: &mut u64,
+        inflight_rows: &mut i64,
+        losts: &mut Vec<LostRecord>,
+        sink: &mut dyn Sink,
+        traced: bool,
+    ) -> ReplanEvent {
+        // Drain: every in-flight request is parked to DRAM (a priced
+        // latent write-back) and re-enters the queue with its DDIM step
+        // count intact. The new units take over once the slowest
+        // *draining* unit finishes — idle units' clocks are excluded from
+        // that hand-off point, because an idle clock may be an artificial
+        // jump (to the next arrival, or to infinity on a locally-drained
+        // tail) rather than real work, and maxing it in would stall — or
+        // with an infinite jump, strand — the drained requests. Dead
+        // units' clocks are excluded too: their in-flight iteration never
+        // completed.
+        let mut drained = 0usize;
+        let mut t_start = t_floor;
+        for unit in units.iter_mut() {
+            let was_busy = !unit.is_idle() && !unit.any_dead();
+            let drain_from = unit.now_ms();
+            let out = unit.drain_for_migration(queue, ctx, t_floor);
+            drained += out.requeued.len();
+            *drains_total += out.requeued.len() as u64;
+            *inflight_rows -= (out.requeued.len() + out.lost.len()) as i64;
+            if was_busy {
+                t_start = t_start.max(unit.now_ms());
+            }
+            for &(_, at_ms) in &out.requeued {
+                depth.stamp(at_ms, 1);
+            }
+            if traced {
+                let drain_ms = unit.now_ms() - drain_from;
+                if drain_ms > 0.0 {
+                    for m in &unit.members {
+                        sink.slice(TimelineSlice {
+                            instance: m.id as u32,
+                            kind: SliceKind::Drain,
+                            start_ms: drain_from,
+                            dur_ms: drain_ms,
+                            label: "drain",
+                            batch: out.requeued.len() as u32,
+                        });
+                    }
+                }
+                for &(id, at_ms) in &out.requeued {
+                    let model = queue.get(id).map(|r| r.model.name()).unwrap_or("unknown");
+                    sink.span(SpanRecord {
+                        at_ms,
+                        request: id,
+                        model,
+                        event: RequestEvent::Migrated,
+                    });
+                }
+            }
+            // In-flight requests on a dead member with no DRAM checkpoint
+            // die with it — the third terminal outcome.
+            for r in &out.lost {
+                losts.push(LostRecord {
+                    id: r.id,
+                    model: r.model,
+                    at_ms: t_floor,
+                    steps_lost: r.steps_done,
+                });
+                if traced {
+                    sink.span(SpanRecord {
+                        at_ms: t_floor,
+                        request: r.id,
+                        model: r.model.name(),
+                        event: RequestEvent::Lost,
+                    });
+                }
+            }
+        }
+        // Queued requests parked on a retiring member: the latent is
+        // written back to DRAM (priced on the holder) and the stale
+        // affinity hint cleared — no instance of the new placement holds
+        // it.
+        let mut parked_homes: Vec<(u64, usize)> = Vec::new();
+        queue.take_parked_homes(&mut parked_homes);
+        for &(id, home) in &parked_homes {
+            for unit in units.iter_mut() {
+                // A dead member's latent cannot be written back — skipping
+                // it keeps a fault teardown from billing a transfer off
+                // hardware that no longer exists (the request itself was
+                // already resolved by the teardown).
+                if unit.any_dead() && unit.dead_member_ids().contains(&home) {
+                    continue;
+                }
+                unit.discard_member_latent(home, id, ctx);
+            }
+        }
+        // What the teardown walks away from: GSC-resident state the new
+        // placement must re-stream as refill bytes.
+        let migration_bytes: u64 = units.iter().map(Gang::resident_bytes).sum();
+        debug_assert!(t_start.is_finite(), "migration hand-off must be finite");
+        let replan = ReplanEvent {
+            at_ms: t_start,
+            from: placement.summary(),
+            to: new_placement.summary(),
+            migration_bytes,
+            drained_requests: drained,
+        };
+        if traced {
+            sink.instant(InstantMarker {
+                at_ms: t_start,
+                name: "replan",
+                detail: format!(
+                    "{} -> {} ({} drained, {} bytes)",
+                    placement.summary(),
+                    new_placement.summary(),
+                    drained,
+                    migration_bytes
+                ),
+            });
+        }
+        for (unit, birth) in units.drain(..).zip(units_birth.drain(..)) {
+            // A dead unit died at the fault instant, not the hand-off.
+            let death = if unit.any_dead() {
+                unit.now_ms().max(t_floor).min(t_start)
+            } else {
+                t_start
+            };
+            retired.push((unit, birth, death));
+        }
+        *placement = new_placement;
+        *units = build_units(
+            &new_placement,
+            &self.config.hw,
+            self.config.eviction,
+            next_id,
+        );
+        *units_birth = vec![t_start; units.len()];
+        for unit in units.iter_mut() {
+            unit.jump_to(t_start);
+        }
+        if traced {
+            declare_unit_tracks(units, sink);
+        }
+        // Invalidate the retired fleet's calendar entries and schedule the
+        // replacements' first boundaries at the hand-off instant.
+        calendar.reset_units(units.len());
+        for u in 0..units.len() {
+            calendar.schedule_unit(u, t_start, EventKind::UnitBoundary);
+        }
+        // The partition strategy may have changed: rebuild the scheduling
+        // constants before the new fleet's first boundary fires.
+        *ctx = self.sched_context(kinds, &degraded_placement(&new_placement, link_slowdown));
+        replan
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1532,11 +2224,13 @@ impl ServeSimulator {
         arrivals: usize,
         completions: Vec<Completion>,
         sheds: Vec<ShedRecord>,
+        losts: Vec<LostRecord>,
         degraded_requests: usize,
         depth_stats: (f64, usize),
         units: &[(Gang, f64, f64)],
         placement: &Placement,
         planner: Option<PlannerReport>,
+        fault: Option<FaultReport>,
         latency_hist: &LogHistogram,
         queue_hist: &LogHistogram,
         series: Vec<MetricsSnapshot>,
@@ -1579,9 +2273,10 @@ impl ServeSimulator {
             .iter()
             .map(|s| s.mean_batch * s.iterations as f64)
             .sum();
-        // Priced refusals: a shed is a definite SLO miss — it joins the
-        // attainment denominator even though it consumed no machine time.
-        let answered = completions.len() + sheds.len();
+        // Priced refusals and fault losses: a shed or lost request is a
+        // definite SLO miss — both join the attainment denominator even
+        // though neither consumed further machine time.
+        let answered = completions.len() + sheds.len() + losts.len();
         ServeReport {
             hw_name: self.config.hw.name.to_string(),
             policy: self.config.policy.name().to_string(),
@@ -1591,6 +2286,7 @@ impl ServeSimulator {
             arrivals,
             completed: completions.len(),
             shed_requests: sheds.len(),
+            lost_requests: losts.len(),
             degraded_requests,
             offered_rps: arrivals as f64 / (trace.horizon_ms / 1000.0).max(1e-9),
             throughput_rps: completions.len() as f64 / makespan_s,
@@ -1643,11 +2339,13 @@ impl ServeSimulator {
             collective_ms: per_gang.iter().map(|g| g.collective_ms).sum(),
             collective_bytes: per_gang.iter().map(|g| g.collective_bytes).sum(),
             planner,
+            fault,
             series,
             per_gang,
             per_instance,
             completions,
             sheds,
+            losts,
         }
     }
 }

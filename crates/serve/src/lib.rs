@@ -40,6 +40,15 @@
 //!   installed through `ServeConfigBuilder::auto_placement` it also
 //!   re-plans online at epoch boundaries, executing priced migrations when
 //!   realized load diverges past its hysteresis threshold;
+//! * [`fault`] — seeded fault injection: a [`FaultPlan`] schedules
+//!   instance crashes, gang-member losses, and interconnect degradations
+//!   as first-class calendar events; a gang missing a member stalls,
+//!   in-flight latents on dead hardware are *lost* (a third terminal
+//!   outcome priced as an SLO miss, with conservation extended to
+//!   `served + shed + lost == arrivals`) unless an opt-in periodic
+//!   checkpoint policy spilled them to DRAM, the planner re-places around
+//!   the reduced fleet out of cadence, and recovery rejoins capacity
+//!   after a repair delay — all summarized in a [`FaultReport`];
 //! * [`policy`] — the scheduling half of the control plane: a
 //!   [`SchedulerPolicy`] trait object decides admission ordering,
 //!   batch-join gating, and preemption against a read-only
@@ -90,6 +99,7 @@ pub mod admission;
 pub mod calendar;
 pub mod cluster;
 pub mod cost;
+pub mod fault;
 pub mod metrics;
 pub mod placement;
 pub mod planner;
@@ -118,9 +128,10 @@ pub use exion_telemetry::{
     chrome_trace_json, LogHistogram, MemorySink, NullSink, RequestEvent, Sink, SliceKind,
     SpanRecord, TimelineSlice,
 };
+pub use fault::{CheckpointPolicy, FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{
-    EpochStat, GangStats, InstanceStats, LatencyStats, MetricSample, MetricsSnapshot,
-    PlannerReport, ReplanEvent, ServeReport,
+    EpochStat, FaultRecord, FaultReport, GangStats, InstanceStats, LatencyStats, MetricSample,
+    MetricsSnapshot, PlannerReport, ReplanEvent, ServeReport,
 };
 pub use placement::{Gang, Placement};
 pub use planner::{gsc_feasible, CandidateScore, PlacementPlanner, PlanOutcome, PlannerConfig};
@@ -129,6 +140,6 @@ pub use policy::{
     SparsityAware,
 };
 pub use queue::{BacklogIndex, ReadyQueue};
-pub use request::{Completion, Request, RequestId, ShedRecord};
+pub use request::{Completion, LostRecord, Request, RequestId, ShedRecord};
 pub use scheduler::{AdmitOutcome, Instance, ModelInfo, SchedContext};
 pub use trace::{Arrival, TraceConfig, TrafficPattern, WorkloadMix};

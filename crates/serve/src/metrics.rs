@@ -3,7 +3,7 @@
 use exion_telemetry::LogHistogram;
 use serde::{Deserialize, Serialize};
 
-use crate::request::{Completion, ShedRecord};
+use crate::request::{Completion, LostRecord, ShedRecord};
 
 /// Nearest-rank percentile of an ascending-sorted slice (`q ∈ [0, 1]`) —
 /// the exact reference the streaming-histogram error-bound tests compare
@@ -106,7 +106,7 @@ pub struct MetricsSnapshot {
 }
 
 /// Counter names in registration (= snapshot) order.
-pub const SERIES_COUNTERS: [&str; 8] = [
+pub const SERIES_COUNTERS: [&str; 9] = [
     "arrivals_released",
     "enqueued",
     "shed",
@@ -115,6 +115,7 @@ pub const SERIES_COUNTERS: [&str; 8] = [
     "preemption_parks",
     "resumes",
     "migration_drains",
+    "lost",
 ];
 
 /// Gauge names in registration (= snapshot) order.
@@ -160,7 +161,7 @@ impl SeriesRecorder {
     /// Takes one snapshot at `at_ms`: `counters` are running totals in
     /// [`SERIES_COUNTERS`] order, `gauges` current levels in
     /// [`SERIES_GAUGES`] order.
-    pub fn snapshot(&mut self, at_ms: f64, counters: [u64; 8], gauges: [f64; 3]) {
+    pub fn snapshot(&mut self, at_ms: f64, counters: [u64; 9], gauges: [f64; 3]) {
         for ((name, prev), total) in self.last.iter_mut().zip(counters) {
             debug_assert!(total >= *prev, "counter {name} went backward");
             self.registry.counter_add(name, total.saturating_sub(*prev));
@@ -313,6 +314,54 @@ impl PlannerReport {
     }
 }
 
+/// One injected fault and what it destroyed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// When the fault fired (ms).
+    pub at_ms: f64,
+    /// Fault-kind label (`unit-crash`, `member-loss`, `link-degrade`).
+    pub kind: String,
+    /// The unit slot it hit (`usize::MAX` for fleet-wide link faults).
+    pub unit: usize,
+    /// Requests destroyed by this fault.
+    pub lost: usize,
+    /// Requests requeued (checkpoint recoveries plus priced write-backs
+    /// off surviving members).
+    pub requeued: usize,
+}
+
+/// Fault-injection accounting carried by a [`ServeReport`] when the run
+/// had a non-empty [`crate::fault::FaultPlan`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Fault-plan events that actually fired and hit live hardware.
+    pub faults_injected: usize,
+    /// Fault-plan events that fired against nothing (target unit already
+    /// retired or the fleet already drained) — no-ops, not failures.
+    pub faults_noop: usize,
+    /// Requests destroyed across every fault.
+    pub lost_requests: usize,
+    /// Running requests that survived a crash through a DRAM checkpoint.
+    pub checkpointed_recoveries: usize,
+    /// Latent checkpoints taken by the periodic checkpoint policy.
+    pub checkpoint_spills: usize,
+    /// Bytes those checkpoints moved to DRAM (each a priced transfer).
+    pub checkpoint_bytes: u64,
+    /// Out-of-cadence re-plans faults triggered (auto-placement runs).
+    pub replans_triggered: usize,
+    /// Crashed units that rejoined within the horizon.
+    pub recoveries: usize,
+    /// Mean crash-to-rejoin time over completed recoveries (ms).
+    pub mean_time_to_recover_ms: f64,
+    /// SLO attainment over requests that *arrived inside a degraded
+    /// window* (a crash-to-recover or degrade-to-restore interval) —
+    /// the report-level answer to "what did the faults cost the users
+    /// who hit them". 0.0 when no request arrived in such a window.
+    pub attainment_under_failure: f64,
+    /// Per-fault records, in fire order.
+    pub records: Vec<FaultRecord>,
+}
+
 /// The full report of one serving simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -333,8 +382,12 @@ pub struct ServeReport {
     /// Requests that completed.
     pub completed: usize,
     /// Arrivals refused (shed) by admission control: `completed +
-    /// shed_requests == arrivals` once the cluster drains.
+    /// shed_requests + lost_requests == arrivals` once the cluster drains.
     pub shed_requests: usize,
+    /// Requests destroyed by injected faults (their latents lived on dead
+    /// hardware with no DRAM checkpoint to resume from). Counted as SLO
+    /// misses; 0 without a fault plan.
+    pub lost_requests: usize,
     /// Completions admission degraded to a reduced DDIM step budget.
     pub degraded_requests: usize,
     /// Offered load (requests/s over the horizon).
@@ -384,6 +437,8 @@ pub struct ServeReport {
     /// Planner accounting: chosen placement, re-plans, migration bytes,
     /// and per-epoch forecast error (`None` for statically placed runs).
     pub planner: Option<PlannerReport>,
+    /// Fault-injection accounting (`None` when the fault plan was empty).
+    pub fault: Option<FaultReport>,
     /// Counter/gauge time-series: the cluster registry snapshotted at
     /// planner epoch boundaries (and at the configured
     /// `stats_interval_ms`, when set), in time order. Empty for static
@@ -398,6 +453,8 @@ pub struct ServeReport {
     pub completions: Vec<Completion>,
     /// Every shed record (per-class refusal accounting).
     pub sheds: Vec<ShedRecord>,
+    /// Every lost-request record (per-class fault accounting).
+    pub losts: Vec<LostRecord>,
 }
 
 impl ServeReport {
@@ -424,14 +481,40 @@ impl ServeReport {
     }
 
     /// Shed rate of one tenant class: refusals of `kind` over that class's
-    /// arrivals (completions + sheds; 0.0 when the class saw no traffic).
+    /// arrivals (completions + sheds + losts; 0.0 when the class saw no
+    /// traffic).
     pub fn class_shed_rate(&self, kind: exion_model::config::ModelKind) -> f64 {
         let shed = self.sheds.iter().filter(|s| s.model == kind).count();
         let served = self.completions.iter().filter(|c| c.model == kind).count();
-        if shed + served == 0 {
+        let lost = self.losts.iter().filter(|l| l.model == kind).count();
+        if shed + served + lost == 0 {
             0.0
         } else {
-            shed as f64 / (shed + served) as f64
+            shed as f64 / (shed + served + lost) as f64
+        }
+    }
+
+    /// Fraction of arrivals destroyed by faults (0.0 without a fault
+    /// plan).
+    pub fn lost_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.lost_requests as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Lost rate of one tenant class: fault losses of `kind` over that
+    /// class's answered arrivals (completions + sheds + losts; 0.0 when
+    /// the class saw no traffic).
+    pub fn class_lost_rate(&self, kind: exion_model::config::ModelKind) -> f64 {
+        let lost = self.losts.iter().filter(|l| l.model == kind).count();
+        let shed = self.sheds.iter().filter(|s| s.model == kind).count();
+        let served = self.completions.iter().filter(|c| c.model == kind).count();
+        if shed + served + lost == 0 {
+            0.0
+        } else {
+            lost as f64 / (shed + served + lost) as f64
         }
     }
 

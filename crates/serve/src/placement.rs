@@ -117,6 +117,18 @@ impl Placement {
     }
 }
 
+/// What draining a unit produced: requests parked back to the shared
+/// queue (with `(id, stamp ms)` queue-depth stamps) and — on a unit with
+/// dead members — running requests destroyed because their latents lived
+/// on hardware that no longer exists and no DRAM checkpoint covered them.
+#[derive(Debug, Clone, Default)]
+pub struct DrainOutcome {
+    /// `(request id, drain ms)` stamps of the requeued requests.
+    pub requeued: Vec<(u64, f64)>,
+    /// Running requests destroyed by the fault (lost accounting).
+    pub lost: Vec<crate::request::Request>,
+}
+
 /// One scheduling unit: a single whole-model replica or an
 /// iteration-synchronous sharded gang. `members[0]` is the leader — it owns
 /// the clock, the running batch, and the parked latents.
@@ -128,6 +140,10 @@ pub struct Gang {
     strategy: PartitionStrategy,
     /// The model whose shard pins the followers currently hold.
     last_model: Option<ModelKind>,
+    /// Per-member death mask, set by fault injection. A gang with any
+    /// dead member is stalled: TP/PP iterations need every shard, so the
+    /// whole unit's capacity is out until repair replaces it.
+    dead: Vec<bool>,
     collective_ms: f64,
     collective_bytes: u64,
 }
@@ -139,6 +155,7 @@ impl Gang {
             members: vec![Instance::new(id, hw, eviction)],
             strategy: PartitionStrategy::Replicated,
             last_model: None,
+            dead: vec![false],
             collective_ms: 0.0,
             collective_bytes: 0,
         }
@@ -165,6 +182,7 @@ impl Gang {
             m.set_unit(first_id, degree);
         }
         Self {
+            dead: vec![false; members.len()],
             members,
             strategy,
             last_model: None,
@@ -265,20 +283,76 @@ impl Gang {
             .collect()
     }
 
-    /// Drains this unit for a placement migration: every running request
-    /// is parked straight to DRAM (a priced latent write-back on the
-    /// leader) and re-enters `queue` with its DDIM step count intact and
-    /// no affinity hint — the unit is about to be torn down, so nothing
-    /// on it is worth steering back to. Returns `(request id, drain ms)`
-    /// stamps for queue-depth accounting.
+    /// Marks member `slot` (modulo the gang width) dead. On a replica
+    /// unit the single member dies, which is a whole-unit crash.
+    pub fn mark_member_dead(&mut self, slot: usize) {
+        let i = slot % self.dead.len();
+        self.dead[i] = true;
+    }
+
+    /// Marks every member dead — a whole-unit crash.
+    pub fn mark_all_dead(&mut self) {
+        self.dead.iter_mut().for_each(|d| *d = true);
+    }
+
+    /// Whether any member is dead (a gang missing a member is stalled:
+    /// its next iteration can never run).
+    pub fn any_dead(&self) -> bool {
+        self.dead.iter().any(|&d| d)
+    }
+
+    /// Instance ids of the dead members (parked latents there are gone).
+    pub fn dead_member_ids(&self) -> Vec<usize> {
+        self.members
+            .iter()
+            .zip(&self.dead)
+            .filter(|(_, &d)| d)
+            .map(|(m, _)| m.id)
+            .collect()
+    }
+
+    /// Drains this unit for a placement migration or a fault teardown.
+    ///
+    /// With every member alive, each running request is parked straight
+    /// to DRAM (a priced latent write-back on the leader) and re-enters
+    /// `queue` with its DDIM step count intact and no affinity hint —
+    /// the unit is about to be torn down, so nothing on it is worth
+    /// steering back to.
+    ///
+    /// With any member dead (fault path), there is no live gang to
+    /// execute write-backs: a running request survives only if a DRAM
+    /// checkpoint covers it (requeued at `at_ms` with `steps_done`
+    /// rolled back to the checkpoint, nothing billed — the spill was
+    /// priced when taken); the rest are destroyed and returned in
+    /// [`DrainOutcome::lost`]. Billing a transfer off dead hardware
+    /// would credit the fault with machine time that never ran.
     pub fn drain_for_migration(
         &mut self,
         queue: &mut ReadyQueue,
         ctx: &SchedContext,
-    ) -> Vec<(u64, f64)> {
-        let stamps = self.members[0].drain_running(queue, ctx);
+        at_ms: f64,
+    ) -> DrainOutcome {
+        if self.any_dead() {
+            let (requeued, lost) = self.members[0].drain_running_lost(queue, ctx, at_ms);
+            self.sync_clocks();
+            return DrainOutcome { requeued, lost };
+        }
+        let requeued = self.members[0].drain_running(queue, ctx);
         self.sync_clocks();
-        stamps
+        DrainOutcome {
+            requeued,
+            lost: Vec::new(),
+        }
+    }
+
+    /// Opt-in periodic latent checkpointing at this iteration boundary:
+    /// the leader spills each due running request's latent to DRAM (a
+    /// priced transfer) and the gang re-syncs its lockstep clocks past
+    /// the spill time. Returns `(spills, bytes)`.
+    pub fn checkpoint_running(&mut self, ctx: &SchedContext, every_steps: usize) -> (usize, u64) {
+        let out = self.members[0].checkpoint_running(ctx, every_steps);
+        self.sync_clocks();
+        out
     }
 
     /// Releases the parked latent of request `request` from member

@@ -44,6 +44,12 @@ pub struct Request {
     /// anywhere else pays a DRAM migration read — so foreign instances
     /// deprioritize the request by exactly that cost.
     pub parked_on: Option<usize>,
+    /// The step count of the request's last DRAM latent checkpoint
+    /// (`None` = never checkpointed). Written by the opt-in periodic
+    /// checkpoint policy; consulted only when a fault kills the unit
+    /// holding the request — a checkpointed request requeues with
+    /// `steps_done` rolled back to this count instead of being lost.
+    pub checkpointed_steps: Option<usize>,
 }
 
 impl Request {
@@ -68,6 +74,7 @@ impl Request {
             preemptions: 0,
             ready_ms: arrival_ms,
             parked_on: None,
+            checkpointed_steps: None,
         }
     }
 
@@ -155,6 +162,23 @@ pub struct ShedRecord {
     /// When the refusal was issued (the decision instant — the releasing
     /// unit's clock, at or shortly after arrival; ms).
     pub at_ms: f64,
+}
+
+/// The record of one request destroyed by a fault: its latent lived on a
+/// unit (or gang member) that died, and no DRAM checkpoint existed to
+/// resume from. Lost requests are the third terminal outcome next to
+/// completions and sheds — they count as SLO misses, and conservation
+/// extends to `served + shed + lost == arrivals`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LostRecord {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Benchmark model (per-class lost-rate accounting).
+    pub model: ModelKind,
+    /// When the fault destroyed the request (ms).
+    pub at_ms: f64,
+    /// Denoising steps of progress destroyed with the latent.
+    pub steps_lost: usize,
 }
 
 #[cfg(test)]

@@ -474,6 +474,70 @@ impl Instance {
         stamps
     }
 
+    /// Fault-path drain: this instance just died. Running requests whose
+    /// latents were previously checkpointed to DRAM requeue with
+    /// `steps_done` rolled back to the checkpoint — nothing is billed,
+    /// the spill was already priced when the checkpoint was taken — and
+    /// the rest are destroyed (returned for lost accounting). The active
+    /// weight pin is released so teardown leaves nothing pinned.
+    pub(crate) fn drain_running_lost(
+        &mut self,
+        queue: &mut ReadyQueue,
+        ctx: &SchedContext,
+        at_ms: f64,
+    ) -> (Vec<(u64, f64)>, Vec<Request>) {
+        if let Some(model) = self.active_model {
+            self.gsc.set_pinned(self.weight_obj(model), false);
+        }
+        let mut requeued = Vec::new();
+        let mut lost = Vec::new();
+        for mut r in std::mem::take(&mut self.running) {
+            match r.checkpointed_steps {
+                Some(step) => {
+                    r.steps_done = step;
+                    r.preemptions += 1;
+                    self.preemptions += 1;
+                    r.parked_on = None;
+                    r.ready_ms = at_ms;
+                    requeued.push((r.id, at_ms));
+                    queue.push(r, ctx);
+                }
+                None => lost.push(r),
+            }
+        }
+        (requeued, lost)
+    }
+
+    /// Opt-in periodic latent checkpointing: every running request whose
+    /// step count just crossed a multiple of `every_steps` spills its
+    /// latent to DRAM — a priced one-way transfer on this instance's
+    /// clock — and records the checkpointed step, bounding what a later
+    /// crash can destroy. Returns `(spills, bytes)` for fault reporting.
+    pub(crate) fn checkpoint_running(
+        &mut self,
+        ctx: &SchedContext,
+        every_steps: usize,
+    ) -> (usize, u64) {
+        let every = every_steps.max(1);
+        let mut spills = 0usize;
+        let mut bytes = 0u64;
+        for i in 0..self.running.len() {
+            let r = self.running[i];
+            if r.steps_done > 0
+                && r.steps_done.is_multiple_of(every)
+                && r.checkpointed_steps != Some(r.steps_done)
+            {
+                let latent_bytes = ctx.info(r.model).latent_bytes;
+                self.latent_transfer(latent_bytes, ctx);
+                self.latent_spills += 1;
+                self.running[i].checkpointed_steps = Some(r.steps_done);
+                spills += 1;
+                bytes += latent_bytes;
+            }
+        }
+        (spills, bytes)
+    }
+
     /// Parks one running request at this iteration boundary. The latent
     /// goes to the *least-GSC-pressured* member of this unit — among the
     /// members that can actually house it (leader or `peers` follower,

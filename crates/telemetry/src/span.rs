@@ -3,10 +3,11 @@
 //! Every request moves through the chain *arrival → admission decision
 //! (admit / shed / degrade) → enqueue → batch-join → per-iteration
 //! boundary → park/resume → migration → completion*; each transition is
-//! one [`SpanRecord`] stamped with the simulated time it fired at. Sheds
-//! and completions are the only terminal events, so a well-formed chain
-//! has exactly one [`RequestEvent::Arrival`] and exactly one terminal —
-//! the conservation property the telemetry tests assert.
+//! one [`SpanRecord`] stamped with the simulated time it fired at. Sheds,
+//! completions, and fault losses are the only terminal events, so a
+//! well-formed chain has exactly one [`RequestEvent::Arrival`] and
+//! exactly one terminal — the conservation property the telemetry tests
+//! assert.
 
 /// One transition in a request's lifecycle. Instance ids identify the
 /// scheduling-unit member the transition happened on (the unit leader for
@@ -51,6 +52,9 @@ pub enum RequestEvent {
     },
     /// A placement migration drained the request back into the queue.
     Migrated,
+    /// An injected fault destroyed the request: its latent lived on dead
+    /// hardware and no DRAM checkpoint covered it (terminal).
+    Lost,
     /// The request finished its final iteration (terminal).
     Completed {
         /// Leader instance id of the completing unit.
@@ -61,7 +65,10 @@ pub enum RequestEvent {
 impl RequestEvent {
     /// Whether this event ends the request's chain.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, RequestEvent::Shed | RequestEvent::Completed { .. })
+        matches!(
+            self,
+            RequestEvent::Shed | RequestEvent::Completed { .. } | RequestEvent::Lost
+        )
     }
 
     /// Short stable label (Chrome-trace event names, debugging).
@@ -77,6 +84,7 @@ impl RequestEvent {
             RequestEvent::Parked { .. } => "parked",
             RequestEvent::Resumed { .. } => "resumed",
             RequestEvent::Migrated => "migrated",
+            RequestEvent::Lost => "lost",
             RequestEvent::Completed { .. } => "completed",
         }
     }
@@ -105,6 +113,8 @@ mod tests {
     fn terminals_and_labels() {
         assert!(RequestEvent::Shed.is_terminal());
         assert!(RequestEvent::Completed { instance: 3 }.is_terminal());
+        assert!(RequestEvent::Lost.is_terminal());
+        assert_eq!(RequestEvent::Lost.label(), "lost");
         for e in [
             RequestEvent::Arrival,
             RequestEvent::Admitted,

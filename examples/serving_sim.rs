@@ -31,16 +31,29 @@
 //! `EXION_SERVE_FLEET_ARRIVALS=<n>` additionally appends the fleet-scale
 //! point (102 scheduling units, `n` lazily streamed arrivals) to that
 //! document — the committed file carries `n = 1_000_000`.
+//! `EXION_SERVE_CHAOS_ARRIVALS=<n>` additionally appends the chaos point
+//! (the mixed fleet under a seeded crash plan with checkpointing).
+//! `EXION_SERVE_FAULTS=<spec>` injects a fault plan into every scenario
+//! this example builds itself (the load sweeps, the policy/preemption
+//! comparisons, and the traced scenario of whichever mode is selected):
+//! a comma-separated `key=value` list (`crashes=2,seed=7,mtbf_ms=900`,
+//! or a directed `unit=0,at_ms=600,repair_ms=300`, optionally
+//! `member=<m>`, plus `degrade=<x>,degrade_ms=<w>`) or a bare preset
+//! name (`midpoint-crash`, `member-loss`, `ring-degrade`). The chaos
+//! comparison section (faults on vs off at matched load) always runs in
+//! the default mode.
 
 use exion::serve::{
-    admission, chrome_trace_json, policy, MemorySink, Placement, PlacementPlanner, PlannerConfig,
-    ServeConfig, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+    admission, chrome_trace_json, policy, FaultPlan, MemorySink, Placement, PlacementPlanner,
+    PlannerConfig, ServeConfig, ServeConfigBuilder, ServeSimulator, TraceConfig, TrafficPattern,
+    WorkloadMix,
 };
 use exion::sim::config::HwConfig;
 use exion::sim::partition::PartitionStrategy;
 use exion_bench::experiments::serve_sweep::{
-    admission_comparison, deep_backlog_point, fleet_scale_point, goodput_crossover,
-    perf_trajectory, perf_trajectory_json, planner_comparison, sharding_comparison,
+    admission_comparison, chaos_comparison, chaos_point, deep_backlog_point, fleet_scale_point,
+    goodput_crossover, perf_trajectory, perf_trajectory_json, planner_comparison,
+    sharding_comparison,
 };
 use exion_model::config::ModelKind;
 
@@ -50,6 +63,76 @@ fn horizon_ms() -> f64 {
         .and_then(|v| v.parse::<f64>().ok())
         .map(|v| v.max(100.0))
         .unwrap_or(4_000.0)
+}
+
+/// `EXION_SERVE_FAULTS=<spec>`: the fault plan every example-built
+/// scenario runs under (`None` when the knob is unset — the default,
+/// byte-identical to a build without the fault subsystem).
+fn fault_plan_from_env(horizon_ms: f64) -> Option<FaultPlan> {
+    let spec = std::env::var("EXION_SERVE_FAULTS").ok()?;
+    let plan = FaultPlan::from_env_spec(&spec, horizon_ms)
+        .unwrap_or_else(|e| panic!("EXION_SERVE_FAULTS: {e}"));
+    (!plan.is_empty()).then_some(plan)
+}
+
+/// Applies the `EXION_SERVE_FAULTS` plan (if any) to a config under
+/// construction.
+fn with_env_faults(builder: ServeConfigBuilder, horizon_ms: f64) -> ServeConfigBuilder {
+    match fault_plan_from_env(horizon_ms) {
+        Some(plan) => builder.fault_plan(plan),
+        None => builder,
+    }
+}
+
+/// Prints a run's fault accounting and asserts the extended conservation
+/// law (`served + shed + lost == arrivals`) the chaos CI smoke pins.
+fn report_chaos(report: &exion::serve::ServeReport) {
+    assert_eq!(
+        report.completed + report.shed_requests + report.lost_requests,
+        report.arrivals,
+        "conservation: every released arrival must be served, shed, or lost"
+    );
+    let Some(f) = &report.fault else {
+        return;
+    };
+    println!(
+        "  chaos: {} injected ({} noop) | {} lost | {} checkpoint-recovered | \
+         {} re-plan(s) | {} recovered (mean {:.0} ms) | SLO under failure {:.1}%",
+        f.faults_injected,
+        f.faults_noop,
+        f.lost_requests,
+        f.checkpointed_recoveries,
+        f.replans_triggered,
+        f.recoveries,
+        f.mean_time_to_recover_ms,
+        100.0 * f.attainment_under_failure,
+    );
+}
+
+/// Chaos comparison: SLO attainment with faults on vs off at matched
+/// load, replicated x2 vs one TP=2 gang. Replicas degrade gracefully; a
+/// gang losing one member loses the whole gang's capacity until repair.
+fn chaos_section(horizon_ms: f64) {
+    println!(
+        "== EXION4 | fault injection at 60% load (text-to-video, one \
+         instance lost mid-horizon)"
+    );
+    for c in chaos_comparison(&HwConfig::exion4(), Some(horizon_ms)) {
+        let f = c.faulted.fault.clone().unwrap_or_default();
+        println!(
+            "  {:>14} | no faults: SLO {:>5.1}% goodput {:>5.2} rps | {}: \
+             SLO {:>5.1}% (in-window {:>5.1}%) | {} lost, {} requeued",
+            c.label,
+            100.0 * c.baseline.slo_attainment,
+            c.baseline.goodput_rps,
+            c.fault,
+            100.0 * c.faulted.slo_attainment,
+            100.0 * f.attainment_under_failure,
+            f.lost_requests,
+            f.records.iter().map(|r| r.requeued).sum::<usize>(),
+        );
+        report_chaos(&c.faulted);
+    }
 }
 
 /// Replicated-vs-sharded comparison: two whole-model replicas vs one TP=2
@@ -274,7 +357,7 @@ fn maybe_export_chrome_trace(horizon_ms: f64, mode: &str) {
         ),
     };
     let mut sink = MemorySink::new();
-    let mut sim = ServeSimulator::new(config.build());
+    let mut sim = ServeSimulator::new(with_env_faults(config, horizon_ms).build());
     let report = sim.run_traced(&trace, &mut sink);
     let json = chrome_trace_json(&sink);
     std::fs::write(&path, &json).expect("write Chrome trace");
@@ -288,6 +371,22 @@ fn maybe_export_chrome_trace(horizon_ms: f64, mode: &str) {
         report.arrivals,
         profile.sim_ms_per_wall_ms(),
     );
+    report_chaos(&report);
+    if fault_plan_from_env(horizon_ms).is_some() {
+        // The CI chaos smoke pins this: the traced scenario is busy at
+        // every mode's fault times, so the plan must actually kill
+        // something (a plan that only no-ops means the knob is wired to
+        // nothing).
+        let f = report.fault.as_ref().expect("chaos run carries a report");
+        assert!(
+            f.faults_injected > 0,
+            "EXION_SERVE_FAULTS fired only no-ops against the traced scenario"
+        );
+        assert!(
+            sink.instants.iter().any(|i| i.name == "fault"),
+            "injected faults must appear as trace instants"
+        );
+    }
 }
 
 /// `EXION_SERVE_BENCH=<path>`: self-meter the standard perf-trajectory
@@ -315,6 +414,16 @@ fn maybe_export_bench(horizon_ms: f64) {
             .parse()
             .expect("EXION_SERVE_FLEET_ARRIVALS must be an integer");
         points.push(fleet_scale_point(90, 12, target));
+    }
+    // `EXION_SERVE_CHAOS_ARRIVALS=<n>`: append the chaos point — the
+    // mixed fleet under a seeded crash plan with periodic latent
+    // checkpointing, pricing teardown drains, out-of-cadence re-plans,
+    // and recovery refills into the metered wall clock.
+    if let Ok(n) = std::env::var("EXION_SERVE_CHAOS_ARRIVALS") {
+        let target: usize = n
+            .parse()
+            .expect("EXION_SERVE_CHAOS_ARRIVALS must be an integer");
+        points.push(chaos_point(target));
     }
     std::fs::write(&path, perf_trajectory_json(&points)).expect("write BENCH_serve.json");
     println!(
@@ -370,7 +479,8 @@ fn main() {
     let load_fractions = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.5];
 
     for hw in [HwConfig::exion4(), HwConfig::exion24()] {
-        let mut sim = ServeSimulator::new(ServeConfig::new(hw));
+        let mut sim =
+            ServeSimulator::new(with_env_faults(ServeConfig::builder(hw), horizon_ms).build());
         let capacity = sim.capacity_estimate_rps(&mix);
         println!(
             "== {} | 1 instance, max batch {}, mixed multi-tenant traffic \
@@ -391,6 +501,7 @@ fn main() {
                 };
                 let report = sim.run(&trace);
                 println!("  load {:>3.0}% {}", 100.0 * frac, report.summary_line());
+                report_chaos(&report);
             }
         }
         println!();
@@ -404,8 +515,13 @@ fn main() {
     let hw = HwConfig::exion24();
     println!("== {} | policy comparison at 90% load", hw.name);
     for policy in policy::builtin_policies() {
-        let mut sim =
-            ServeSimulator::new(ServeConfig::builder(hw).policy_arc(policy.clone()).build());
+        let mut sim = ServeSimulator::new(
+            with_env_faults(
+                ServeConfig::builder(hw).policy_arc(policy.clone()),
+                horizon_ms,
+            )
+            .build(),
+        );
         let capacity = sim.capacity_estimate_rps(&mix);
         let trace = TraceConfig {
             pattern: TrafficPattern::Poisson {
@@ -438,7 +554,9 @@ fn main() {
     );
     let mut urgent_p95 = Vec::new();
     for name in ["edf", "preemptive-edf"] {
-        let mut sim = ServeSimulator::new(ServeConfig::builder(hw).policy_name(name).build());
+        let mut sim = ServeSimulator::new(
+            with_env_faults(ServeConfig::builder(hw).policy_name(name), horizon_ms).build(),
+        );
         let capacity = sim.capacity_estimate_rps(&mix);
         let trace = TraceConfig {
             pattern: TrafficPattern::Bursty {
@@ -491,6 +609,12 @@ fn main() {
     // the diurnal ramp's realized load diverges from its forecast.
     println!();
     planned_comparison(horizon_ms);
+
+    // Fault injection: the same trace with faults on and off, replicated
+    // vs TP=2 — replicas degrade gracefully, a gang losing one member
+    // loses the whole gang's capacity until repair.
+    println!();
+    chaos_section(horizon_ms);
 
     println!();
     maybe_export_chrome_trace(horizon_ms, "default");
