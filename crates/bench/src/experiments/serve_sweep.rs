@@ -34,8 +34,9 @@
 use exion_model::config::{ModelConfig, ModelKind};
 use exion_serve::telemetry::json::{push_f64, push_str};
 use exion_serve::{
-    admission, policy, FaultPlan, Placement, PlacementPlanner, PlannerConfig, RunProfile,
-    ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+    admission, policy, FaultPlan, MissCause, Phase, Placement, PlacementPlanner, PlannerConfig,
+    RunProfile, ServeConfig, ServeReport, ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+    PHASES,
 };
 use exion_sim::config::HwConfig;
 use exion_sim::partition::PartitionStrategy;
@@ -709,6 +710,59 @@ pub fn chaos_comparison(hw: &HwConfig, horizon_cap_ms: Option<f64>) -> Vec<Chaos
     .collect()
 }
 
+/// One placement's row of the attribution comparison: where requests
+/// spend their time with the fault plan off vs on, over identical traces.
+#[derive(Debug, Clone)]
+pub struct AttributionComparison {
+    /// Human-readable placement label.
+    pub label: String,
+    /// What fails (the fault plan's own description).
+    pub fault: String,
+    /// Phase shares of the fault-free run (sums to 1).
+    pub baseline_mix: [f64; PHASES],
+    /// Phase shares of the same trace under the fault plan.
+    pub faulted_mix: [f64; PHASES],
+    /// The fault-free run's p95-tail bottleneck phase.
+    pub baseline_dominant: Option<Phase>,
+    /// The faulted run's p95-tail bottleneck phase.
+    pub faulted_dominant: Option<Phase>,
+    /// Classified miss causes of the faulted run (indexed by
+    /// [`MissCause::ALL`] order).
+    pub faulted_miss_causes: [u64; 5],
+}
+
+/// Latency attribution under failure: the [`chaos_comparison`] runs
+/// (crash vs gang-member loss at 60% load over identical traces) read
+/// through the attribution plane. The fault-free baselines spend nothing
+/// in the fault phases; the faulted runs shift their mix into fault-stall
+/// (and their misses into the `fault` cause), quantifying *where* the
+/// failure's latency actually lands rather than just how much SLO it
+/// costs.
+pub fn attribution_comparison(
+    hw: &HwConfig,
+    horizon_cap_ms: Option<f64>,
+) -> Vec<AttributionComparison> {
+    chaos_comparison(hw, horizon_cap_ms)
+        .into_iter()
+        .map(|c| {
+            let base = c
+                .baseline
+                .attribution
+                .expect("attribution is on by default");
+            let faulted = c.faulted.attribution.expect("attribution is on by default");
+            AttributionComparison {
+                label: c.label,
+                fault: c.fault,
+                baseline_mix: base.phase_mix(),
+                faulted_mix: faulted.phase_mix(),
+                baseline_dominant: base.dominant_p95,
+                faulted_dominant: faulted.dominant_p95,
+                faulted_miss_causes: faulted.miss_causes,
+            }
+        })
+        .collect()
+}
+
 /// One self-metered point of the serving perf trajectory: a standard
 /// scenario plus the [`RunProfile`] its run left behind.
 #[derive(Debug, Clone)]
@@ -719,6 +773,11 @@ pub struct PerfPoint {
     pub arrivals: usize,
     /// The run's self-metering.
     pub profile: RunProfile,
+    /// Where the scenario's requests spent their time: each phase's share
+    /// of the aggregate latency breakdown (sums to 1 when traffic ran).
+    /// Fully deterministic, so `BENCH_serve.json` rows double as a phase-
+    /// mix regression gate next to the wall-clock trajectory.
+    pub phase_mix: [f64; PHASES],
 }
 
 /// The four standard perf-trajectory scenarios at `horizon_ms`: the
@@ -797,10 +856,16 @@ fn meter_scenario(scenario: &'static str, config: ServeConfig, trace: &TraceConf
     let mut sim = ServeSimulator::new(config);
     let report = sim.run(trace);
     let profile = *sim.last_run_profile().expect("run leaves a profile");
+    let phase_mix = report
+        .attribution
+        .as_ref()
+        .map(|a| a.phase_mix())
+        .unwrap_or([0.0; PHASES]);
     PerfPoint {
         scenario,
         arrivals: report.arrivals,
         profile,
+        phase_mix,
     }
 }
 
@@ -917,7 +982,7 @@ pub fn chaos_point(target_arrivals: usize) -> PerfPoint {
 /// per scenario with the simulated work done and the wall-clock it cost
 /// (hand-written JSON — the workspace carries no JSON dependency).
 pub fn perf_trajectory_json(points: &[PerfPoint]) -> String {
-    let mut out = String::from("{\"bench\":\"serve\",\"schema\":2,\"points\":[");
+    let mut out = String::from("{\"bench\":\"serve\",\"schema\":3,\"points\":[");
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -941,7 +1006,16 @@ pub fn perf_trajectory_json(points: &[PerfPoint]) -> String {
         ));
         out.push_str(",\"sim_ms_per_wall_ms\":");
         push_f64(&mut out, p.profile.sim_ms_per_wall_ms());
-        out.push('}');
+        // The deterministic phase mix (indexed by `Phase::ALL` order):
+        // the regression gate reads these shares next to the wall clock.
+        out.push_str(",\"phase_mix\":[");
+        for (j, &share) in p.phase_mix.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_f64(&mut out, share);
+        }
+        out.push_str("]}");
     }
     out.push_str("]}");
     out
@@ -1252,6 +1326,61 @@ pub fn run() -> String {
         .collect();
     out.push_str(&render_table(
         &["placement", "fault", "SLO", "SLO@fault", "lost", "goodput"],
+        &rows,
+    ));
+
+    out.push_str(
+        "\nLatency attribution under failure (same chaos runs, phase shares):\n\
+         (the fault's latency lands in fault-stall; misses classify as `fault`)\n",
+    );
+    let rows: Vec<Vec<String>> = attribution_comparison(&HwConfig::exion4(), None)
+        .iter()
+        .flat_map(|c| {
+            [
+                ("none", &c.baseline_mix, c.baseline_dominant, None),
+                (
+                    c.fault.as_str(),
+                    &c.faulted_mix,
+                    c.faulted_dominant,
+                    Some(&c.faulted_miss_causes),
+                ),
+            ]
+            .into_iter()
+            .map(|(fault, mix, dominant, causes)| {
+                let share = |p: Phase| pct(mix[p.index()]);
+                vec![
+                    c.label.clone(),
+                    fault.to_string(),
+                    share(Phase::Queue),
+                    share(Phase::Compute),
+                    share(Phase::Collective),
+                    share(Phase::FaultStall),
+                    dominant.map_or("-".to_string(), |p| p.label().to_string()),
+                    causes.map_or("-".to_string(), |cs| {
+                        MissCause::ALL
+                            .iter()
+                            .zip(cs)
+                            .filter(|(_, &n)| n > 0)
+                            .map(|(cause, n)| format!("{} x{n}", cause.label()))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    }),
+                ]
+            })
+            .collect::<Vec<_>>()
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "placement",
+            "fault",
+            "queue",
+            "compute",
+            "coll",
+            "stall",
+            "p95 bottleneck",
+            "miss causes",
+        ],
         &rows,
     ));
 
@@ -1672,11 +1801,58 @@ mod tests {
             .find(|p| p.scenario == "planned_diurnal_exion4")
             .unwrap();
         assert!(planned.profile.planner_calls >= 1);
+        // Every standard scenario runs traffic, so every phase mix is a
+        // genuine distribution: the deterministic regression gate reads
+        // these shares out of BENCH_serve.json.
+        for p in &points {
+            let sum: f64 = p.phase_mix.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{}: phase mix sums to {sum}",
+                p.scenario
+            );
+            assert!(p.phase_mix.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        }
         let json = perf_trajectory_json(&points);
         assert!(exion_serve::telemetry::json::is_well_formed(&json));
-        assert!(json.contains("\"schema\":2"));
+        assert!(json.contains("\"schema\":3"));
         assert!(json.contains("\"sim_ms_per_wall_ms\""));
         assert!(json.contains("\"events_executed\""));
         assert!(json.contains("\"peak_calendar_events\""));
+        assert!(json.contains("\"phase_mix\":["));
+    }
+
+    #[test]
+    fn attribution_comparison_lands_fault_latency_in_fault_stall() {
+        let rows = attribution_comparison(&HwConfig::exion4(), Some(1_200.0));
+        assert_eq!(rows.len(), 2);
+        for c in &rows {
+            let sum: f64 = c.baseline_mix.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: baseline mix", c.label);
+            let sum: f64 = c.faulted_mix.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: faulted mix", c.label);
+            // Fault-free runs spend nothing in the fault phases.
+            assert_eq!(c.baseline_mix[Phase::FaultStall.index()], 0.0);
+            assert_eq!(c.baseline_mix[Phase::DegradedWindow.index()], 0.0);
+            // The injected failure must actually land latency in
+            // fault-stall — the share the chaos CI smoke asserts on.
+            assert!(
+                c.faulted_mix[Phase::FaultStall.index()] > 0.0,
+                "{} under {}: no fault-stall share",
+                c.label,
+                c.fault
+            );
+            // Any faulted-run misses beyond the baseline's classify as
+            // fault-caused for this mid-horizon outage.
+            let fault_misses = c.faulted_miss_causes[MissCause::Fault.index()];
+            let total: u64 = c.faulted_miss_causes.iter().sum();
+            assert!(
+                total == 0 || fault_misses > 0,
+                "{} under {}: misses {:?} never classify as fault",
+                c.label,
+                c.fault,
+                c.faulted_miss_causes
+            );
+        }
     }
 }

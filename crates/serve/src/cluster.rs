@@ -31,11 +31,12 @@ use exion_sim::partition::PartitionStrategy;
 use exion_sim::perf::SimAblation;
 use exion_sim::residency::EvictionPolicy;
 use exion_telemetry::{
-    InstantMarker, LogHistogram, NullSink, RequestEvent, Sink, SliceKind, SpanRecord, StopWatch,
-    TimelineSlice,
+    CounterSample, InstantMarker, LogHistogram, NullSink, RequestEvent, Sink, SliceKind,
+    SpanRecord, StopWatch, TimelineSlice,
 };
 
 use crate::admission::{self, AdmissionController, AdmissionDecision, AdmissionView, AdmitAll};
+use crate::attribution::{AttributionBuilder, AttributionReport};
 use crate::calendar::{EventCalendar, EventKind};
 use crate::cost::CostModel;
 use crate::fault::{CheckpointPolicy, FaultKind, FaultPlan, FaultSpec};
@@ -195,6 +196,11 @@ pub struct ServeConfig {
     /// transfer), so a later fault requeues it from the checkpoint
     /// instead of losing it. `None` (the default) checkpoints nothing.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Whether the run accumulates per-request latency attribution into
+    /// [`ServeReport::attribution`] (on by default). Attribution is a
+    /// pure observer — disabling it changes memory footprint only, never
+    /// simulation outcomes; the golden-fingerprint tests pin that.
+    pub attribution: bool,
 }
 
 impl ServeConfig {
@@ -220,6 +226,7 @@ impl ServeConfig {
             stats_interval_ms: None,
             fault_plan: FaultPlan::empty(),
             checkpoint: None,
+            attribution: true,
         }
     }
 }
@@ -365,6 +372,15 @@ impl ServeConfigBuilder {
     /// checkpoint instead of losing it.
     pub fn checkpoint_every(mut self, steps: usize) -> Self {
         self.inner.checkpoint = Some(CheckpointPolicy::every(steps));
+        self
+    }
+
+    /// Toggles per-request latency attribution (on by default). Turning
+    /// it off drops [`ServeReport::attribution`] — useful for
+    /// memory-constrained fleet-scale sweeps — and changes nothing else:
+    /// attribution never feeds back into the simulation.
+    pub fn attribution(mut self, enabled: bool) -> Self {
+        self.inner.attribution = enabled;
         self
     }
 
@@ -582,6 +598,65 @@ fn degraded_placement(placement: &Placement, slowdown: f64) -> Placement {
     p
 }
 
+/// Per-unit attribution clock: the facts the [`AttributionBuilder`] needs
+/// that the simulation does not hand over directly. Tracks the unit's
+/// previous boundary instant (the batch-join "door floor") and running
+/// collective / refill-stall milliseconds, derived incrementally from the
+/// gang's cumulative counters after each executed iteration. Pure
+/// observation — nothing here is read by the scheduler.
+#[derive(Debug, Clone)]
+struct UnitAttrib {
+    /// The unit's previous boundary event instant (ms).
+    prev_boundary_ms: f64,
+    /// Cumulative collective milliseconds attributed so far.
+    coll_ms: f64,
+    /// Cumulative refill-stall milliseconds attributed so far.
+    refill_ms: f64,
+    /// Last observed [`Gang::collective_totals`] milliseconds.
+    coll_total_prev: f64,
+    /// Last observed per-member refill byte counters.
+    refill_prev: Vec<u64>,
+}
+
+impl UnitAttrib {
+    fn new(unit: &Gang) -> Self {
+        Self {
+            prev_boundary_ms: unit.now_ms(),
+            coll_ms: 0.0,
+            refill_ms: 0.0,
+            coll_total_prev: unit.collective_totals().0,
+            refill_prev: unit
+                .members
+                .iter()
+                .map(|m| m.refill_bytes_so_far())
+                .collect(),
+        }
+    }
+
+    /// Folds one executed iteration (`iter_start` to the unit's clock)
+    /// into the running stall counters: the collective delta clamps to
+    /// the iteration, and the refill stall is the slowest member's
+    /// transfer time for its fresh refill bytes, clamped to what the
+    /// iteration has left after collectives.
+    fn after_iteration(&mut self, unit: &Gang, ctx: &SchedContext, iter_start: f64) {
+        let dur = (unit.now_ms() - iter_start).max(0.0);
+        let coll_total = unit.collective_totals().0;
+        let coll_delta = (coll_total - self.coll_total_prev).clamp(0.0, dur);
+        self.coll_total_prev = coll_total;
+        self.coll_ms += coll_delta;
+        let mut refill_stall: f64 = 0.0;
+        for (slot, m) in unit.members.iter().enumerate() {
+            let bytes = m.refill_bytes_so_far();
+            let delta = bytes.saturating_sub(self.refill_prev[slot]);
+            self.refill_prev[slot] = bytes;
+            if delta > 0 {
+                refill_stall = refill_stall.max(ctx.transfer_ms(delta));
+            }
+        }
+        self.refill_ms += refill_stall.min((dur - coll_delta).max(0.0));
+    }
+}
+
 /// Applies a fault's destruction semantics to a unit already marked dead:
 /// drains its batch (checkpointed requests requeue with their steps
 /// rolled back, the rest are lost) and resolves every queued request
@@ -599,9 +674,12 @@ fn teardown_dead_unit(
     drains_total: &mut u64,
     inflight_rows: &mut i64,
     losts: &mut Vec<LostRecord>,
+    unit_stalls: (f64, f64),
+    attrib: &mut Option<AttributionBuilder>,
     sink: &mut dyn Sink,
     traced: bool,
 ) -> (usize, usize) {
+    let (ua_coll, ua_refill) = unit_stalls;
     let out = unit.drain_for_migration(queue, ctx, at_ms);
     let mut requeued = out.requeued.len();
     let mut lost = out.lost.len();
@@ -609,6 +687,9 @@ fn teardown_dead_unit(
     *inflight_rows -= (out.requeued.len() + out.lost.len()) as i64;
     for &(id, t) in &out.requeued {
         depth.stamp(t, 1);
+        if let Some(ab) = attrib.as_mut() {
+            ab.fault_requeue(id, t, ua_coll, ua_refill);
+        }
         if traced {
             let model = queue.get(id).map(|r| r.model.name()).unwrap_or("unknown");
             sink.span(SpanRecord {
@@ -626,6 +707,9 @@ fn teardown_dead_unit(
             at_ms,
             steps_lost: r.steps_done,
         });
+        if let Some(ab) = attrib.as_mut() {
+            ab.lost(r.id, at_ms);
+        }
         if traced {
             sink.span(SpanRecord {
                 at_ms,
@@ -655,6 +739,9 @@ fn teardown_dead_unit(
                     r.parked_on = None;
                     r.ready_ms = r.ready_ms.max(at_ms);
                     requeued += 1;
+                    if let Some(ab) = attrib.as_mut() {
+                        ab.fault_requeue(r.id, at_ms, ua_coll, ua_refill);
+                    }
                     queue.push(r, ctx);
                 }
                 None => {
@@ -666,6 +753,9 @@ fn teardown_dead_unit(
                         at_ms,
                         steps_lost: r.steps_done,
                     });
+                    if let Some(ab) = attrib.as_mut() {
+                        ab.lost(r.id, at_ms);
+                    }
                     if traced {
                         sink.span(SpanRecord {
                             at_ms,
@@ -1058,6 +1148,18 @@ impl ServeSimulator {
         if traced {
             declare_unit_tracks(&units, sink);
         }
+        // Latency attribution: every released request accumulates a
+        // conserved phase breakdown. The builder and its per-unit clocks
+        // are pure observers — they read boundary instants and cumulative
+        // stall counters, and nothing in the loop reads them back — so the
+        // report is byte-identical with attribution on or off.
+        let mut attrib: Option<AttributionBuilder> =
+            self.config.attribution.then(AttributionBuilder::new);
+        let mut unit_attrib: Vec<UnitAttrib> = if attrib.is_some() {
+            units.iter().map(UnitAttrib::new).collect()
+        } else {
+            Vec::new()
+        };
 
         // Streaming latency/queue-delay histograms: completions are folded
         // in as they happen, so report percentiles never sort the full
@@ -1279,6 +1381,8 @@ impl ServeSimulator {
                         &mut drains_total,
                         &mut inflight_rows,
                         &mut losts,
+                        &mut unit_attrib,
+                        &mut attrib,
                         sink,
                         traced,
                     );
@@ -1317,6 +1421,10 @@ impl ServeSimulator {
                                     }
                                     _ => units[u].mark_all_dead(),
                                 }
+                                let unit_stalls = unit_attrib
+                                    .get(u)
+                                    .map(|a| (a.coll_ms, a.refill_ms))
+                                    .unwrap_or((0.0, 0.0));
                                 let (requeued, lost) = teardown_dead_unit(
                                     &mut units[u],
                                     &mut queue,
@@ -1326,6 +1434,8 @@ impl ServeSimulator {
                                     &mut drains_total,
                                     &mut inflight_rows,
                                     &mut losts,
+                                    unit_stalls,
+                                    &mut attrib,
                                     sink,
                                     traced,
                                 );
@@ -1356,6 +1466,9 @@ impl ServeSimulator {
                                 let death = units[u].now_ms().max(ev.at_ms);
                                 let recover_at = (ev.at_ms + repair_ms).max(death);
                                 degraded_windows.push((ev.at_ms, recover_at));
+                                if let Some(ab) = attrib.as_mut() {
+                                    ab.push_degraded_window(ev.at_ms, recover_at);
+                                }
                                 let auto_budget =
                                     planner_state.as_ref().map(|s| s.planner.config.budget);
                                 if let Some(budget) = auto_budget {
@@ -1373,6 +1486,9 @@ impl ServeSimulator {
                                         // converts to lost after the loop.
                                         let old = units.remove(u);
                                         retired.push((old, units_birth.remove(u), death));
+                                        if !unit_attrib.is_empty() {
+                                            unit_attrib.remove(u);
+                                        }
                                         calendar.unschedule_unit(u);
                                         stranded_at = Some(death);
                                         continue;
@@ -1410,6 +1526,8 @@ impl ServeSimulator {
                                         &mut drains_total,
                                         &mut inflight_rows,
                                         &mut losts,
+                                        &mut unit_attrib,
+                                        &mut attrib,
                                         sink,
                                         traced,
                                     );
@@ -1453,6 +1571,9 @@ impl ServeSimulator {
                                     retired.push((old, units_birth[u], death));
                                     units_birth[u] = recover_at;
                                     units[u].jump_to(recover_at);
+                                    if let Some(a) = unit_attrib.get_mut(u) {
+                                        *a = UnitAttrib::new(&units[u]);
+                                    }
                                     calendar.reschedule_unit(u, recover_at, EventKind::IdleWake);
                                     if traced {
                                         declare_unit_tracks(std::slice::from_ref(&units[u]), sink);
@@ -1470,6 +1591,9 @@ impl ServeSimulator {
                             } => {
                                 link_slowdown *= slowdown;
                                 degraded_windows.push((ev.at_ms, ev.at_ms + duration_ms));
+                                if let Some(ab) = attrib.as_mut() {
+                                    ab.push_degraded_window(ev.at_ms, ev.at_ms + duration_ms);
+                                }
                                 ctx = self.sched_context(
                                     &kinds,
                                     &degraded_placement(&placement, link_slowdown),
@@ -1551,6 +1675,8 @@ impl ServeSimulator {
                                         &mut drains_total,
                                         &mut inflight_rows,
                                         &mut losts,
+                                        &mut unit_attrib,
+                                        &mut attrib,
                                         sink,
                                         traced,
                                     );
@@ -1589,6 +1715,14 @@ impl ServeSimulator {
                         ev.at_ms.to_bits(),
                         "unit clock drifted from its scheduled event"
                     );
+                    // Attribution's batch-join "door floor": a request
+                    // admitted at this event could not have joined before
+                    // the unit's previous boundary — queue wait up to that
+                    // door, batch-join wait from it.
+                    let door_floor = match unit_attrib.get_mut(i) {
+                        Some(a) => std::mem::replace(&mut a.prev_boundary_ms, now),
+                        None => now,
+                    };
 
                     // Release arrivals up to this unit's clock, consulting the
                     // admission controller once per arrival. The decision fires at
@@ -1656,6 +1790,9 @@ impl ServeSimulator {
                                     model: r.model,
                                     at_ms: decided_at,
                                 });
+                                if let Some(ab) = attrib.as_mut() {
+                                    ab.shed(r.id, r.model, r.arrival_ms, r.slo_ms, decided_at);
+                                }
                                 if traced {
                                     sink.span(SpanRecord {
                                         at_ms: decided_at,
@@ -1666,6 +1803,9 @@ impl ServeSimulator {
                                 }
                                 continue;
                             }
+                        }
+                        if let Some(ab) = attrib.as_mut() {
+                            ab.admit(r.id, r.model, r.arrival_ms, r.slo_ms, decided_at);
                         }
                         depth.stamp(r.arrival_ms, 1);
                         enqueued_total += 1;
@@ -1755,6 +1895,15 @@ impl ServeSimulator {
                     }
                     for &(_, at_ms) in &outcome.admitted {
                         depth.stamp(at_ms, -1);
+                    }
+                    if let Some(ab) = attrib.as_mut() {
+                        let ua = &unit_attrib[i];
+                        for &(id, at_ms) in &outcome.parked {
+                            ab.park(id, at_ms, ua.coll_ms, ua.refill_ms);
+                        }
+                        for &(id, at_ms) in &outcome.admitted {
+                            ab.join(id, at_ms, door_floor, ua.coll_ms, ua.refill_ms);
+                        }
                     }
                     // A request parked on one unit may resume on another; release
                     // any latent copy the parking unit still holds (billing the
@@ -1900,6 +2049,44 @@ impl ServeSimulator {
                                 },
                             });
                         }
+                        // Counter tracks beside the slices: cluster queue
+                        // depth, this unit's in-flight rows, and its GSC
+                        // occupancy at the iteration end — the "why did
+                        // that busy slice stall" context in the export.
+                        sink.counter(CounterSample {
+                            instance: CounterSample::CLUSTER,
+                            at_ms: iter_end,
+                            name: "queue depth",
+                            value: queue.len() as f64,
+                        });
+                        sink.counter(CounterSample {
+                            instance: inst,
+                            at_ms: iter_end,
+                            name: "inflight rows",
+                            value: units[i].leader().running.len() as f64,
+                        });
+                        sink.counter(CounterSample {
+                            instance: inst,
+                            at_ms: iter_end,
+                            name: "gsc bytes",
+                            value: units[i].resident_bytes() as f64,
+                        });
+                    }
+                    if let Some(ab) = attrib.as_mut() {
+                        // Fold the executed iteration into the unit's
+                        // stall clocks, then close the finishers' in-batch
+                        // segments against the updated cumulatives.
+                        unit_attrib[i].after_iteration(&units[i], &ctx, iter_start);
+                        let ua = &unit_attrib[i];
+                        for c in &boundary_done {
+                            ab.complete(
+                                c.id,
+                                c.finished_ms,
+                                ua.coll_ms,
+                                ua.refill_ms,
+                                !c.within_slo(),
+                            );
+                        }
                     }
                     for c in &boundary_done {
                         latency_hist.record(c.latency_ms());
@@ -1942,6 +2129,9 @@ impl ServeSimulator {
                         at_ms,
                         steps_lost: r.steps_done,
                     });
+                    if let Some(ab) = attrib.as_mut() {
+                        ab.lost(r.id, at_ms);
+                    }
                     if traced {
                         sink.span(SpanRecord {
                             at_ms,
@@ -2036,6 +2226,7 @@ impl ServeSimulator {
             &placement,
             planner_state.map(|s| s.report),
             fault,
+            attrib.map(AttributionBuilder::finish),
             &latency_hist,
             &queue_hist,
             series_rec.into_series(),
@@ -2069,6 +2260,8 @@ impl ServeSimulator {
         drains_total: &mut u64,
         inflight_rows: &mut i64,
         losts: &mut Vec<LostRecord>,
+        unit_attrib: &mut Vec<UnitAttrib>,
+        attrib: &mut Option<AttributionBuilder>,
         sink: &mut dyn Sink,
         traced: bool,
     ) -> ReplanEvent {
@@ -2084,7 +2277,7 @@ impl ServeSimulator {
         // completed.
         let mut drained = 0usize;
         let mut t_start = t_floor;
-        for unit in units.iter_mut() {
+        for (u, unit) in units.iter_mut().enumerate() {
             let was_busy = !unit.is_idle() && !unit.any_dead();
             let drain_from = unit.now_ms();
             let out = unit.drain_for_migration(queue, ctx, t_floor);
@@ -2096,6 +2289,18 @@ impl ServeSimulator {
             }
             for &(_, at_ms) in &out.requeued {
                 depth.stamp(at_ms, 1);
+            }
+            if let Some(ab) = attrib.as_mut() {
+                let (ua_coll, ua_refill) = unit_attrib
+                    .get(u)
+                    .map(|a| (a.coll_ms, a.refill_ms))
+                    .unwrap_or((0.0, 0.0));
+                for &(id, at_ms) in &out.requeued {
+                    ab.drain_to_migration(id, at_ms, ua_coll, ua_refill);
+                }
+                for r in &out.lost {
+                    ab.lost(r.id, t_floor);
+                }
             }
             if traced {
                 let drain_ms = unit.now_ms() - drain_from;
@@ -2202,6 +2407,9 @@ impl ServeSimulator {
         for unit in units.iter_mut() {
             unit.jump_to(t_start);
         }
+        if attrib.is_some() {
+            *unit_attrib = units.iter().map(UnitAttrib::new).collect();
+        }
         if traced {
             declare_unit_tracks(units, sink);
         }
@@ -2231,6 +2439,7 @@ impl ServeSimulator {
         placement: &Placement,
         planner: Option<PlannerReport>,
         fault: Option<FaultReport>,
+        attribution: Option<AttributionReport>,
         latency_hist: &LogHistogram,
         queue_hist: &LogHistogram,
         series: Vec<MetricsSnapshot>,
@@ -2340,6 +2549,7 @@ impl ServeSimulator {
             collective_bytes: per_gang.iter().map(|g| g.collective_bytes).sum(),
             planner,
             fault,
+            attribution,
             series,
             per_gang,
             per_instance,

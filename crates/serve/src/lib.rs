@@ -72,7 +72,16 @@
 //!   trace-event JSON ([`chrome_trace_json`], loadable in Perfetto /
 //!   `chrome://tracing`); a run with a sink attached produces a report
 //!   identical to one without, and [`ServeSimulator::last_run_profile`]
-//!   self-meters the wall-clock cost of every run.
+//!   self-meters the wall-clock cost of every run;
+//! * [`attribution`] — latency attribution and SLO forensics: every
+//!   request accumulates a ten-phase [`PhaseBreakdown`] conserved to its
+//!   end-to-end latency by construction, aggregated in
+//!   [`ServeReport::attribution`][metrics::ServeReport::attribution] into
+//!   per-phase distributions, dominant-phase bottlenecks, a five-way
+//!   [`MissCause`] classification, and a worst-overshoot forensics
+//!   digest — a pure observer (on by default; the simulation is
+//!   byte-identical with it off) exportable as JSON via
+//!   [`attribution_json`].
 //!
 //! # Example
 //!
@@ -96,6 +105,7 @@
 //! ```
 
 pub mod admission;
+pub mod attribution;
 pub mod calendar;
 pub mod cluster;
 pub mod cost;
@@ -117,6 +127,10 @@ pub use exion_telemetry as telemetry;
 pub use admission::{
     AdmissionController, AdmissionDecision, AdmissionRegistry, AdmissionView, AdmitAll,
     DeadlineFeasibility,
+};
+pub use attribution::{
+    attribution_json, AttributionReport, MissCause, MissRecord, ModelAttribution, Phase,
+    PhaseBreakdown, RequestAttribution, RequestOutcome, PHASES,
 };
 pub use calendar::{Event, EventCalendar, EventKind};
 pub use cluster::{RunProfile, ServeConfig, ServeConfigBuilder, ServeSimulator};

@@ -439,6 +439,11 @@ pub struct ServeReport {
     pub planner: Option<PlannerReport>,
     /// Fault-injection accounting (`None` when the fault plan was empty).
     pub fault: Option<FaultReport>,
+    /// Latency attribution: per-request conserved phase breakdowns,
+    /// per-class phase histograms, bottleneck attribution, and the SLO
+    /// miss-forensics digest (`None` when disabled via
+    /// `ServeConfigBuilder::attribution(false)`).
+    pub attribution: Option<crate::attribution::AttributionReport>,
     /// Counter/gauge time-series: the cluster registry snapshotted at
     /// planner epoch boundaries (and at the configured
     /// `stats_interval_ms`, when set), in time order. Empty for static

@@ -9,6 +9,10 @@
 //!   inside their iteration's busy slice.
 //! - **pid 0, tid 0** — planner markers ([`InstantMarker`]) as global
 //!   instant (`ph: "i"`) events.
+//! - **pid 0 counter tracks** — [`CounterSample`] readings (queue depth,
+//!   GSC occupancy, in-flight rows) as counter (`ph: "C"`) events, one
+//!   named track per `(instance, counter)` pair, so Perfetto shows *why*
+//!   a busy slice stalled next to the slice itself.
 //! - **pid 1 "requests"** — each request's lifecycle as one async
 //!   nestable span (`ph: "b"` at arrival, `ph: "e"` at its terminal
 //!   shed/completion) with intermediate transitions as async instants
@@ -18,7 +22,7 @@
 //! milliseconds are scaled by 1000 on the way out.
 
 use crate::json::{push_f64, push_str};
-use crate::sink::MemorySink;
+use crate::sink::{CounterSample, MemorySink};
 use crate::span::RequestEvent;
 
 /// Scale from simulated ms to trace-format µs.
@@ -64,6 +68,24 @@ pub fn chrome_trace_json(sink: &MemorySink) -> String {
         out.push_str(&s.instance.to_string());
         out.push_str(",\"args\":{\"batch\":");
         out.push_str(&s.batch.to_string());
+        out.push_str("}}");
+    }
+
+    // Counter tracks. Chrome keys counter tracks by (pid, name), so the
+    // instance id is folded into the name to keep per-unit series apart;
+    // cluster-wide counters keep the bare name.
+    for c in &sink.counters {
+        sep(&mut out, &mut first);
+        out.push_str("{\"name\":");
+        if c.instance == CounterSample::CLUSTER {
+            push_str(&mut out, c.name);
+        } else {
+            push_str(&mut out, &format!("{} (inst {})", c.name, c.instance));
+        }
+        out.push_str(",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":");
+        push_f64(&mut out, c.at_ms * TS_SCALE);
+        out.push_str(",\"pid\":0,\"tid\":0,\"args\":{\"value\":");
+        push_f64(&mut out, c.value);
         out.push_str("}}");
     }
 
@@ -183,6 +205,18 @@ mod tests {
             name: "replan",
             detail: "replicated x2 -> tp2 gang x1".to_string(),
         });
+        sink.counter(CounterSample {
+            instance: CounterSample::CLUSTER,
+            at_ms: 2.0,
+            name: "queue depth",
+            value: 5.0,
+        });
+        sink.counter(CounterSample {
+            instance: 0,
+            at_ms: 2.0,
+            name: "gsc bytes",
+            value: 1.5e9,
+        });
         let json = chrome_trace_json(&sink);
         assert!(is_well_formed(&json), "{json}");
         assert!(json.contains("\"traceEvents\""));
@@ -190,6 +224,9 @@ mod tests {
         assert!(json.contains("\"ph\":\"b\""));
         assert!(json.contains("\"ph\":\"e\""));
         assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"queue depth\""));
+        assert!(json.contains("\"gsc bytes (inst 0)\""));
         assert!(json.contains("\"steps\":12"));
         // Simulated ms scale to µs timestamps.
         assert!(json.contains("\"ts\":6000"));

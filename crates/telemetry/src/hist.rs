@@ -143,6 +143,45 @@ impl LogHistogram {
         }
     }
 
+    /// Folds `other` into `self` bucket-by-bucket, so per-shard (e.g.
+    /// per-model) histograms roll up into a total without re-streaming
+    /// the samples. The merged histogram answers every query exactly as
+    /// if both sample streams had been recorded into one histogram:
+    /// counts, sum, min, and max add/meet exactly, and the bucket layout
+    /// is shared so percentile estimates are identical too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket layouts
+    /// (bucket count or range).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "merging histograms with different bucket counts"
+        );
+        assert!(
+            self.lo.to_bits() == other.lo.to_bits()
+                && self.growth.to_bits() == other.growth.to_bits(),
+            "merging histograms with different ranges: [{}, growth {}] vs [{}, growth {}]",
+            self.lo,
+            self.growth,
+            other.lo,
+            other.growth
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.under += other.under;
+        self.over += other.over;
+        self.count += other.count;
+        self.sum += other.sum;
+        // The empty sentinels (+inf min, -inf max) are identities of
+        // min/max, so merging an empty histogram is a no-op.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Nearest-rank percentile estimate for `q ∈ [0, 1]` (0.0 when
     /// empty). The under-range bucket answers with the exact minimum and
     /// the over-range bucket with the exact maximum; interior buckets
@@ -231,6 +270,75 @@ mod tests {
             assert!(p >= prev, "p{i} = {p} < {prev}");
             prev = p;
         }
+    }
+
+    #[test]
+    fn merge_is_identical_to_restreaming() {
+        // Split one deterministic stream across three shard histograms,
+        // merge them, and compare every statistic against a histogram
+        // that recorded the whole stream directly.
+        let mut shards = [
+            LogHistogram::default(),
+            LogHistogram::default(),
+            LogHistogram::default(),
+        ];
+        let mut reference = LogHistogram::default();
+        let mut x = 7u64;
+        for i in 0..3000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Spread across decades, including under-range zeros and an
+            // over-range spike so the edge buckets merge too.
+            let v = match i % 7 {
+                0 => 0.0,
+                1 => 1e9,
+                _ => ((x >> 30) % 1_000_000) as f64 / 53.0,
+            };
+            shards[i % 3].record(v);
+            reference.record(v);
+        }
+        let mut merged = LogHistogram::default();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.min().to_bits(), reference.min().to_bits());
+        assert_eq!(merged.max().to_bits(), reference.max().to_bits());
+        // Bucket occupancy is integral, so every percentile answer is
+        // bit-identical to the re-streamed histogram's.
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                merged.percentile(q).to_bits(),
+                reference.percentile(q).to_bits(),
+                "p{q}"
+            );
+        }
+        // The running sums accumulate in different orders, so the means
+        // agree to rounding, not necessarily to the last bit.
+        let (m, r) = (merged.mean(), reference.mean());
+        assert!((m - r).abs() <= 1e-9 * r.abs().max(1.0), "{m} vs {r}");
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_a_no_op() {
+        let mut h = LogHistogram::default();
+        h.record(5.0);
+        let before = h.clone();
+        h.merge(&LogHistogram::default());
+        assert_eq!(h, before);
+        // And merging *into* an empty one adopts the other side exactly.
+        let mut empty = LogHistogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket counts")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = LogHistogram::new(8, 1.0, 100.0);
+        let b = LogHistogram::new(16, 1.0, 100.0);
+        a.merge(&b);
     }
 
     #[test]

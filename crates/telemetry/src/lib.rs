@@ -35,5 +35,7 @@ pub use chrome::chrome_trace_json;
 pub use hist::LogHistogram;
 pub use profile::StopWatch;
 pub use registry::Registry;
-pub use sink::{InstantMarker, MemorySink, NullSink, Sink, SliceKind, TimelineSlice};
+pub use sink::{
+    CounterSample, InstantMarker, MemorySink, NullSink, Sink, SliceKind, TimelineSlice,
+};
 pub use span::{RequestEvent, SpanRecord};

@@ -53,6 +53,28 @@ pub struct TimelineSlice {
     pub batch: u32,
 }
 
+/// One reading of a named counter track (queue depth, GSC occupancy,
+/// in-flight rows) — the "why did that busy slice stall" context next to
+/// the timeline slices. Cluster-wide counters use
+/// [`CounterSample::CLUSTER`] as their instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterSample {
+    /// Instance the counter belongs to, or [`CounterSample::CLUSTER`]
+    /// for fleet-wide series (the shared queue depth).
+    pub instance: u32,
+    /// When the reading was taken (simulated ms).
+    pub at_ms: f64,
+    /// Counter name (`queue depth`, `gsc bytes`, `inflight rows`).
+    pub name: &'static str,
+    /// The reading.
+    pub value: f64,
+}
+
+impl CounterSample {
+    /// The pseudo-instance of cluster-wide counter tracks.
+    pub const CLUSTER: u32 = u32::MAX;
+}
+
 /// A point-in-time marker (planner re-plans, epoch boundaries).
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstantMarker {
@@ -85,6 +107,10 @@ pub trait Sink: std::fmt::Debug {
 
     /// A point-in-time marker.
     fn instant(&mut self, marker: InstantMarker);
+
+    /// A counter-track reading. Defaults to a no-op so existing sinks
+    /// (and sinks that only care about spans) need not opt in.
+    fn counter(&mut self, _sample: CounterSample) {}
 
     /// Declares (or renames) the display label of instance `instance`'s
     /// timeline track.
@@ -120,6 +146,8 @@ pub struct MemorySink {
     pub slices: Vec<TimelineSlice>,
     /// Point-in-time markers, in emission order.
     pub instants: Vec<InstantMarker>,
+    /// Counter-track readings, in emission order.
+    pub counters: Vec<CounterSample>,
     /// Declared `(instance, label)` track names (last declaration wins).
     pub tracks: Vec<(u32, String)>,
 }
@@ -132,7 +160,7 @@ impl MemorySink {
 
     /// Total recorded events across all channels.
     pub fn len(&self) -> usize {
-        self.spans.len() + self.slices.len() + self.instants.len()
+        self.spans.len() + self.slices.len() + self.instants.len() + self.counters.len()
     }
 
     /// Whether nothing was recorded.
@@ -161,6 +189,10 @@ impl Sink for MemorySink {
 
     fn instant(&mut self, marker: InstantMarker) {
         self.instants.push(marker);
+    }
+
+    fn counter(&mut self, sample: CounterSample) {
+        self.counters.push(sample);
     }
 
     fn declare_track(&mut self, instance: u32, name: String) {
@@ -218,7 +250,14 @@ mod tests {
             name: "replan",
             detail: "a -> b".to_string(),
         });
-        assert_eq!(sink.len(), 5);
+        sink.counter(CounterSample {
+            instance: CounterSample::CLUSTER,
+            at_ms: 1.5,
+            name: "queue depth",
+            value: 3.0,
+        });
+        assert_eq!(sink.len(), 6);
+        assert_eq!(sink.counters.len(), 1);
         let chain = sink.spans_of(7);
         assert_eq!(chain.len(), 3);
         assert!(chain.last().unwrap().event.is_terminal());

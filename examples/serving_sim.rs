@@ -21,6 +21,10 @@
 //! `EXION_SERVE_TRACE=<path>` additionally runs one representative traced
 //! scenario for the selected mode and writes its timeline as Chrome
 //! trace-event JSON to `<path>` (load in Perfetto or `chrome://tracing`).
+//! `EXION_SERVE_ATTRIB=<path>` writes the representative scenario's full
+//! latency-attribution report (per-request phase breakdowns, miss
+//! forensics) as JSON to `<path>`; the attribution table the example
+//! prints per mode comes from the same representative run.
 //! `EXION_SERVE_BENCH=<path>` self-meters the standard perf-trajectory
 //! scenarios and writes the `BENCH_serve.json` document to `<path>`
 //! (`EXION_SWEEP_THREADS=<k>` fans the independent scenario runs across
@@ -44,9 +48,9 @@
 //! the default mode.
 
 use exion::serve::{
-    admission, chrome_trace_json, policy, FaultPlan, MemorySink, Placement, PlacementPlanner,
-    PlannerConfig, ServeConfig, ServeConfigBuilder, ServeSimulator, TraceConfig, TrafficPattern,
-    WorkloadMix,
+    admission, attribution_json, chrome_trace_json, policy, FaultPlan, MemorySink, MissCause,
+    Phase, Placement, PlacementPlanner, PlannerConfig, ServeConfig, ServeConfigBuilder,
+    ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
 };
 use exion::sim::config::HwConfig;
 use exion::sim::partition::PartitionStrategy;
@@ -280,18 +284,15 @@ fn admission_section(horizon_ms: f64, subject: &str) {
     }
 }
 
-/// `EXION_SERVE_TRACE=<path>`: run one representative traced scenario for
-/// `mode` and dump its timeline as Chrome trace-event JSON. The traced
-/// run is dedicated (the comparisons above stay untraced), and telemetry
-/// is a pure observer, so the numbers printed elsewhere are unaffected.
-fn maybe_export_chrome_trace(horizon_ms: f64, mode: &str) {
-    let Ok(path) = std::env::var("EXION_SERVE_TRACE") else {
-        return;
-    };
+/// One representative scenario per example mode — the run the Chrome
+/// trace export, the attribution table, and the attribution JSON export
+/// all share, so the three observability surfaces describe the same
+/// simulated traffic.
+fn representative_scenario(horizon_ms: f64, mode: &str) -> (ServeConfigBuilder, TraceConfig) {
     let hw = HwConfig::exion4();
     let capacity = ServeSimulator::new(ServeConfig::new(hw))
         .capacity_estimate_rps(&WorkloadMix::multi_tenant());
-    let (config, trace) = match mode {
+    match mode {
         // Auto-placement over a diurnal ramp: re-plans show up as replan
         // instants and migration-drain slices.
         "planned" => (
@@ -355,7 +356,18 @@ fn maybe_export_chrome_trace(horizon_ms: f64, mode: &str) {
                 mix: WorkloadMix::multi_tenant(),
             },
         ),
+    }
+}
+
+/// `EXION_SERVE_TRACE=<path>`: run one representative traced scenario for
+/// `mode` and dump its timeline as Chrome trace-event JSON. The traced
+/// run is dedicated (the comparisons above stay untraced), and telemetry
+/// is a pure observer, so the numbers printed elsewhere are unaffected.
+fn maybe_export_chrome_trace(horizon_ms: f64, mode: &str) {
+    let Ok(path) = std::env::var("EXION_SERVE_TRACE") else {
+        return;
     };
+    let (config, trace) = representative_scenario(horizon_ms, mode);
     let mut sink = MemorySink::new();
     let mut sim = ServeSimulator::new(with_env_faults(config, horizon_ms).build());
     let report = sim.run_traced(&trace, &mut sink);
@@ -385,6 +397,100 @@ fn maybe_export_chrome_trace(horizon_ms: f64, mode: &str) {
         assert!(
             sink.instants.iter().any(|i| i.name == "fault"),
             "injected faults must appear as trace instants"
+        );
+    }
+}
+
+/// Prints a report's latency-attribution table: per-phase share of the
+/// aggregate breakdown with tail quantiles, the dominant bottleneck
+/// phases, classified miss causes, and the worst-overshoot forensics rows.
+fn print_attribution(report: &exion::serve::ServeReport) {
+    let Some(a) = &report.attribution else {
+        return;
+    };
+    println!(
+        "  latency attribution | {} requests, {} missed",
+        a.requests.len(),
+        a.missed_requests(),
+    );
+    let grand = a.totals.total_ms().max(1e-9);
+    for (phase, stats) in Phase::ALL.iter().zip(&a.phase_stats) {
+        let total = a.totals.get(*phase);
+        if total <= 0.0 {
+            continue;
+        }
+        println!(
+            "    {:>15} | {:>5.1}% of latency | p50 {:>8.2} ms | p95 {:>8.2} ms | \
+             max {:>8.2} ms",
+            phase.label(),
+            100.0 * total / grand,
+            stats.p50,
+            stats.p95,
+            stats.max,
+        );
+    }
+    if let (Some(p50), Some(p95)) = (a.dominant_p50, a.dominant_p95) {
+        println!(
+            "    bottleneck: {} dominates the median request, {} the p95 tail",
+            p50.label(),
+            p95.label(),
+        );
+    }
+    if let Some(missed) = a.missed_dominant_p95 {
+        println!(
+            "    missed requests spend their p95 tail in {}",
+            missed.label()
+        );
+    }
+    let causes: Vec<String> = MissCause::ALL
+        .iter()
+        .zip(&a.miss_causes)
+        .filter(|(_, &n)| n > 0)
+        .map(|(c, n)| format!("{} x{n}", c.label()))
+        .collect();
+    if !causes.is_empty() {
+        println!("    miss causes: {}", causes.join(", "));
+    }
+    for m in a.top_misses.iter().take(3) {
+        println!(
+            "    worst miss: request {} ({}) overshot its {:.0} ms SLO by {:>7.1} ms \
+             ({}, dominant {})",
+            m.id,
+            m.model.name(),
+            m.slo_ms,
+            m.overshoot_ms,
+            m.cause.label(),
+            m.dominant.map_or("-", |p| p.label()),
+        );
+    }
+}
+
+/// Attribution forensics for the selected mode: run the representative
+/// scenario (untraced — attribution needs no sink), print its phase
+/// table, and honor `EXION_SERVE_ATTRIB=<path>` by writing the full
+/// attribution report as JSON.
+fn attribution_section(horizon_ms: f64, mode: &str) {
+    let (config, trace) = representative_scenario(horizon_ms, mode);
+    let report = ServeSimulator::new(with_env_faults(config, horizon_ms).build()).run(&trace);
+    println!("== latency attribution | representative {mode:?} scenario");
+    print_attribution(&report);
+    report_chaos(&report);
+    if let Ok(path) = std::env::var("EXION_SERVE_ATTRIB") {
+        let attrib = report
+            .attribution
+            .as_ref()
+            .expect("attribution is on by default");
+        let json = attribution_json(attrib);
+        assert!(
+            exion::serve::telemetry::json::is_well_formed(&json),
+            "attribution export must be well-formed JSON"
+        );
+        std::fs::write(&path, &json).expect("write attribution JSON");
+        println!(
+            "  wrote attribution report for mode {mode:?} to {path}: {} requests, \
+             {} forensics rows",
+            attrib.requests.len(),
+            attrib.top_misses.len(),
         );
     }
 }
@@ -453,6 +559,7 @@ fn main() {
     if std::env::var("EXION_SERVE_MODE").as_deref() == Ok("sharded") {
         // CI sharded smoke: just the gang-scheduling path.
         sharded_comparison(horizon_ms);
+        attribution_section(horizon_ms, "sharded");
         maybe_export_chrome_trace(horizon_ms, "sharded");
         return;
     }
@@ -460,6 +567,7 @@ fn main() {
         // CI planner smoke: auto-placement (offline picks + online
         // re-planning) only.
         planned_comparison(horizon_ms);
+        attribution_section(horizon_ms, "planned");
         maybe_export_chrome_trace(horizon_ms, "planned");
         return;
     }
@@ -473,6 +581,7 @@ fn main() {
             admission::BUILTIN_ADMISSION_NAMES
         );
         admission_section(horizon_ms, &name);
+        attribution_section(horizon_ms, "admission");
         maybe_export_chrome_trace(horizon_ms, "admission");
         return;
     }
@@ -615,6 +724,11 @@ fn main() {
     // loses the whole gang's capacity until repair.
     println!();
     chaos_section(horizon_ms);
+
+    // Latency attribution: where the representative scenario's requests
+    // actually spend their time, and what the misses died of.
+    println!();
+    attribution_section(horizon_ms, "default");
 
     println!();
     maybe_export_chrome_trace(horizon_ms, "default");

@@ -1,0 +1,208 @@
+//! Latency-attribution pins: every request's phase breakdown must be
+//! *conserved* (the ten phases sum to its end-to-end latency) across all
+//! four scheduling policies, randomized traces, and fault injection; the
+//! per-request records must cover every terminal outcome and agree with
+//! the report's own terminal streams; and fault-only phases must be
+//! exactly zero on fault-free runs.
+
+use exion::serve::{
+    FaultPlan, PartitionStrategy, Phase, Placement, RequestOutcome, ServeConfig, ServeReport,
+    ServeSimulator, TraceConfig, TrafficPattern, WorkloadMix,
+};
+use exion::sim::config::HwConfig;
+use proptest::prelude::*;
+
+/// Conservation tolerance: float residue from segment arithmetic, scaled
+/// by the latency magnitude.
+fn conserved(e2e: f64, sum: f64) -> bool {
+    (sum - e2e).abs() <= 1e-9 * (1.0 + e2e.abs())
+}
+
+/// Full cross-check of a report's attribution against its terminal
+/// streams: one record per released arrival, conserved phases, matching
+/// end instants per outcome, and internally consistent aggregates.
+fn assert_attribution_consistent(report: &ServeReport, context: &str) {
+    let attrib = report
+        .attribution
+        .as_ref()
+        .unwrap_or_else(|| panic!("{context}: attribution is on by default"));
+    assert_eq!(
+        attrib.requests.len(),
+        report.arrivals,
+        "{context}: one attribution record per released arrival"
+    );
+    let mut completed = 0usize;
+    let mut shed = 0usize;
+    let mut lost = 0usize;
+    for (i, r) in attrib.requests.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "{context}: records are id-ordered");
+        let e2e = r.latency_ms();
+        assert!(e2e >= 0.0, "{context}: request {i} ends before it arrives");
+        let sum = r.phases.total_ms();
+        assert!(
+            conserved(e2e, sum),
+            "{context}: request {i} ({:?}) breaks conservation: Σ phases \
+             {sum} vs e2e {e2e}",
+            r.outcome,
+        );
+        for (p, &v) in Phase::ALL.iter().zip(&r.phases.ms) {
+            assert!(
+                v.is_finite(),
+                "{context}: request {i} has a non-finite {} phase",
+                p.label()
+            );
+        }
+        match r.outcome {
+            RequestOutcome::Completed => completed += 1,
+            RequestOutcome::Shed => {
+                shed += 1;
+                assert!(r.missed, "{context}: sheds always miss");
+            }
+            RequestOutcome::Lost => {
+                lost += 1;
+                assert!(r.missed, "{context}: losts always miss");
+            }
+        }
+    }
+    assert_eq!(completed, report.completed, "{context}: completed tally");
+    assert_eq!(shed, report.shed_requests, "{context}: shed tally");
+    assert_eq!(lost, report.lost_requests, "{context}: lost tally");
+    // Terminal instants match the report's own streams record for record.
+    for c in &report.completions {
+        let r = &attrib.requests[c.id as usize];
+        assert_eq!(r.outcome, RequestOutcome::Completed, "{context}");
+        assert_eq!(r.end_ms, c.finished_ms, "{context}: completion instant");
+        assert_eq!(r.missed, !c.within_slo(), "{context}: miss flag");
+    }
+    for s in &report.sheds {
+        let r = &attrib.requests[s.id as usize];
+        assert_eq!(r.outcome, RequestOutcome::Shed, "{context}");
+        assert_eq!(r.end_ms, s.at_ms, "{context}: shed instant");
+    }
+    for l in &report.losts {
+        let r = &attrib.requests[l.id as usize];
+        assert_eq!(r.outcome, RequestOutcome::Lost, "{context}");
+        assert_eq!(r.end_ms, l.at_ms, "{context}: loss instant");
+    }
+    // Aggregates are internally consistent: totals are the per-request
+    // sum, miss causes tally every miss, per-model counts cover the run,
+    // and the forensics digest holds only completed misses.
+    let missed = attrib.requests.iter().filter(|r| r.missed).count() as u64;
+    assert_eq!(
+        attrib.missed_requests(),
+        missed,
+        "{context}: miss causes must tally every missed request"
+    );
+    let mut totals = 0.0;
+    for r in &attrib.requests {
+        totals += r.phases.total_ms();
+    }
+    assert!(
+        (attrib.totals.total_ms() - totals).abs() <= 1e-6 * (1.0 + totals.abs()),
+        "{context}: aggregate totals drifted from the per-request sum"
+    );
+    let per_model: u64 = attrib.per_model.iter().map(|m| m.requests).sum();
+    assert_eq!(per_model as usize, report.arrivals, "{context}: per-model");
+    for m in &attrib.top_misses {
+        assert!(m.overshoot_ms > 0.0, "{context}: digest holds real misses");
+        assert_eq!(
+            attrib.requests[m.id as usize].outcome,
+            RequestOutcome::Completed,
+            "{context}: the digest holds completed misses only"
+        );
+    }
+    for w in attrib.top_misses.windows(2) {
+        assert!(
+            w[0].overshoot_ms >= w[1].overshoot_ms,
+            "{context}: digest sorts by overshoot"
+        );
+    }
+    // Phase distributions record every request (zeros included), so each
+    // phase histogram carries one sample per arrival.
+    for (p, s) in Phase::ALL.iter().zip(&attrib.phase_stats) {
+        assert_eq!(
+            s.count as usize,
+            report.arrivals,
+            "{context}: phase {} must record every request",
+            p.label()
+        );
+    }
+}
+
+/// The four shipped policies, exercised by every randomized case below.
+const POLICIES: [&str; 4] = ["fcfs", "edf", "preemptive-edf", "sparsity-aware"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Conservation + coverage on randomized fleets under every policy,
+    /// with and without fault injection. Fault-free runs additionally pin
+    /// the fault-only phases to exactly zero.
+    #[test]
+    fn phase_breakdowns_conserve_latency_across_policies_and_faults(
+        replicas in 1usize..5,
+        gangs in 0usize..3,
+        rate_decirps in 60u64..300,
+        seed in 0u64..1_000,
+        chaos in any::<bool>(),
+    ) {
+        let horizon_ms = 500.0;
+        let placement = Placement::mixed(replicas, gangs, PartitionStrategy::Tensor { ways: 2 });
+        for policy in POLICIES {
+            let plan = if chaos {
+                FaultPlan::seeded(seed, horizon_ms, 120.0, 100.0, 2)
+            } else {
+                FaultPlan::empty()
+            };
+            let config = ServeConfig::builder(HwConfig::exion4())
+                .placement(placement)
+                .policy_name(policy)
+                .admission_name("deadline")
+                .fault_plan(plan)
+                .checkpoint_every(6)
+                .build();
+            let trace = TraceConfig {
+                pattern: TrafficPattern::Poisson { rate_rps: rate_decirps as f64 / 10.0 },
+                horizon_ms,
+                seed: 0xA77 ^ seed,
+                mix: WorkloadMix::text_to_motion(),
+            };
+            let report = ServeSimulator::new(config).run(&trace);
+            let context = format!("{policy} (chaos={chaos}, seed={seed})");
+            assert_attribution_consistent(&report, &context);
+            if !chaos {
+                let attrib = report.attribution.as_ref().unwrap();
+                for r in &attrib.requests {
+                    prop_assert_eq!(
+                        r.phases.get(Phase::FaultStall), 0.0,
+                        "{}: fault stall on a fault-free run", &context
+                    );
+                    prop_assert_eq!(
+                        r.phases.get(Phase::DegradedWindow), 0.0,
+                        "{}: degraded window on a fault-free run", &context
+                    );
+                }
+                prop_assert!(attrib.degraded_windows.is_empty());
+            }
+        }
+    }
+}
+
+/// A deterministic end-to-end pin on the planned scenario (migrations +
+/// degradation + admission shedding in one run): conservation holds and
+/// the aggregate machinery produces a dominant phase.
+#[test]
+fn planned_scenario_attribution_is_consistent_and_names_a_bottleneck() {
+    use exion_bench::experiments::serve_sweep::standard_scenarios;
+    for (scenario, config, trace) in standard_scenarios(800.0) {
+        let report = ServeSimulator::new(config).run(&trace);
+        assert_attribution_consistent(&report, scenario);
+        let attrib = report.attribution.as_ref().unwrap();
+        if report.arrivals > 0 {
+            assert!(
+                attrib.dominant_p95.is_some(),
+                "{scenario}: a run with traffic must name a p95 bottleneck"
+            );
+        }
+    }
+}

@@ -54,7 +54,7 @@ fn standard_scenario_fingerprints_survive_the_event_core() {
             .expect("every standard scenario carries a golden");
         let untraced = ServeSimulator::new(config.clone()).run(&trace);
         let mut sink = MemorySink::new();
-        let traced = ServeSimulator::new(config).run_traced(&trace, &mut sink);
+        let traced = ServeSimulator::new(config.clone()).run_traced(&trace, &mut sink);
         assert!(!sink.is_empty(), "{scenario}: traced run must emit");
         assert_eq!(
             fingerprint(&untraced),
@@ -69,6 +69,28 @@ fn standard_scenario_fingerprints_survive_the_event_core() {
             "{scenario}: traced fingerprint diverged from the golden"
         );
         assert_eq!(untraced, traced, "{scenario}: sink perturbed the run");
+        // Latency attribution is a pure observer: switching it off must
+        // change nothing but the report's attribution field itself.
+        assert!(
+            untraced.attribution.is_some(),
+            "{scenario}: attribution is on by default"
+        );
+        let mut disabled_config = config;
+        disabled_config.attribution = false;
+        let disabled = ServeSimulator::new(disabled_config).run(&trace);
+        assert!(
+            disabled.attribution.is_none(),
+            "{scenario}: disabled run must not attribute"
+        );
+        assert_eq!(
+            fingerprint(&disabled),
+            golden,
+            "{scenario}: attribution perturbed the simulation"
+        );
+        assert_eq!(
+            disabled.completions, untraced.completions,
+            "{scenario}: attribution perturbed the completion stream"
+        );
     }
 }
 
